@@ -1,0 +1,1 @@
+bench/bench_util.ml: Filename List Memory Printf Salam_aladdin Salam_frontend Salam_ir Salam_reference Salam_sim Salam_workloads String Unix

@@ -1,0 +1,1 @@
+bench/exp_dse.ml: Bench_util List Printf Salam Salam_engine Salam_hw Salam_workloads

@@ -1,0 +1,1 @@
+bench/exp_motivation.ml: Bench_util Fu List Printf Salam_aladdin Salam_cdfg Salam_hw Salam_workloads Sys

@@ -1,0 +1,1 @@
+bench/exp_multi.ml: Bench_util Cnn_pipeline List Printf Salam_scenarios

@@ -1,0 +1,201 @@
+(* Design-space-exploration experiments: Fig 4 (power breakdown), Fig 13
+   (GEMM Pareto), Fig 14 (stall analysis vs ports), Fig 15 (co-design
+   sweeps) and the ablation of the engine's design choices. *)
+
+open Bench_util
+module Engine = Salam_engine.Engine
+module Fu = Salam_hw.Fu
+
+(* Fig 4: the seven power components, normalised per benchmark. *)
+let fig4 () =
+  section "FIG 4 — Total power breakdown with private SPM (% of total)";
+  Printf.printf "%-24s %7s %7s %7s %7s %7s %7s %7s %9s\n" "benchmark" "dynFU" "dynREG"
+    "dynSPMr" "dynSPMw" "statFU" "statREG" "statSPM" "total mW";
+  List.iter
+    (fun w ->
+      let r = Salam.simulate w in
+      let p = r.Salam.power in
+      let total = Salam.total_mw p in
+      let f x = pct (x /. total) in
+      Printf.printf "%-24s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %9.2f\n"
+        (short_name w) (f p.Salam.dynamic_fu_mw) (f p.Salam.dynamic_reg_mw)
+        (f p.Salam.dynamic_spm_read_mw) (f p.Salam.dynamic_spm_write_mw)
+        (f p.Salam.static_fu_mw) (f p.Salam.static_reg_mw) (f p.Salam.static_spm_mw) total)
+    (Salam_workloads.Suite.standard ());
+  print_newline ()
+
+let gemm_dse_workload () = Salam_workloads.Gemm.workload ~n:16 ~unroll:16 ~junroll:8 ()
+
+let simulate_gemm ?(fu_limit = 0) ?(ports = 2) ?(memory = `Spm) () =
+  let w = gemm_dse_workload () in
+  let fu_limits =
+    if fu_limit > 0 then [ (Fu.Fp_add_dp, fu_limit); (Fu.Fp_mul_dp, fu_limit) ] else []
+  in
+  let memory =
+    match memory with
+    | `Spm -> Salam.Config.Spm { read_ports = ports; write_ports = max 1 (ports / 2); banks = 2 * ports; latency = 1 }
+    | `Cache size -> Salam.Config.Cache { size; line_bytes = 64; ways = 4; hit_latency = 2 }
+  in
+  let config =
+    {
+      Salam.Config.default with
+      Salam.Config.memory;
+      fu_limits;
+      engine = { Engine.default_config with Engine.fu_limits };
+    }
+  in
+  Salam.simulate ~config w
+
+(* Fig 13: power/performance Pareto across FU counts and bandwidth. *)
+let fig13 () =
+  section "FIG 13 — GEMM design-space Pareto (execution time vs power)";
+  Printf.printf "%-34s %12s %14s %14s\n" "configuration" "time (us)" "datapath mW"
+    "datapath+mem mW";
+  List.iter
+    (fun (fu_limit, ports) ->
+      let r = simulate_gemm ~fu_limit ~ports () in
+      let p = r.Salam.power in
+      let datapath_mw =
+        p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
+        +. p.Salam.static_reg_mw
+      in
+      Printf.printf "%-34s %12.2f %14.2f %14.2f\n"
+        (Printf.sprintf "SPM, %s FADD/FMUL, %d rd ports"
+           (if fu_limit = 0 then "1:1" else string_of_int fu_limit)
+           ports)
+        (r.Salam.seconds *. 1e6) datapath_mw (Salam.total_mw p))
+    (List.concat_map
+       (fun fu -> List.map (fun ports -> (fu, ports)) [ 1; 2; 4; 8; 16 ])
+       [ 2; 4; 8; 0 ]);
+  List.iter
+    (fun size ->
+      let r = simulate_gemm ~memory:(`Cache size) () in
+      let p = r.Salam.power in
+      Printf.printf "%-34s %12.2f %14.2f %14.2f\n"
+        (Printf.sprintf "cache %dB" size)
+        (r.Salam.seconds *. 1e6)
+        (p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
+        +. p.Salam.static_reg_mw)
+        (Salam.total_mw p))
+    [ 512; 2048; 8192 ];
+  print_newline ()
+
+let port_sweep = [ 64; 32; 16; 8; 4; 2 ]
+
+(* Fig 14: stall behaviour across read/write port counts. *)
+let fig14 () =
+  section "FIG 14(a) — Stalled vs new-execution cycles per R/W port count (GEMM)";
+  Printf.printf "%-10s %12s %12s %12s\n" "ports" "stall %" "issue %" "cycles";
+  let runs = List.map (fun ports -> (ports, simulate_gemm ~ports ())) port_sweep in
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let active = float_of_int s.Engine.active_cycles in
+      Printf.printf "%-10d %11.1f%% %11.1f%% %12Ld\n" ports
+        (pct (float_of_int s.Engine.stall_cycles /. active))
+        (pct (float_of_int s.Engine.issue_cycles /. active))
+        r.Salam.cycles)
+    runs;
+  section "FIG 14(b) — Stall-cause breakdown (% of stalled cycles)";
+  Printf.printf "%-10s %18s %24s %10s\n" "ports" "load+compute" "load+store+compute" "other";
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let stalls = float_of_int (max 1 s.Engine.stall_cycles) in
+      Printf.printf "%-10d %17.1f%% %23.1f%% %9.1f%%\n" ports
+        (pct (float_of_int s.Engine.stall_load_compute /. stalls))
+        (pct (float_of_int s.Engine.stall_load_store_compute /. stalls))
+        (pct
+           (float_of_int (s.Engine.stall_other + s.Engine.stall_load_only) /. stalls)))
+    runs;
+  print_newline ()
+
+(* Fig 15: co-design with constrained FADD units. *)
+let fig15 () =
+  let fu_limit = 8 in
+  section
+    (Printf.sprintf
+       "FIG 15 — Co-design sweeps (GEMM, %d FADD/FMUL units held constant)" fu_limit);
+  let runs = List.map (fun ports -> (ports, simulate_gemm ~fu_limit ~ports ())) port_sweep in
+  Printf.printf "(a) %-6s %10s %10s\n" "ports" "stall %" "issue %";
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let active = float_of_int s.Engine.active_cycles in
+      Printf.printf "    %-6d %9.1f%% %9.1f%%\n" ports
+        (pct (float_of_int s.Engine.stall_cycles /. active))
+        (pct (float_of_int s.Engine.issue_cycles /. active)))
+    runs;
+  Printf.printf "(b) %-6s %12s %12s %12s %16s\n" "ports" "load&store %" "load only %"
+    "store only %" "FMUL occupancy";
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let active = float_of_int s.Engine.active_cycles in
+      let both = float_of_int s.Engine.cycles_with_load_and_store in
+      let load_only = float_of_int (s.Engine.cycles_with_load - s.Engine.cycles_with_load_and_store) in
+      let store_only =
+        float_of_int (s.Engine.cycles_with_store - s.Engine.cycles_with_load_and_store)
+      in
+      Printf.printf "    %-6d %11.1f%% %11.1f%% %11.1f%% %15.1f%%\n" ports
+        (pct (both /. active)) (pct (load_only /. active)) (pct (store_only /. active))
+        (pct (Salam.fu_occupancy r Fu.Fp_mul_dp ~allocated:fu_limit))
+    )
+    runs;
+  Printf.printf "(c) %-6s %10s %10s %10s %12s\n" "ports" "load %" "store %" "fp %" "cycles";
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let scheduled =
+        float_of_int (max 1 (s.Engine.issued_fp + s.Engine.issued_int + s.Engine.issued_mem))
+      in
+      let loads = float_of_int s.Engine.loads_issued in
+      let stores = float_of_int s.Engine.stores_issued in
+      Printf.printf "    %-6d %9.1f%% %9.1f%% %9.1f%% %12Ld\n" ports
+        (pct (loads /. scheduled)) (pct (stores /. scheduled))
+        (pct (float_of_int s.Engine.issued_fp /. scheduled))
+        r.Salam.cycles)
+    runs;
+  Printf.printf "(d) %-6s %10s %10s %10s %16s\n" "ports" "load %" "store %" "fp %"
+    "datapath mW";
+  List.iter
+    (fun (ports, r) ->
+      let s = r.Salam.stats in
+      let scheduled =
+        float_of_int (max 1 (s.Engine.issued_fp + s.Engine.issued_int + s.Engine.issued_mem))
+      in
+      let p = r.Salam.power in
+      Printf.printf "    %-6d %9.1f%% %9.1f%% %9.1f%% %16.2f\n" ports
+        (pct (float_of_int s.Engine.loads_issued /. scheduled))
+        (pct (float_of_int s.Engine.stores_issued /. scheduled))
+        (pct (float_of_int s.Engine.issued_fp /. scheduled))
+        (p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
+        +. p.Salam.static_reg_mw))
+    runs;
+  print_newline ()
+
+(* Ablation of the engine's design choices (DESIGN.md): the hazard rules
+   and memory disambiguation that realise the paper's scheduling
+   semantics. *)
+let ablation () =
+  section "ABLATION — engine design choices (cycles)";
+  Printf.printf "%-24s %12s %12s %12s %12s\n" "benchmark" "full" "no WAR" "no WAW"
+    "no disambig";
+  List.iter
+    (fun w ->
+      let run config =
+        (Salam.simulate ~config:{ Salam.Config.default with Salam.Config.engine = config } w)
+          .Salam.cycles
+      in
+      let base = Engine.default_config in
+      Printf.printf "%-24s %12Ld %12Ld %12Ld %12Ld\n" (short_name w) (run base)
+        (run { base with Engine.enforce_war = false })
+        (run { base with Engine.enforce_waw = false })
+        (run { base with Engine.disambiguate_memory = false }))
+    [
+      Salam_workloads.Gemm.workload ~n:16 ~unroll:2 ();
+      Salam_workloads.Md_knn.workload ~atoms:64 ~neighbours:16 ();
+      Salam_workloads.Stencil2d.workload ~rows:32 ~cols:32 ();
+    ];
+  Printf.printf
+    "(the WAR rule is the paper's Sec III-B reader check; disabling rules is diagnostic only)\n%!"

@@ -1,0 +1,24 @@
+(* Fig 16: the three producer-consumer integration scenarios of the CNN
+   layer, run at the paper's topologies. *)
+
+open Bench_util
+open Salam_scenarios
+
+let fig16 () =
+  section "FIG 16 — Multi-accelerator CNN scenarios (end-to-end)";
+  let outcomes = Cnn_pipeline.run_all () in
+  let baseline =
+    match outcomes with o :: _ -> o.Cnn_pipeline.total_us | [] -> assert false
+  in
+  Printf.printf "%-22s %12s %10s %10s   %s\n" "scenario" "total (us)" "speedup" "correct"
+    "per-stage busy cycles";
+  List.iter
+    (fun (o : Cnn_pipeline.outcome) ->
+      Printf.printf "%-22s %12.2f %9.2fx %10b   " o.Cnn_pipeline.scenario
+        o.Cnn_pipeline.total_us
+        (baseline /. o.Cnn_pipeline.total_us)
+        o.Cnn_pipeline.correct;
+      List.iter (fun (n, c) -> Printf.printf "%s=%Ld " n c) o.Cnn_pipeline.stage_cycles;
+      print_newline ())
+    outcomes;
+  Printf.printf "(paper: shared SPM 1.25x, stream buffers 2.08x over the private-SPM baseline)\n%!"

@@ -1,0 +1,77 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. IV), plus an ablation of the engine's design choices
+   and Bechamel micro-benchmarks of the simulator itself.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig10 table4 ...   # a subset
+   Experiment names: table1 table2 table3 table4 fig4 fig10 fig11 fig12
+   fig13 fig14 fig15 fig16 ablation micro *)
+
+let micro () =
+  Bench_util.section "MICRO — simulator throughput (Bechamel)";
+  let open Bechamel in
+  let gemm = Salam_workloads.Gemm.workload ~n:8 () in
+  let nw = Salam_workloads.Nw.workload ~len:16 () in
+  let tests =
+    Test.make_grouped ~name:"salam"
+      [
+        Test.make ~name:"engine_gemm8" (Staged.stage (fun () -> ignore (Salam.simulate gemm)));
+        Test.make ~name:"engine_nw16" (Staged.stage (fun () -> ignore (Salam.simulate nw)));
+        Test.make ~name:"interp_gemm8"
+          (Staged.stage (fun () -> ignore (Salam_workloads.Workload.run_functional gemm)));
+        Test.make ~name:"compile_gemm8"
+          (Staged.stage (fun () ->
+               ignore (Salam_frontend.Compile.kernel gemm.Salam_workloads.Workload.kernel)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "%-28s %16s\n" "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "%-28s %16.0f\n" name ns
+      | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+    results;
+  print_newline ()
+
+let experiments =
+  [
+    ("table1", Exp_motivation.table1);
+    ("table2", Exp_motivation.table2);
+    ("fig4", Exp_dse.fig4);
+    ("fig10", Exp_validation.fig10);
+    ("fig11", Exp_validation.fig11);
+    ("fig12", Exp_validation.fig12);
+    ("table3", Exp_validation.table3);
+    ("table4", Exp_validation.table4);
+    ("fig13", Exp_dse.fig13);
+    ("fig14", Exp_dse.fig14);
+    ("fig15", Exp_dse.fig15);
+    ("fig16", Exp_multi.fig16);
+    ("ablation", Exp_dse.ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: ([ _ ] as names) when names <> [ "all" ] -> names
+    | _ :: (_ :: _ as names) when names <> [ "all" ] -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat " " (List.map fst experiments)))
+    requested;
+  Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,112 @@
+(* Command-line front end: run any suite workload on a configurable
+   system and print the simulation results.
+
+     dune exec bin/salam_sim.exe -- list
+     dune exec bin/salam_sim.exe -- run gemm --ports 8 --clock 500
+     dune exec bin/salam_sim.exe -- run stencil2d --memory cache --cache-size 4096 *)
+
+open Cmdliner
+module Engine = Salam_engine.Engine
+
+let workloads () = Salam_workloads.Suite.standard ()
+
+let list_cmd =
+  let doc = "List the available workloads." in
+  let run () =
+    List.iter
+      (fun (w : Salam_workloads.Workload.t) ->
+        Printf.printf "%-24s (%d buffers, %d bytes)\n" w.Salam_workloads.Workload.name
+          (List.length w.Salam_workloads.Workload.buffers)
+          (Salam_workloads.Workload.total_buffer_bytes w))
+      (workloads ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_workload name clock_mhz memory cache_size ports write_ports banks fadd_limit =
+  match Salam_workloads.Suite.by_name name with
+  | None ->
+      Printf.eprintf "unknown workload %s; try `salam_sim list`\n" name;
+      exit 1
+  | Some w ->
+      let memory =
+        match memory with
+        | "spm" ->
+            Salam.Config.Spm { read_ports = ports; write_ports; banks; latency = 1 }
+        | "cache" ->
+            Salam.Config.Cache
+              { size = cache_size; line_bytes = 64; ways = 4; hit_latency = 2 }
+        | "dram" -> Salam.Config.Dram_direct
+        | other ->
+            Printf.eprintf "unknown memory kind %s (spm|cache|dram)\n" other;
+            exit 1
+      in
+      let fu_limits =
+        if fadd_limit > 0 then
+          [ (Salam_hw.Fu.Fp_add_dp, fadd_limit); (Salam_hw.Fu.Fp_mul_dp, fadd_limit) ]
+        else []
+      in
+      let config =
+        {
+          Salam.Config.default with
+          Salam.Config.clock_mhz;
+          memory;
+          fu_limits;
+          engine = { Engine.default_config with Engine.fu_limits };
+        }
+      in
+      let r = Salam.simulate ~config w in
+      let s = r.Salam.stats in
+      Printf.printf "workload            : %s\n" r.Salam.name;
+      Printf.printf "correct             : %b\n" r.Salam.correct;
+      Printf.printf "cycles              : %Ld (%.3f us at %.0f MHz)\n" r.Salam.cycles
+        (r.Salam.seconds *. 1e6) clock_mhz;
+      Printf.printf "dynamic instructions: %d\n" s.Engine.dynamic_instructions;
+      Printf.printf "loads / stores      : %d / %d\n" s.Engine.loads_issued
+        s.Engine.stores_issued;
+      Printf.printf "stall cycles        : %d of %d active\n" s.Engine.stall_cycles
+        s.Engine.active_cycles;
+      Printf.printf "total power         : %.3f mW\n" (Salam.total_mw r.Salam.power);
+      Printf.printf "area                : %.0f um^2\n" r.Salam.area_um2;
+      (match r.Salam.spm_accesses with
+      | Some (reads, writes) -> Printf.printf "SPM reads / writes  : %d / %d\n" reads writes
+      | None -> ());
+      (match r.Salam.cache_hits_misses with
+      | Some (h, m) -> Printf.printf "cache hits / misses : %d / %d\n" h m
+      | None -> ());
+      Printf.printf "host wall time      : %.3f s\n" r.Salam.wall_seconds;
+      if not r.Salam.correct then exit 2
+
+let run_cmd =
+  let doc = "Simulate one workload end to end." in
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let clock =
+    Arg.(value & opt float 500.0 & info [ "clock" ] ~docv:"MHZ" ~doc:"Accelerator clock.")
+  in
+  let memory =
+    Arg.(value & opt string "spm" & info [ "memory" ] ~docv:"KIND" ~doc:"spm, cache or dram.")
+  in
+  let cache_size =
+    Arg.(value & opt int 4096 & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Cache capacity.")
+  in
+  let ports =
+    Arg.(value & opt int 2 & info [ "ports" ] ~docv:"N" ~doc:"SPM read ports.")
+  in
+  let write_ports =
+    Arg.(value & opt int 1 & info [ "write-ports" ] ~docv:"N" ~doc:"SPM write ports.")
+  in
+  let banks = Arg.(value & opt int 4 & info [ "banks" ] ~docv:"N" ~doc:"SPM banks.") in
+  let fadd =
+    Arg.(
+      value & opt int 0
+      & info [ "fp-units" ] ~docv:"N"
+          ~doc:"Cap double-precision FADD/FMUL units (0 = 1:1 map).")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports $ banks
+      $ fadd)
+
+let () =
+  let doc = "gem5-SALAM reproduction: LLVM-based accelerator simulation" in
+  let info = Cmd.info "salam_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/cnn_pipeline.ml: Cnn_pipeline List Printf Salam_scenarios

@@ -1,0 +1,1 @@
+examples/gemm_dse.ml: List Printf Salam Salam_engine Salam_hw Salam_workloads

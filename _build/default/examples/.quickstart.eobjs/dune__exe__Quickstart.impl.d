@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Memory Printf Salam Salam_cdfg Salam_engine Salam_frontend Salam_ir Salam_sim Salam_workloads Ty

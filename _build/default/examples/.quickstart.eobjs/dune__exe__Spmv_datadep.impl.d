@@ -1,0 +1,1 @@
+examples/spmv_datadep.ml: Filename Fu List Printf Salam Salam_aladdin Salam_cdfg Salam_frontend Salam_hw Salam_ir Salam_sim Salam_workloads Sys

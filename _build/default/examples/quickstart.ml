@@ -1,0 +1,77 @@
+(* Quickstart: write an accelerator kernel in the DSL, simulate it on a
+   full system with a private scratchpad, and read the results.
+
+     dune exec examples/quickstart.exe
+
+   The kernel is SAXPY (y := a*x + y). The same record drives the
+   functional golden check, so a wrong datapath would be caught. *)
+
+open Salam_frontend.Lang
+open Salam_ir
+
+let n = 256
+
+let a = 2.5
+
+(* 1. the kernel: a single in-lined function, exactly as gem5-SALAM's
+   users write their accelerators in C *)
+let saxpy_kernel =
+  kernel "saxpy"
+    ~params:[ array "x" Ty.F64 [ n ]; array "y" Ty.F64 [ n ] ]
+    [
+      for_ ~unroll:4 "k" (i 0) (i n)
+        [ store "y" [ v "k" ] ((f a *: idx "x" [ v "k" ]) +: idx "y" [ v "k" ]) ];
+    ]
+
+(* 2. wrap it as a workload: buffer layout, dataset generator, golden model *)
+let workload =
+  let bytes = n * 8 in
+  {
+    Salam_workloads.Workload.name = "saxpy";
+    kernel = saxpy_kernel;
+    buffers = [ ("x", bytes); ("y", bytes) ];
+    scalar_args = [];
+    init =
+      (fun rng mem bases ->
+        let x = Array.init n (fun _ -> Salam_sim.Rng.float rng 1.0) in
+        let y = Array.init n (fun _ -> Salam_sim.Rng.float rng 1.0) in
+        Memory.write_f64_array mem bases.(0) x;
+        Memory.write_f64_array mem bases.(1) y);
+    check =
+      (fun mem bases ->
+        let x = Memory.read_f64_array mem bases.(0) n in
+        let y = Memory.read_f64_array mem bases.(1) n in
+        (* y was updated in place; reconstruct the expected values from x
+           is not possible without the original y, so re-run the golden
+           model from the same seed *)
+        let rng = Salam_sim.Rng.create 42L in
+        let x0 = Array.init n (fun _ -> Salam_sim.Rng.float rng 1.0) in
+        let y0 = Array.init n (fun _ -> Salam_sim.Rng.float rng 1.0) in
+        Array.for_all2 (fun got x -> abs_float (got -. x) < 1e-12) x x0
+        && Array.for_all2 ( = ) y (Array.mapi (fun k y0k -> (a *. x0.(k)) +. y0k) y0));
+  }
+
+let () =
+  (* 3. simulate: 500 MHz accelerator, private SPM with 4 read ports *)
+  let config =
+    {
+      Salam.Config.default with
+      Salam.Config.memory =
+        Salam.Config.Spm { read_ports = 4; write_ports = 2; banks = 8; latency = 1 };
+    }
+  in
+  let r = Salam.simulate ~config workload in
+  Printf.printf "saxpy on a %d-element vector:\n" n;
+  Printf.printf "  correct           : %b\n" r.Salam.correct;
+  Printf.printf "  cycles            : %Ld (%.2f us at 500 MHz)\n" r.Salam.cycles
+    (r.Salam.seconds *. 1e6);
+  Printf.printf "  dynamic instrs    : %d\n"
+    r.Salam.stats.Salam_engine.Engine.dynamic_instructions;
+  Printf.printf "  loads / stores    : %d / %d\n"
+    r.Salam.stats.Salam_engine.Engine.loads_issued
+    r.Salam.stats.Salam_engine.Engine.stores_issued;
+  Printf.printf "  total power       : %.3f mW\n" (Salam.total_mw r.Salam.power);
+  Printf.printf "  datapath area     : %.0f um^2\n" r.Salam.area_um2;
+  (* 4. the static datapath is available for inspection too *)
+  let dp = Salam_cdfg.Datapath.build (Salam_workloads.Workload.compile workload) in
+  Format.printf "%a" Salam_cdfg.Datapath.pp_summary dp

@@ -1,0 +1,52 @@
+(* The dual-CDFG property (Table I): a data-dependent branch changes the
+   trace-based baseline's reverse-engineered datapath, while the
+   statically-elaborated datapath is fixed.
+
+     dune exec examples/spmv_datadep.exe *)
+
+open Salam_hw
+module W = Salam_workloads.Workload
+module Scheduler = Salam_aladdin.Scheduler
+module Datapath = Salam_cdfg.Datapath
+
+let aladdin_fu_counts dataset =
+  let w = Salam_workloads.Spmv.workload ~dataset () in
+  let mem = Salam_ir.Memory.create ~size:(1 lsl 22) in
+  let bases = W.alloc_buffers w mem in
+  w.W.init (Salam_sim.Rng.create 42L) mem bases;
+  let file = Filename.temp_file "spmv" ".trace" in
+  ignore
+    (Salam_aladdin.Trace.generate mem (W.modul w)
+       ~entry:w.W.kernel.Salam_frontend.Lang.kname ~args:(W.args w ~bases) ~file);
+  let r = Scheduler.schedule (Salam_aladdin.Trace.load ~file) (Scheduler.Fixed_latency 1) in
+  Sys.remove file;
+  r
+
+let () =
+  Printf.printf
+    "SPMV-CRS carries a one-bit shift that only fires when a matrix value\n\
+     falls in (%.2f, %.2f). Dataset 1 has no such values; dataset 2 does.\n\n"
+    0.90 0.95;
+  Printf.printf "Trace-based baseline (datapath reverse-engineered per run):\n";
+  List.iter
+    (fun dataset ->
+      let r = aladdin_fu_counts dataset in
+      Printf.printf "  dataset %d: FMUL=%d FADD=%d shifter=%d\n" dataset
+        (Scheduler.fu_count r Fu.Fp_mul_dp)
+        (Scheduler.fu_count r Fu.Fp_add_dp)
+        (Scheduler.fu_count r Fu.Shifter))
+    [ 1; 2 ];
+  Printf.printf "\ngem5-SALAM (datapath fixed at static elaboration):\n";
+  let dp = Datapath.build (W.compile (Salam_workloads.Spmv.workload ~dataset:1 ())) in
+  Printf.printf "  any dataset: FMUL=%d FADD=%d shifter=%d\n"
+    (Datapath.fu_count dp Fu.Fp_mul_dp)
+    (Datapath.fu_count dp Fu.Fp_add_dp)
+    (Datapath.fu_count dp Fu.Shifter);
+  (* and the timing engine still models the data-dependent execution *)
+  Printf.printf "\nCycle counts still reflect the data (execute-in-execute):\n";
+  List.iter
+    (fun dataset ->
+      let r = Salam.simulate (Salam_workloads.Spmv.workload ~dataset ()) in
+      Printf.printf "  dataset %d: %Ld cycles (correct=%b)\n" dataset r.Salam.cycles
+        r.Salam.correct)
+    [ 1; 2 ]

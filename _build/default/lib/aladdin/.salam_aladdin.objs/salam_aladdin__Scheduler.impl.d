@@ -1,0 +1,1 @@
+lib/aladdin/scheduler.ml: Array Fu Hashtbl Int64 List Option Salam_hw Trace

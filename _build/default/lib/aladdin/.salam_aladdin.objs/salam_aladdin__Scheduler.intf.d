@@ -1,0 +1,1 @@
+lib/aladdin/scheduler.mli: Salam_hw Trace

@@ -1,0 +1,1 @@
+lib/aladdin/trace.ml: Array Ast Bits Fu Int64 Interp List Printf Profile Salam_hw Salam_ir String Ty

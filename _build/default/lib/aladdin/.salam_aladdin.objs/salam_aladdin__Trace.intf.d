@@ -1,0 +1,1 @@
+lib/aladdin/trace.mli: Salam_hw Salam_ir

@@ -1,0 +1,227 @@
+open Salam_hw
+
+type memory_model =
+  | Fixed_latency of int
+  | Cache of {
+      size : int;
+      line_bytes : int;
+      ways : int;
+      hit_latency : int;
+      miss_latency : int;
+    }
+
+type result = {
+  cycles : int;
+  events : int;
+  fu_counts : (Fu.cls * int) list;
+  loads : int;
+  stores : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(* Functional set-associative LRU cache, consulted in trace order. *)
+type sim_cache = {
+  line_bytes : int;
+  sets : int;
+  ways : int;
+  tags : int64 array array;
+  stamps : int array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_cache ~size ~line_bytes ~ways =
+  let sets = max 1 (size / line_bytes / ways) in
+  {
+    line_bytes;
+    sets;
+    ways;
+    tags = Array.init sets (fun _ -> Array.make ways Int64.minus_one);
+    stamps = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access cache addr =
+  cache.tick <- cache.tick + 1;
+  let line = Int64.div addr (Int64.of_int cache.line_bytes) in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int cache.sets)) in
+  let tags = cache.tags.(set) and stamps = cache.stamps.(set) in
+  let hit = ref false in
+  for w = 0 to cache.ways - 1 do
+    if Int64.equal tags.(w) line then begin
+      hit := true;
+      stamps.(w) <- cache.tick
+    end
+  done;
+  if !hit then begin
+    cache.hits <- cache.hits + 1;
+    true
+  end
+  else begin
+    cache.misses <- cache.misses + 1;
+    let victim = ref 0 in
+    for w = 1 to cache.ways - 1 do
+      if stamps.(w) < stamps.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    stamps.(!victim) <- cache.tick;
+    false
+  end
+
+(* A node of the dynamic data dependence graph (Aladdin's DDDG): the
+   trace event plus explicit forward adjacency. The baseline's
+   simulation engine really does materialise this graph in memory and
+   then walks it cycle by cycle, which is where its memory footprint and
+   runtime go. *)
+type node = {
+  ev : Trace.event;
+  latency : int;
+  mutable succs : int list;
+  mutable indeg : int;
+}
+
+let schedule (events : Trace.event array) model =
+  let cache =
+    match model with
+    | Fixed_latency _ -> None
+    | Cache { size; line_bytes; ways; _ } -> Some (make_cache ~size ~line_bytes ~ways)
+  in
+  let n = Array.length events in
+  let loads = ref 0 and stores = ref 0 in
+  (* phase 1: build the DDDG. Memory latencies are resolved against the
+     cache model in trace order, as Aladdin instruments them. *)
+  let node_latency (e : Trace.event) =
+    if e.Trace.is_load then begin
+      incr loads;
+      match (model, cache) with
+      | Fixed_latency l, _ -> l
+      | Cache { hit_latency; miss_latency; _ }, Some c ->
+          if access c e.Trace.addr then hit_latency else miss_latency
+      | Cache _, None -> assert false
+    end
+    else if e.Trace.is_store then begin
+      incr stores;
+      match (model, cache) with
+      | Fixed_latency l, _ -> l
+      | Cache { hit_latency; _ }, Some c ->
+          (* write-allocate; the write buffer hides the miss latency *)
+          ignore (access c e.Trace.addr);
+          hit_latency
+      | Cache _, None -> assert false
+    end
+    else e.Trace.latency
+  in
+  let nodes =
+    Array.map (fun ev -> { ev; latency = node_latency ev; succs = []; indeg = 0 }) events
+  in
+  let add_edge src dst =
+    if src <> dst then begin
+      nodes.(src).succs <- dst :: nodes.(src).succs;
+      nodes.(dst).indeg <- nodes.(dst).indeg + 1
+    end
+  in
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* memory dependences at 8-byte-block granularity *)
+  let block_of addr = Int64.div addr 8L in
+  let last_store : (int64, int) Hashtbl.t = Hashtbl.create 1024 in
+  let last_access : (int64, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      List.iter
+        (fun src ->
+          match Hashtbl.find_opt last_def src with
+          | Some p -> add_edge p i
+          | None -> ())
+        e.Trace.srcs;
+      if e.Trace.is_load || e.Trace.is_store then begin
+        let first = block_of e.Trace.addr in
+        let last = block_of (Int64.add e.Trace.addr (Int64.of_int (max 0 (e.Trace.size - 1)))) in
+        let b = ref first in
+        while Int64.compare !b last <= 0 do
+          (if e.Trace.is_load then
+             match Hashtbl.find_opt last_store !b with
+             | Some p -> add_edge p i
+             | None -> ()
+           else
+             match Hashtbl.find_opt last_access !b with
+             | Some p -> add_edge p i
+             | None -> ());
+          (if e.Trace.is_store then begin
+             Hashtbl.replace last_store !b i;
+             Hashtbl.replace last_access !b i
+           end
+           else Hashtbl.replace last_access !b i);
+          b := Int64.add !b 1L
+        done
+      end;
+      match e.Trace.dst with Some d -> Hashtbl.replace last_def d i | None -> ())
+    events;
+  (* phase 2: cycle-driven graph execution (resource-unconstrained ASAP).
+     Firing a node holds its functional unit until completion; the
+     maximum number of units of a class ever in flight is the
+     reverse-engineered datapath. *)
+  let completions : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let in_flight : (Fu.cls, int) Hashtbl.t = Hashtbl.create 16 in
+  let max_in_flight : (Fu.cls, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump_class cls d =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt in_flight cls) + d in
+    Hashtbl.replace in_flight cls cur;
+    if cur > Option.value ~default:0 (Hashtbl.find_opt max_in_flight cls) then
+      Hashtbl.replace max_in_flight cls cur
+  in
+  let ready = ref [] in
+  Array.iteri (fun i nd -> if nd.indeg = 0 then ready := i :: !ready) nodes;
+  let remaining = ref n in
+  let cycle = ref 0 in
+  let fire i =
+    let nd = nodes.(i) in
+    (match nd.ev.Trace.fu with Some cls -> bump_class cls 1 | None -> ());
+    let finish = !cycle + max 1 nd.latency in
+    Hashtbl.replace completions finish
+      (i :: Option.value ~default:[] (Hashtbl.find_opt completions finish))
+  in
+  while !remaining > 0 do
+    List.iter fire !ready;
+    ready := [];
+    (* advance to the next completion *)
+    let next =
+      Hashtbl.fold (fun t _ acc -> match acc with None -> Some t | Some b -> Some (min t b))
+        completions None
+    in
+    (match next with
+    | Some t ->
+        cycle := t;
+        let done_nodes = Hashtbl.find completions t in
+        Hashtbl.remove completions t;
+        List.iter
+          (fun i ->
+            let nd = nodes.(i) in
+            decr remaining;
+            (match nd.ev.Trace.fu with Some cls -> bump_class cls (-1) | None -> ());
+            List.iter
+              (fun s ->
+                nodes.(s).indeg <- nodes.(s).indeg - 1;
+                if nodes.(s).indeg = 0 then ready := s :: !ready)
+              nd.succs)
+          done_nodes
+    | None -> if !remaining > 0 && !ready = [] then failwith "Scheduler: dependence cycle");
+  done;
+  let fu_counts =
+    Hashtbl.fold (fun cls m acc -> (cls, m) :: acc) max_in_flight []
+    |> List.sort (fun (a, _) (b, _) -> Fu.compare a b)
+  in
+  {
+    cycles = !cycle;
+    events = n;
+    fu_counts;
+    loads = !loads;
+    stores = !stores;
+    cache_hits = (match cache with Some c -> c.hits | None -> 0);
+    cache_misses = (match cache with Some c -> c.misses | None -> 0);
+  }
+
+let fu_count r cls = Option.value ~default:0 (List.assoc_opt cls r.fu_counts)

@@ -1,0 +1,35 @@
+(** Trace-graph scheduler — the analysis half of the Aladdin-style
+    baseline.
+
+    The dynamic trace is turned into a dependence graph (registers and
+    memory) and scheduled ASAP without resource constraints, exactly the
+    reverse-engineering step the paper critiques: the number of
+    functional units of each class in the "datapath" is the maximum
+    number of operations of that class in flight in the same cycle. Any
+    change to data availability — different input data taking different
+    branches, or a different memory hierarchy changing load latencies —
+    changes the overlap and therefore the reported datapath. *)
+
+type memory_model =
+  | Fixed_latency of int  (** scratchpad-like *)
+  | Cache of {
+      size : int;
+      line_bytes : int;
+      ways : int;
+      hit_latency : int;
+      miss_latency : int;
+    }
+
+type result = {
+  cycles : int;
+  events : int;
+  fu_counts : (Salam_hw.Fu.cls * int) list;  (** reverse-engineered datapath *)
+  loads : int;
+  stores : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val schedule : Trace.event array -> memory_model -> result
+
+val fu_count : result -> Salam_hw.Fu.cls -> int

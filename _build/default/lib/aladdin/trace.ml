@@ -1,0 +1,88 @@
+open Salam_ir
+open Salam_hw
+
+type event = {
+  index : int;
+  fu : Fu.cls option;
+  latency : int;
+  dst : int option;
+  srcs : int list;
+  addr : int64;
+  size : int;
+  is_load : bool;
+  is_store : bool;
+}
+
+let fu_by_name = List.map (fun cls -> (Fu.to_string cls, cls)) Fu.all
+
+let generate ?(profile = Profile.default_40nm) mem (m : Ast.modul) ~entry ~args ~file =
+  let oc = open_out file in
+  let count = ref 0 in
+  let emit (ev : Interp.event) =
+    let instr = ev.Interp.ev_instr in
+    (* control-flow markers are not datapath operations in Aladdin's
+       trace either, but loads/stores and all compute ops are recorded *)
+    match instr with
+    | Ast.Br _ | Ast.Cond_br _ | Ast.Ret _ | Ast.Alloca _ -> ()
+    | _ ->
+        incr count;
+        let fu = Fu.of_instr instr in
+        let latency = Profile.instr_latency profile instr in
+        let dst = Ast.defined_var instr in
+        let srcs = List.map (fun (v : Ast.var) -> v.Ast.id) (Ast.used_vars instr) in
+        let addr, size, kind =
+          match instr with
+          | Ast.Load { dst; _ } -> (
+              match ev.Interp.ev_operands with
+              | [ a ] -> (Bits.to_int64 a, Ty.size_bytes dst.Ast.ty, "L")
+              | _ -> (0L, 0, "L"))
+          | Ast.Store { src; _ } -> (
+              match ev.Interp.ev_operands with
+              | [ _; a ] -> (Bits.to_int64 a, Ty.size_bytes (Ast.value_ty src), "S")
+              | _ -> (0L, 0, "S"))
+          | _ -> (0L, 0, "C")
+        in
+        Printf.fprintf oc "%s %d %s %s %Ld %d %s\n"
+          (match fu with Some f -> Fu.to_string f | None -> "-")
+          latency
+          (match dst with Some v -> string_of_int v.Ast.id | None -> "-")
+          (if srcs = [] then "-" else String.concat "," (List.map string_of_int srcs))
+          addr size kind
+  in
+  ignore (Interp.run ~on_exec:emit mem m ~entry ~args);
+  close_out oc;
+  !count
+
+let load ~file =
+  let ic = open_in file in
+  let events = ref [] in
+  let index = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' line with
+       | [ fu_s; lat_s; dst_s; srcs_s; addr_s; size_s; kind ] ->
+           let fu = if fu_s = "-" then None else List.assoc_opt fu_s fu_by_name in
+           let srcs =
+             if srcs_s = "-" then []
+             else List.map int_of_string (String.split_on_char ',' srcs_s)
+           in
+           events :=
+             {
+               index = !index;
+               fu;
+               latency = int_of_string lat_s;
+               dst = (if dst_s = "-" then None else Some (int_of_string dst_s));
+               srcs;
+               addr = Int64.of_string addr_s;
+               size = int_of_string size_s;
+               is_load = kind = "L";
+               is_store = kind = "S";
+             }
+             :: !events;
+           incr index
+       | _ -> failwith ("Trace.load: malformed line: " ^ line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Array.of_list (List.rev !events)

@@ -1,0 +1,40 @@
+(** Dynamic LLVM instruction traces — the substrate of the
+    gem5-Aladdin-style baseline.
+
+    The trace-based flow has two phases, and this module implements both
+    with their real costs:
+    - {!generate}: run the kernel functionally and write one line per
+      executed IR instruction to a trace file (Aladdin's instrumented
+      binary does exactly this);
+    - {!load}: read the file back and parse it into events for the
+      trace scheduler.
+
+    Event registers are keyed by SSA id; loads and stores carry their
+    dynamic addresses, which is precisely why the reverse-engineered
+    datapath depends on input data (Table I) and on the memory
+    hierarchy's timing (Table II). *)
+
+type event = {
+  index : int;
+  fu : Salam_hw.Fu.cls option;
+  latency : int;
+  dst : int option;  (** SSA register id *)
+  srcs : int list;
+  addr : int64;  (** meaningful when [is_load] or [is_store] *)
+  size : int;
+  is_load : bool;
+  is_store : bool;
+}
+
+val generate :
+  ?profile:Salam_hw.Profile.t ->
+  Salam_ir.Memory.t ->
+  Salam_ir.Ast.modul ->
+  entry:string ->
+  args:Salam_ir.Bits.t list ->
+  file:string ->
+  int
+(** Execute and write the trace; returns the number of events. *)
+
+val load : file:string -> event array
+(** Parse a trace file back into memory. *)

@@ -1,0 +1,1 @@
+lib/cdfg/datapath.ml: Array Ast Cfg Format Fu List Option Profile Salam_hw Salam_ir Seq Ty

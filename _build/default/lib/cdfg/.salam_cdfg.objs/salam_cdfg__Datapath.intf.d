@@ -1,0 +1,1 @@
+lib/cdfg/datapath.mli: Format Salam_hw Salam_ir

@@ -1,0 +1,185 @@
+open Salam_soc
+module Engine = Salam_engine.Engine
+module W = Salam_workloads.Workload
+
+module Config = struct
+  type memory =
+    | Spm of { read_ports : int; write_ports : int; banks : int; latency : int }
+    | Cache of { size : int; line_bytes : int; ways : int; hit_latency : int }
+    | Dram_direct
+
+  type t = {
+    clock_mhz : float;
+    memory : memory;
+    fu_limits : (Salam_hw.Fu.cls * int) list;
+    engine : Engine.config;
+    seed : int64;
+  }
+
+  let default =
+    {
+      clock_mhz = 500.0;
+      memory = Spm { read_ports = 2; write_ports = 1; banks = 2; latency = 1 };
+      fu_limits = [];
+      engine = Engine.default_config;
+      seed = 42L;
+    }
+
+  let with_spm_ports t ~read ~write =
+    match t.memory with
+    | Spm s -> { t with memory = Spm { s with read_ports = read; write_ports = write } }
+    | Cache _ | Dram_direct ->
+        invalid_arg "Config.with_spm_ports: configuration does not use an SPM"
+end
+
+type power_breakdown = {
+  dynamic_fu_mw : float;
+  dynamic_reg_mw : float;
+  dynamic_spm_read_mw : float;
+  dynamic_spm_write_mw : float;
+  static_fu_mw : float;
+  static_reg_mw : float;
+  static_spm_mw : float;
+}
+
+let total_mw p =
+  p.dynamic_fu_mw +. p.dynamic_reg_mw +. p.dynamic_spm_read_mw +. p.dynamic_spm_write_mw
+  +. p.static_fu_mw +. p.static_reg_mw +. p.static_spm_mw
+
+type result = {
+  name : string;
+  cycles : int64;
+  seconds : float;
+  correct : bool;
+  stats : Engine.run_stats;
+  power : power_breakdown;
+  area_um2 : float;
+  spm_accesses : (int * int) option;
+  cache_hits_misses : (int * int) option;
+  wall_seconds : float;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 256
+
+let simulate ?(config = Config.default) (w : W.t) =
+  let wall_start = Unix.gettimeofday () in
+  let func = W.compile w in
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let cluster = Cluster.create sys fabric ~name:"cluster0" ~clock_mhz:config.Config.clock_mhz () in
+  let acc =
+    Accelerator.create sys ~name:w.W.name ~clock_mhz:config.Config.clock_mhz
+      ~fu_limits:config.Config.fu_limits ~engine_config:config.Config.engine func
+  in
+  Cluster.add_accelerator cluster acc;
+  let buffer_bytes = W.total_buffer_bytes w in
+  let spm = ref None in
+  let cache = ref None in
+  let bases =
+    match config.Config.memory with
+    | Config.Spm { read_ports; write_ports; banks; latency } ->
+        let spm_size = round_pow2 (buffer_bytes + (64 * List.length w.W.buffers)) in
+        let base, s =
+          Cluster.add_private_spm cluster acc ~size:spm_size
+            ~config:(fun c ->
+              { c with Salam_mem.Spm.read_ports; write_ports; banks; latency })
+            ()
+        in
+        spm := Some s;
+        (* carve the workload buffers out of the SPM region *)
+        let next = ref base in
+        Array.of_list
+          (List.map
+             (fun (_, bytes) ->
+               let b = !next in
+               next := Int64.add !next (Int64.of_int ((bytes + 63) / 64 * 64));
+               b)
+             w.W.buffers)
+    | Config.Cache { size; line_bytes; ways; hit_latency } ->
+        let c =
+          Cluster.add_private_cache cluster acc ~size
+            ~config:(fun cfg ->
+              { cfg with Salam_mem.Cache.line_bytes; ways; hit_latency })
+            ()
+        in
+        cache := Some c;
+        W.alloc_buffers w (System.backing sys)
+    | Config.Dram_direct -> W.alloc_buffers w (System.backing sys)
+  in
+  w.W.init (Salam_sim.Rng.create config.Config.seed) (System.backing sys) bases;
+  let finished = ref false in
+  Accelerator.launch acc ~args:(W.args w ~bases) ~on_done:(fun _ -> finished := true);
+  ignore (System.run sys);
+  if not !finished then failwith ("simulate: " ^ w.W.name ^ " did not finish");
+  let correct = w.W.check (System.backing sys) bases in
+  let stats = Accelerator.stats acc in
+  let seconds =
+    Salam_sim.Clock.seconds_of_cycles (Accelerator.clock acc) stats.Engine.cycles
+  in
+  let acc_power = Accelerator.power acc ~elapsed_seconds:seconds in
+  let to_mw pj = if seconds <= 0.0 then 0.0 else pj *. 1e-12 /. seconds *. 1e3 in
+  let spm_read_mw, spm_write_mw, spm_leak, spm_area, spm_accesses =
+    match !spm with
+    | Some s ->
+        let cfg = Salam_mem.Spm.config s in
+        let cacti =
+          Salam_hw.Cacti_lite.evaluate
+            {
+              Salam_hw.Cacti_lite.capacity_bytes = cfg.Salam_mem.Spm.size;
+              word_bits = cfg.Salam_mem.Spm.word_bytes * 8;
+              read_ports = cfg.Salam_mem.Spm.read_ports;
+              write_ports = cfg.Salam_mem.Spm.write_ports;
+            }
+        in
+        let reads = Salam_mem.Spm.reads s and writes = Salam_mem.Spm.writes s in
+        ( to_mw (float_of_int reads *. cacti.Salam_hw.Cacti_lite.read_energy_pj),
+          to_mw (float_of_int writes *. cacti.Salam_hw.Cacti_lite.write_energy_pj),
+          Salam_mem.Spm.leakage_mw s,
+          Salam_mem.Spm.area_um2 s,
+          Some (reads, writes) )
+    | None -> (0.0, 0.0, 0.0, 0.0, None)
+  in
+  let cache_hm, cache_leak, cache_area =
+    match !cache with
+    | Some c -> (Some (Salam_mem.Cache.hits c, Salam_mem.Cache.misses c),
+                 Salam_mem.Cache.leakage_mw c, Salam_mem.Cache.area_um2 c)
+    | None -> (None, 0.0, 0.0)
+  in
+  {
+    name = w.W.name;
+    cycles = stats.Engine.cycles;
+    seconds;
+    correct;
+    stats;
+    power =
+      {
+        dynamic_fu_mw = acc_power.Accelerator.dynamic_fu_mw;
+        dynamic_reg_mw = acc_power.Accelerator.dynamic_reg_mw;
+        dynamic_spm_read_mw = spm_read_mw;
+        dynamic_spm_write_mw = spm_write_mw;
+        static_fu_mw = acc_power.Accelerator.static_fu_mw;
+        static_reg_mw = acc_power.Accelerator.static_reg_mw;
+        static_spm_mw = spm_leak +. cache_leak;
+      };
+    area_um2 = acc_power.Accelerator.area_um2 +. spm_area +. cache_area;
+    spm_accesses;
+    cache_hits_misses = cache_hm;
+    wall_seconds = Unix.gettimeofday () -. wall_start;
+  }
+
+let fu_occupancy result cls ~allocated =
+  if allocated <= 0 then 0.0
+  else
+    match List.assoc_opt cls result.stats.Engine.fu_busy_integral with
+    | Some integral ->
+        let cycles = Int64.to_float result.cycles in
+        (* a pipelined unit offers latency-many concurrent stages *)
+        let spec = Salam_hw.Profile.spec Salam_hw.Profile.default_40nm cls in
+        let stages =
+          if spec.Salam_hw.Profile.pipelined then max 1 spec.Salam_hw.Profile.latency else 1
+        in
+        if cycles <= 0.0 then 0.0
+        else integral /. cycles /. float_of_int (allocated * stages)
+    | None -> 0.0

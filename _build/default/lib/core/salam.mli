@@ -1,0 +1,68 @@
+(** gem5-SALAM reproduction — one-call simulation API.
+
+    This is the library's front door for single-accelerator studies: it
+    assembles a full system (fabric, cluster, accelerator, memory
+    attachment) around a {!Salam_workloads.Workload.t}, runs it to
+    completion, checks the output against the workload's golden model
+    and returns timing, power, area and occupancy results. The
+    lower-level layers ([Salam_soc], [Salam_engine], ...) stay available
+    for multi-accelerator topologies like Fig 16.
+
+    {[
+      let result = Salam.simulate (Salam_workloads.Gemm.workload ()) in
+      Format.printf "%Ld cycles, correct=%b@." result.cycles result.correct
+    ]} *)
+
+module Config : sig
+  type memory =
+    | Spm of { read_ports : int; write_ports : int; banks : int; latency : int }
+        (** private scratchpad holding every kernel buffer *)
+    | Cache of { size : int; line_bytes : int; ways : int; hit_latency : int }
+        (** private cache in front of the system fabric *)
+    | Dram_direct  (** no local memory: straight to the fabric *)
+
+  type t = {
+    clock_mhz : float;
+    memory : memory;
+    fu_limits : (Salam_hw.Fu.cls * int) list;
+    engine : Salam_engine.Engine.config;
+    seed : int64;
+  }
+
+  val default : t
+  (** 500 MHz, SPM with 2 read / 1 write ports, unconstrained units. *)
+
+  val with_spm_ports : t -> read:int -> write:int -> t
+end
+
+type power_breakdown = {
+  dynamic_fu_mw : float;
+  dynamic_reg_mw : float;
+  dynamic_spm_read_mw : float;
+  dynamic_spm_write_mw : float;
+  static_fu_mw : float;
+  static_reg_mw : float;
+  static_spm_mw : float;
+}
+(** The seven components of the paper's Fig 4. SPM terms are zero for
+    cache or DRAM configurations (cache energy is reported separately). *)
+
+val total_mw : power_breakdown -> float
+
+type result = {
+  name : string;
+  cycles : int64;
+  seconds : float;  (** simulated time *)
+  correct : bool;
+  stats : Salam_engine.Engine.run_stats;
+  power : power_breakdown;
+  area_um2 : float;  (** datapath + local memory *)
+  spm_accesses : (int * int) option;  (** reads, writes *)
+  cache_hits_misses : (int * int) option;
+  wall_seconds : float;  (** host time spent simulating *)
+}
+
+val simulate : ?config:Config.t -> Salam_workloads.Workload.t -> result
+
+val fu_occupancy : result -> Salam_hw.Fu.cls -> allocated:int -> float
+(** Mean fraction of the class's units busy per active cycle. *)

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Ast Bits Clock Fu Hashtbl Int64 Interp Kernel List Option Printf Profile Salam_cdfg Salam_hw Salam_ir Salam_sim Ty

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Salam_cdfg Salam_hw Salam_ir Salam_sim

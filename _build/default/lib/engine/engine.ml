@@ -1,0 +1,772 @@
+open Salam_ir
+open Salam_hw
+open Salam_sim
+module Datapath = Salam_cdfg.Datapath
+
+type config = {
+  fu_limits : (Fu.cls * int) list;
+  read_queue_depth : int;
+  write_queue_depth : int;
+  reservation_slots : int;
+  disambiguate_memory : bool;
+  enforce_waw : bool;
+  enforce_war : bool;
+}
+
+let default_config =
+  {
+    fu_limits = [];
+    read_queue_depth = 64;
+    write_queue_depth = 64;
+    reservation_slots = 256;
+    disambiguate_memory = true;
+    enforce_waw = true;
+    enforce_war = true;
+  }
+
+type mem_iface = {
+  read : addr:int64 -> ty:Ty.t -> on_value:(Bits.t -> unit) -> unit;
+  write : addr:int64 -> ty:Ty.t -> value:Bits.t -> on_done:(unit -> unit) -> unit;
+}
+
+type run_stats = {
+  cycles : int64;
+  dynamic_instructions : int;
+  loads_issued : int;
+  stores_issued : int;
+  active_cycles : int;
+  issue_cycles : int;
+  stall_cycles : int;
+  stall_load_only : int;
+  stall_load_compute : int;
+  stall_load_store_compute : int;
+  stall_other : int;
+  cycles_with_load : int;
+  cycles_with_store : int;
+  cycles_with_load_and_store : int;
+  cycles_with_fp : int;
+  issued_fp : int;
+  issued_int : int;
+  issued_mem : int;
+  issued_other : int;
+  fu_busy_integral : (Fu.cls * float) list;
+  issued_by_class : (Fu.cls * int) list;
+  dynamic_fu_energy_pj : float;
+  dynamic_reg_energy_pj : float;
+}
+
+type dstate = Waiting | Issued | Done
+
+type dyn = {
+  seq : int;
+  node : Datapath.node;
+  operands : Bits.t option array;
+  producers : dyn option array;
+  mutable missing : int;
+  mutable issue_after : dyn list;
+  mutable st : dstate;
+  mutable dependents : (dyn * int) list;
+  mutable result : Bits.t option;
+  mutable mem_addr : int64 option;
+  mem_size : int;
+  mem_ty : Ty.t;  (** Void for non-memory ops *)
+  is_load : bool;
+  is_store : bool;
+  mutable is_device : bool;  (** lies in an ordered (stream) range *)
+  mutable branch_target : string option;
+}
+
+type t = {
+  kernel : Kernel.t;
+  clock : Clock.t;
+  dp : Datapath.t;
+  cfg : config;
+  mem : mem_iface;
+  intrinsics : (string * (Bits.t list -> Bits.t)) list;
+  block_nodes : (string, Datapath.node list) Hashtbl.t;
+  fu_units : int Fu.Map.t;
+  regfile : (int, Bits.t) Hashtbl.t;
+  mutable reservation : dyn list;  (** program order *)
+  mutable live_mem : dyn list;  (** imported memory ops not yet committed, program order *)
+  last_writer : (int, dyn) Hashtbl.t;
+  last_instance : (int, dyn) Hashtbl.t;  (** per static node id *)
+  readers : (int, dyn list) Hashtbl.t;  (** live readers per register id *)
+  param_ids : (int, unit) Hashtbl.t;
+  mutable ordered_ranges : (int64 * int) list;
+  mutable fu_held : int Fu.Map.t;  (** unpipelined units held until commit *)
+  mutable in_flight : int Fu.Map.t;  (** issued-not-committed compute per class *)
+  mutable reads_outstanding : int;
+  mutable writes_outstanding : int;
+  mutable inflight_total : int;
+  mutable next_seq : int;
+  mutable pending_import : (string * string) option;  (** (label, pred) waiting for slots *)
+  mutable is_running : bool;
+  mutable ret_committed : bool;
+  mutable ret_value : Bits.t option;
+  mutable on_finish : (Bits.t option -> unit) option;
+  mutable tick_scheduled : bool;
+  mutable start_cycle : int64;
+  (* per-cycle accumulation, finalised when the clock advances (several
+     tick events can run within one cycle due to zero-latency commits) *)
+  mutable cur_cycle : int64;
+  mutable cyc_active : bool;
+  mutable cyc_issued : bool;
+  mutable cyc_load : bool;
+  mutable cyc_store : bool;
+  mutable cyc_fp : bool;
+  mutable cyc_wait_load : bool;
+  mutable cyc_wait_store : bool;
+  mutable cyc_wait_compute : bool;
+  (* accumulated statistics *)
+  mutable s_cycles : int64;
+  mutable s_dyn : int;
+  mutable s_loads : int;
+  mutable s_stores : int;
+  mutable s_active : int;
+  mutable s_issue_cycles : int;
+  mutable s_stall : int;
+  mutable s_stall_load : int;
+  mutable s_stall_load_compute : int;
+  mutable s_stall_lsc : int;
+  mutable s_stall_other : int;
+  mutable s_cyc_load : int;
+  mutable s_cyc_store : int;
+  mutable s_cyc_both : int;
+  mutable s_cyc_fp : int;
+  mutable s_issued_fp : int;
+  mutable s_issued_int : int;
+  mutable s_issued_mem : int;
+  mutable s_issued_other : int;
+  mutable s_busy_integral : float Fu.Map.t;
+  mutable s_issued_by_class : int Fu.Map.t;
+  mutable s_fu_energy : float;
+  mutable s_reg_energy : float;
+}
+
+let map_get m cls = Option.value ~default:0 (Fu.Map.find_opt cls m)
+
+let map_add m cls d = Fu.Map.add cls (map_get m cls + d) m
+
+let create kernel clock stats_group ?(config = default_config) ~datapath ~mem () =
+  ignore stats_group;
+  let block_nodes = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Datapath.node) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt block_nodes n.block) in
+      Hashtbl.replace block_nodes n.block (n :: existing))
+    datapath.Datapath.nodes;
+  Hashtbl.iter (fun k v -> Hashtbl.replace block_nodes k (List.rev v)) block_nodes;
+  let fu_units =
+    Fu.Map.mapi
+      (fun cls count ->
+        match List.assoc_opt cls config.fu_limits with
+        | Some limit when limit > 0 -> min limit count
+        | Some _ | None -> count)
+      datapath.Datapath.fu_alloc
+  in
+  (* a block larger than the reservation queue could never be imported *)
+  let largest_block =
+    Hashtbl.fold (fun _ nodes acc -> max acc (List.length nodes)) block_nodes 0
+  in
+  let config =
+    if config.reservation_slots < largest_block + 8 then
+      { config with reservation_slots = largest_block + 8 }
+    else config
+  in
+  {
+    kernel;
+    clock;
+    dp = datapath;
+    cfg = config;
+    mem;
+    intrinsics = Interp.default_intrinsics;
+    block_nodes;
+    fu_units;
+    regfile = Hashtbl.create 64;
+    reservation = [];
+    live_mem = [];
+    last_writer = Hashtbl.create 64;
+    last_instance = Hashtbl.create 64;
+    readers = Hashtbl.create 64;
+    param_ids =
+      (let h = Hashtbl.create 8 in
+       List.iter
+         (fun (p : Ast.var) -> Hashtbl.replace h p.id ())
+         datapath.Datapath.func.Ast.params;
+       h);
+    ordered_ranges = [];
+    fu_held = Fu.Map.empty;
+    in_flight = Fu.Map.empty;
+    reads_outstanding = 0;
+    writes_outstanding = 0;
+    inflight_total = 0;
+    next_seq = 0;
+    pending_import = None;
+    is_running = false;
+    ret_committed = false;
+    ret_value = None;
+    on_finish = None;
+    tick_scheduled = false;
+    start_cycle = 0L;
+    cur_cycle = -1L;
+    cyc_active = false;
+    cyc_issued = false;
+    cyc_load = false;
+    cyc_store = false;
+    cyc_fp = false;
+    cyc_wait_load = false;
+    cyc_wait_store = false;
+    cyc_wait_compute = false;
+    s_cycles = 0L;
+    s_dyn = 0;
+    s_loads = 0;
+    s_stores = 0;
+    s_active = 0;
+    s_issue_cycles = 0;
+    s_stall = 0;
+    s_stall_load = 0;
+    s_stall_load_compute = 0;
+    s_stall_lsc = 0;
+    s_stall_other = 0;
+    s_cyc_load = 0;
+    s_cyc_store = 0;
+    s_cyc_both = 0;
+    s_cyc_fp = 0;
+    s_issued_fp = 0;
+    s_issued_int = 0;
+    s_issued_mem = 0;
+    s_issued_other = 0;
+    s_busy_integral = Fu.Map.empty;
+    s_issued_by_class = Fu.Map.empty;
+    s_fu_energy = 0.0;
+    s_reg_energy = 0.0;
+  }
+
+let fu_allocated t cls = map_get t.fu_units cls
+
+let running t = t.is_running
+
+let profile t = t.dp.Datapath.profile
+
+(* --- dependency bookkeeping ------------------------------------------- *)
+
+let reg_read_energy t (ty : Ty.t) =
+  float_of_int (Ty.bits ty) *. (profile t).Profile.reg_read_pj_per_bit
+
+let reg_write_energy t (ty : Ty.t) =
+  float_of_int (Ty.bits ty) *. (profile t).Profile.reg_write_pj_per_bit
+
+let regfile_value t (v : Ast.var) =
+  match Hashtbl.find_opt t.regfile v.id with
+  | Some x -> x
+  | None -> Bits.zero v.ty (* undef read; verified IR only hits this for undominated paths *)
+
+(* Resolve the address of a memory operation as soon as its address
+   operand is available — a store's data value may arrive much later,
+   and younger accesses must not stay conservatively blocked on it. *)
+let in_range addr (base, size) =
+  Int64.compare addr base >= 0
+  && Int64.compare addr (Int64.add base (Int64.of_int size)) < 0
+
+let resolve_addr t dyn =
+  if dyn.mem_addr = None then begin
+    let set a =
+      let addr = Bits.to_int64 a in
+      dyn.mem_addr <- Some addr;
+      dyn.is_device <- List.exists (in_range addr) t.ordered_ranges
+    in
+    if dyn.is_load then
+      match dyn.operands.(0) with Some a -> set a | None -> ()
+    else if dyn.is_store then
+      match dyn.operands.(1) with Some a -> set a | None -> ()
+  end
+
+let add_ordered_range t ~base ~size = t.ordered_ranges <- (base, size) :: t.ordered_ranges
+
+let rec schedule_tick t ~cycles =
+  if not t.tick_scheduled then begin
+    t.tick_scheduled <- true;
+    Clock.schedule_cycles t.clock ~cycles (fun () -> tick t)
+  end
+
+and import_block t ~label ~pred =
+  let nodes =
+    match Hashtbl.find_opt t.block_nodes label with
+    | Some ns -> ns
+    | None -> invalid_arg ("Engine: unknown block " ^ label)
+  in
+  let room = t.cfg.reservation_slots - List.length t.reservation in
+  if room < List.length nodes then t.pending_import <- Some (label, pred)
+  else begin
+    t.pending_import <- None;
+    let created =
+      List.filter_map
+        (fun (node : Datapath.node) ->
+          match node.Datapath.instr with
+          | Ast.Phi { dst = _; incoming } ->
+              (* resolve against the edge taken; a phi is pure wiring *)
+              let value =
+                match List.find_opt (fun (_, l) -> l = pred) incoming with
+                | Some (v, _) -> v
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "Engine: phi in %s lacks incoming for %s" label pred)
+              in
+              Some (make_dyn t node [| value |])
+          | instr -> Some (make_dyn t node (Array.of_list (Ast.used_values instr))))
+        nodes
+    in
+    t.reservation <- t.reservation @ created;
+    schedule_tick t ~cycles:0
+  end
+
+and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
+  let n_ops = Array.length sources in
+  let dyn =
+    {
+      seq = t.next_seq;
+      node;
+      operands = Array.make n_ops None;
+      producers = Array.make n_ops None;
+      missing = 0;
+      issue_after = [];
+      st = Waiting;
+      dependents = [];
+      result = None;
+      mem_addr = None;
+      mem_size =
+        (match node.Datapath.instr with
+        | Ast.Load { dst; _ } -> Ty.size_bytes dst.ty
+        | Ast.Store { src; _ } -> Ty.size_bytes (Ast.value_ty src)
+        | _ -> 0);
+      mem_ty =
+        (match node.Datapath.instr with
+        | Ast.Load { dst; _ } -> dst.ty
+        | Ast.Store { src; _ } -> Ast.value_ty src
+        | _ -> Ty.Void);
+      is_load = (match node.Datapath.instr with Ast.Load _ -> true | _ -> false);
+      is_store = (match node.Datapath.instr with Ast.Store _ -> true | _ -> false);
+      is_device = false;
+      branch_target = None;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.s_dyn <- t.s_dyn + 1;
+  (* operand capture: constants now, committed registers from the
+     register file, in-flight producers via dependency links *)
+  Array.iteri
+    (fun i src ->
+      match src with
+      | Ast.Const (Ast.Cint (ty, x)) -> dyn.operands.(i) <- Some (Bits.truncate ty (Bits.Int x))
+      | Ast.Const (Ast.Cfloat (ty, x)) ->
+          dyn.operands.(i) <- Some (Bits.truncate ty (Bits.Float x))
+      | Ast.Const Ast.Cnull -> dyn.operands.(i) <- Some (Bits.Int 0L)
+      | Ast.Var v -> (
+          match Hashtbl.find_opt t.last_writer v.id with
+          | Some producer when producer.st <> Done ->
+              dyn.producers.(i) <- Some producer;
+              dyn.missing <- dyn.missing + 1;
+              producer.dependents <- (dyn, i) :: producer.dependents
+          | Some _ | None ->
+              t.s_reg_energy <- t.s_reg_energy +. reg_read_energy t v.ty;
+              dyn.operands.(i) <- Some (regfile_value t v)))
+    sources;
+  resolve_addr t dyn;
+  (* hazards: previous instance of the same static instruction must have
+     issued (WAW) and older readers of the destination must have issued
+     (WAR) before this instance may issue *)
+  (if t.cfg.enforce_waw then
+     match Hashtbl.find_opt t.last_instance node.Datapath.n_id with
+     | Some prev when prev.st = Waiting -> dyn.issue_after <- prev :: dyn.issue_after
+     | Some _ | None -> ());
+  Hashtbl.replace t.last_instance node.Datapath.n_id dyn;
+  (match Ast.defined_var node.Datapath.instr with
+  | Some dst ->
+      let waiting_readers =
+        if not t.cfg.enforce_war then []
+        else
+          List.filter (fun r -> r.st = Waiting)
+            (Option.value ~default:[] (Hashtbl.find_opt t.readers dst.id))
+      in
+      dyn.issue_after <- waiting_readers @ dyn.issue_after;
+      (* prune: issued/committed readers can never constrain a later
+         writer, and the remaining ones are now carried by [dyn] *)
+      Hashtbl.replace t.readers dst.id waiting_readers;
+      Hashtbl.replace t.last_writer dst.id dyn
+  | None -> ());
+  (* register this instruction as a reader of its register operands;
+     parameters are never redefined (SSA), so they cannot be WAR
+     hazards and are skipped *)
+  Array.iter
+    (fun src ->
+      match src with
+      | Ast.Var v when not (Hashtbl.mem t.param_ids v.id) ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt t.readers v.id) in
+          Hashtbl.replace t.readers v.id (dyn :: existing)
+      | Ast.Var _ | Ast.Const _ -> ())
+    sources;
+  if dyn.is_load || dyn.is_store then t.live_mem <- t.live_mem @ [ dyn ];
+  dyn
+
+and operand dyn i =
+  match dyn.operands.(i) with
+  | Some v -> v
+  | None -> invalid_arg "Engine: operand not ready"
+
+and eval_compute t dyn : Bits.t option =
+  let op = operand dyn in
+  match dyn.node.Datapath.instr with
+  | Ast.Binop { op = bop; dst; _ } -> Some (Bits.eval_binop bop dst.ty (op 0) (op 1))
+  | Ast.Icmp { pred; lhs; _ } -> Some (Bits.eval_icmp pred (Ast.value_ty lhs) (op 0) (op 1))
+  | Ast.Fcmp { pred; _ } -> Some (Bits.eval_fcmp pred (op 0) (op 1))
+  | Ast.Cast { op = cop; dst; src } ->
+      Some (Bits.eval_cast cop ~src_ty:(Ast.value_ty src) ~dst_ty:dst.ty (op 0))
+  | Ast.Select _ -> Some (if Bits.to_bool (op 0) then op 1 else op 2)
+  | Ast.Gep { offsets; _ } ->
+      let base = Bits.to_int64 (op 0) in
+      let addr =
+        List.fold_left
+          (fun (acc, i) (scale, idx_v) ->
+            let idx = Bits.signed (Ast.value_ty idx_v) (Bits.to_int64 (op i)) in
+            (Int64.add acc (Int64.mul (Int64.of_int scale) idx), i + 1))
+          (base, 1) offsets
+        |> fst
+      in
+      Some (Bits.Int addr)
+  | Ast.Phi _ -> Some (op 0)
+  | Ast.Call { callee; args; _ } -> (
+      match List.assoc_opt callee t.intrinsics with
+      | Some impl -> Some (impl (List.mapi (fun i _ -> op i) args))
+      | None -> invalid_arg ("Engine: unknown intrinsic @" ^ callee))
+  | Ast.Br target ->
+      dyn.branch_target <- Some target;
+      None
+  | Ast.Cond_br { if_true; if_false; _ } ->
+      dyn.branch_target <- Some (if Bits.to_bool (op 0) then if_true else if_false);
+      None
+  | Ast.Ret _ ->
+      t.ret_value <- (if Array.length dyn.operands > 0 then Some (op 0) else None);
+      None
+  | Ast.Alloca _ -> invalid_arg "Engine: alloca must be eliminated before simulation"
+  | Ast.Load _ | Ast.Store _ -> assert false
+
+and commit t dyn =
+  dyn.st <- Done;
+  (match Ast.defined_var dyn.node.Datapath.instr with
+  | Some dst ->
+      let v =
+        match dyn.result with
+        | Some v -> Bits.truncate dst.ty v
+        | None -> invalid_arg "Engine: commit without result"
+      in
+      Hashtbl.replace t.regfile dst.id v;
+      t.s_reg_energy <- t.s_reg_energy +. reg_write_energy t dst.ty;
+      dyn.result <- Some v;
+      (* wake value dependents *)
+      List.iter
+        (fun (consumer, i) ->
+          consumer.operands.(i) <- Some v;
+          consumer.missing <- consumer.missing - 1;
+          if consumer.is_load || consumer.is_store then resolve_addr t consumer)
+        dyn.dependents;
+      if
+        match Hashtbl.find_opt t.last_writer dst.id with
+        | Some w -> w == dyn
+        | None -> false
+      then Hashtbl.remove t.last_writer dst.id
+  | None -> ());
+  (* release functional unit state *)
+  (match dyn.node.Datapath.fu with
+  | Some cls ->
+      t.in_flight <- map_add t.in_flight cls (-1);
+      if not (Profile.spec (profile t) cls).Profile.pipelined then
+        t.fu_held <- map_add t.fu_held cls (-1)
+  | None -> ());
+  if dyn.is_load || dyn.is_store then begin
+    t.live_mem <- List.filter (fun d -> d != dyn) t.live_mem;
+    if dyn.is_load then t.reads_outstanding <- t.reads_outstanding - 1
+    else t.writes_outstanding <- t.writes_outstanding - 1
+  end;
+  t.inflight_total <- t.inflight_total - 1;
+  (* control flow *)
+  (match dyn.node.Datapath.instr with
+  | Ast.Br _ | Ast.Cond_br _ -> (
+      match dyn.branch_target with
+      | Some target -> import_block t ~label:target ~pred:dyn.node.Datapath.block
+      | None -> assert false)
+  | Ast.Ret _ -> t.ret_committed <- true
+  | _ -> ());
+  schedule_tick t ~cycles:0
+
+(* memory ordering: an op may issue once every older live memory
+   operation either has issued or provably does not conflict *)
+and memory_ordering_ok t dyn =
+  let conflict older =
+    if older.st <> Waiting then false
+    else if dyn.is_device then
+      (* stream/device accesses issue in program order relative to every
+         older device access (and to accesses whose target is unknown) *)
+      older.is_device || older.mem_addr = None
+    else if older.is_load && dyn.is_load then false
+    else if not t.cfg.disambiguate_memory then true
+    else
+      match (older.mem_addr, dyn.mem_addr) with
+      | Some a, Some b ->
+          let a_end = Int64.add a (Int64.of_int older.mem_size) in
+          let b_end = Int64.add b (Int64.of_int dyn.mem_size) in
+          Int64.compare a b_end < 0 && Int64.compare b a_end < 0
+      | _ -> true (* unresolved address: conservative *)
+  in
+  (* live_mem is kept in program (seq) order: stop at the first entry
+     that is not older than [dyn] *)
+  let rec check = function
+    | [] -> true
+    | older :: rest ->
+        if older.seq >= dyn.seq then true
+        else if conflict older then false
+        else check rest
+  in
+  check t.live_mem
+
+and can_issue t dyn ~issued_per_class =
+  dyn.missing = 0
+  && List.for_all (fun dep -> dep.st <> Waiting) dyn.issue_after
+  &&
+  if dyn.is_load then
+    t.reads_outstanding < t.cfg.read_queue_depth && memory_ordering_ok t dyn
+  else if dyn.is_store then
+    t.writes_outstanding < t.cfg.write_queue_depth && memory_ordering_ok t dyn
+  else
+    match dyn.node.Datapath.fu with
+    | None -> true
+    | Some cls ->
+        let units = map_get t.fu_units cls in
+        let spec = Profile.spec (profile t) cls in
+        let used =
+          if spec.Profile.pipelined then map_get !issued_per_class cls
+          else map_get t.fu_held cls + map_get !issued_per_class cls
+        in
+        used < units
+
+and issue t dyn ~issued_per_class =
+  dyn.st <- Issued;
+  t.inflight_total <- t.inflight_total + 1;
+  if dyn.is_load then begin
+    t.reads_outstanding <- t.reads_outstanding + 1;
+    t.s_loads <- t.s_loads + 1;
+    t.s_issued_mem <- t.s_issued_mem + 1;
+    let addr = match dyn.mem_addr with Some a -> a | None -> assert false in
+    t.mem.read ~addr ~ty:dyn.mem_ty ~on_value:(fun v ->
+        dyn.result <- Some v;
+        commit t dyn)
+  end
+  else if dyn.is_store then begin
+    t.writes_outstanding <- t.writes_outstanding + 1;
+    t.s_stores <- t.s_stores + 1;
+    t.s_issued_mem <- t.s_issued_mem + 1;
+    let addr = match dyn.mem_addr with Some a -> a | None -> assert false in
+    let value = operand dyn 0 in
+    t.mem.write ~addr ~ty:dyn.mem_ty ~value ~on_done:(fun () -> commit t dyn)
+  end
+  else begin
+    (match dyn.node.Datapath.fu with
+    | Some cls ->
+        issued_per_class := map_add !issued_per_class cls 1;
+        t.s_issued_by_class <- map_add t.s_issued_by_class cls 1;
+        t.in_flight <- map_add t.in_flight cls 1;
+        let spec = Profile.spec (profile t) cls in
+        if not spec.Profile.pipelined then t.fu_held <- map_add t.fu_held cls 1;
+        t.s_fu_energy <- t.s_fu_energy +. spec.Profile.dynamic_pj;
+        (match cls with
+        | Fu.Fp_add_sp | Fu.Fp_add_dp | Fu.Fp_mul_sp | Fu.Fp_mul_dp | Fu.Fp_div_sp
+        | Fu.Fp_div_dp | Fu.Fp_special ->
+            t.s_issued_fp <- t.s_issued_fp + 1
+        | Fu.Int_adder | Fu.Int_multiplier | Fu.Int_divider | Fu.Shifter | Fu.Bitwise
+        | Fu.Mux | Fu.Converter ->
+            t.s_issued_int <- t.s_issued_int + 1)
+    | None -> t.s_issued_other <- t.s_issued_other + 1);
+    dyn.result <- eval_compute t dyn;
+    let latency = dyn.node.Datapath.latency in
+    if latency = 0 then commit t dyn
+    else Clock.schedule_cycles t.clock ~cycles:latency (fun () -> commit t dyn)
+  end
+
+(* classify what an un-issuable instruction is waiting on, for the stall
+   breakdown of Figs 14-15 *)
+and stall_sources t dyn (loads, stores, computes) =
+  let loads = ref loads and stores = ref stores and computes = ref computes in
+  Array.iteri
+    (fun i producer ->
+      match producer with
+      | Some p when dyn.operands.(i) = None ->
+          if p.is_load then loads := true
+          else if p.is_store then stores := true
+          else computes := true
+      | _ -> ())
+    dyn.producers;
+  if dyn.missing = 0 then begin
+    (* operands ready: stalled on a structural hazard *)
+    if dyn.is_load || dyn.is_store then begin
+      (* blocked by ordering or queue depth *)
+      if dyn.is_load then loads := true else stores := true;
+      let rec scan = function
+        | [] -> ()
+        | older :: rest ->
+            if older.seq >= dyn.seq then ()
+            else begin
+              if older.st = Waiting then
+                if older.is_load then loads := true else stores := true;
+              scan rest
+            end
+      in
+      scan t.live_mem
+    end
+    else if dyn.node.Datapath.fu <> None then computes := true
+  end;
+  (!loads, !stores, !computes)
+
+and finalize_cycle t =
+  if t.cur_cycle >= 0L && t.cyc_active then begin
+    t.s_active <- t.s_active + 1;
+    if t.cyc_issued then t.s_issue_cycles <- t.s_issue_cycles + 1
+    else begin
+      t.s_stall <- t.s_stall + 1;
+      match (t.cyc_wait_load, t.cyc_wait_store, t.cyc_wait_compute) with
+      | true, false, false -> t.s_stall_load <- t.s_stall_load + 1
+      | true, false, true -> t.s_stall_load_compute <- t.s_stall_load_compute + 1
+      | true, true, true -> t.s_stall_lsc <- t.s_stall_lsc + 1
+      | _ -> t.s_stall_other <- t.s_stall_other + 1
+    end;
+    if t.cyc_load then t.s_cyc_load <- t.s_cyc_load + 1;
+    if t.cyc_store then t.s_cyc_store <- t.s_cyc_store + 1;
+    if t.cyc_load && t.cyc_store then t.s_cyc_both <- t.s_cyc_both + 1;
+    if t.cyc_fp then t.s_cyc_fp <- t.s_cyc_fp + 1;
+    Fu.Map.iter
+      (fun cls n ->
+        if n > 0 then
+          t.s_busy_integral <-
+            Fu.Map.add cls
+              (Option.value ~default:0.0 (Fu.Map.find_opt cls t.s_busy_integral)
+              +. float_of_int n)
+              t.s_busy_integral)
+      t.in_flight
+  end;
+  t.cyc_active <- false;
+  t.cyc_issued <- false;
+  t.cyc_load <- false;
+  t.cyc_store <- false;
+  t.cyc_fp <- false;
+  t.cyc_wait_load <- false;
+  t.cyc_wait_store <- false;
+  t.cyc_wait_compute <- false
+
+and tick t =
+  t.tick_scheduled <- false;
+  if t.is_running then begin
+    let now_cycle = Clock.current_cycle t.clock in
+    if not (Int64.equal now_cycle t.cur_cycle) then begin
+      finalize_cycle t;
+      t.cur_cycle <- now_cycle
+    end;
+    let issued_per_class = ref Fu.Map.empty in
+    let issued_any = ref false in
+    let remaining = ref [] in
+    List.iter
+      (fun dyn ->
+        if can_issue t dyn ~issued_per_class then begin
+          issue t dyn ~issued_per_class;
+          issued_any := true;
+          t.cyc_issued <- true;
+          if dyn.is_load then t.cyc_load <- true;
+          if dyn.is_store then t.cyc_store <- true;
+          match dyn.node.Datapath.fu with
+          | Some
+              ( Fu.Fp_add_sp | Fu.Fp_add_dp | Fu.Fp_mul_sp | Fu.Fp_mul_dp | Fu.Fp_div_sp
+              | Fu.Fp_div_dp | Fu.Fp_special ) ->
+              t.cyc_fp <- true
+          | Some _ | None -> ()
+        end
+        else remaining := dyn :: !remaining)
+      t.reservation;
+    t.reservation <- List.rev !remaining;
+    (match t.pending_import with
+    | Some (label, pred) -> import_block t ~label ~pred
+    | None -> ());
+    let work_pending = t.reservation <> [] || t.inflight_total > 0 in
+    if work_pending || !issued_any then begin
+      t.cyc_active <- true;
+      if not !issued_any then begin
+        let l, s, c =
+          List.fold_left (fun acc dyn -> stall_sources t dyn acc) (false, false, false)
+            t.reservation
+        in
+        if l then t.cyc_wait_load <- true;
+        if s then t.cyc_wait_store <- true;
+        if c then t.cyc_wait_compute <- true
+      end
+    end;
+    if t.reservation <> [] || t.inflight_total > 0 || t.pending_import <> None then
+      schedule_tick t ~cycles:1
+    else if t.ret_committed then begin
+      finalize_cycle t;
+      t.cur_cycle <- -1L;
+      t.is_running <- false;
+      t.ret_committed <- false;
+      t.s_cycles <-
+        Int64.add t.s_cycles (Int64.sub (Clock.current_cycle t.clock) t.start_cycle);
+      match t.on_finish with
+      | Some k ->
+          t.on_finish <- None;
+          k t.ret_value
+      | None -> ()
+    end
+  end
+
+let start t ~args ~on_finish =
+  if t.is_running then invalid_arg "Engine.start: already running";
+  let params = t.dp.Datapath.func.Ast.params in
+  (try
+     List.iter2
+       (fun (p : Ast.var) v -> Hashtbl.replace t.regfile p.id (Bits.truncate p.ty v))
+       params args
+   with Invalid_argument _ ->
+     invalid_arg
+       (Printf.sprintf "Engine.start: %s expects %d arguments"
+          t.dp.Datapath.func.Ast.fname (List.length params)));
+  t.is_running <- true;
+  t.ret_committed <- false;
+  t.ret_value <- None;
+  t.on_finish <- Some on_finish;
+  t.start_cycle <- Clock.current_cycle t.clock;
+  Hashtbl.reset t.last_writer;
+  Hashtbl.reset t.last_instance;
+  Hashtbl.reset t.readers;
+  let entry = (Ast.entry_block t.dp.Datapath.func).Ast.label in
+  import_block t ~label:entry ~pred:"<entry>"
+
+let stats t =
+  {
+    cycles = t.s_cycles;
+    dynamic_instructions = t.s_dyn;
+    loads_issued = t.s_loads;
+    stores_issued = t.s_stores;
+    active_cycles = t.s_active;
+    issue_cycles = t.s_issue_cycles;
+    stall_cycles = t.s_stall;
+    stall_load_only = t.s_stall_load;
+    stall_load_compute = t.s_stall_load_compute;
+    stall_load_store_compute = t.s_stall_lsc;
+    stall_other = t.s_stall_other;
+    cycles_with_load = t.s_cyc_load;
+    cycles_with_store = t.s_cyc_store;
+    cycles_with_load_and_store = t.s_cyc_both;
+    cycles_with_fp = t.s_cyc_fp;
+    issued_fp = t.s_issued_fp;
+    issued_int = t.s_issued_int;
+    issued_mem = t.s_issued_mem;
+    issued_other = t.s_issued_other;
+    fu_busy_integral = Fu.Map.bindings t.s_busy_integral;
+    issued_by_class = Fu.Map.bindings t.s_issued_by_class;
+    dynamic_fu_energy_pj = t.s_fu_energy;
+    dynamic_reg_energy_pj = t.s_reg_energy;
+  }

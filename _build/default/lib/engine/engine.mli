@@ -1,0 +1,121 @@
+(** The dynamic LLVM runtime engine — gem5-SALAM's execute-in-execute
+    core.
+
+    The engine materialises the static datapath's basic blocks into a
+    reservation queue at run time (the dynamic half of the dual-CDFG
+    design). Each dynamic instruction:
+
+    - captures constant and already-committed operands when it is
+      imported, and registers a value dependency on every producer still
+      in flight (found by searching the reservation and in-flight queues,
+      newest first);
+    - waits for write-after-write (the previous dynamic instance of the
+      same static instruction must have issued) and write-after-read
+      (older readers of its destination register must have issued)
+      hazards, mirroring the checks described in Sec. III-B of the paper;
+    - issues when its functional unit has a free slot (pipelined units
+      accept one op per cycle per unit; unpipelined units are held until
+      commit), computing its result immediately and committing it after
+      the unit's latency;
+    - memory operations instead enter the asynchronous read/write queues
+      and are forwarded to the communications interface, committing when
+      the response arrives. Ordering against older memory operations is
+      enforced by address disambiguation (configurable, with a
+      conservative fallback while addresses are unresolved).
+
+    Terminators evaluate like single-cycle ops and trigger the import of
+    the successor block, which is what produces loop pipelining: the next
+    iteration's instructions enter the reservation queue while the
+    current iteration's long-latency operations are still in flight. *)
+
+type config = {
+  fu_limits : (Salam_hw.Fu.cls * int) list;
+      (** per-class unit counts; classes not listed follow the 1:1 map *)
+  read_queue_depth : int;  (** outstanding loads *)
+  write_queue_depth : int;  (** outstanding stores *)
+  reservation_slots : int;  (** max dynamic instructions queued *)
+  disambiguate_memory : bool;
+      (** when false, memory operations issue strictly in program order *)
+  enforce_waw : bool;
+      (** require the previous instance of a static instruction to have
+          issued (paper Sec. III-B); disable only for ablation studies *)
+  enforce_war : bool;
+      (** require older readers of the destination register to have
+          issued; disable only for ablation studies *)
+}
+
+val default_config : config
+
+(** How the engine reaches memory; implemented by the communications
+    interface. Reads deliver the loaded value; writes acknowledge when
+    the timing model completes. *)
+type mem_iface = {
+  read : addr:int64 -> ty:Salam_ir.Ty.t -> on_value:(Salam_ir.Bits.t -> unit) -> unit;
+  write :
+    addr:int64 ->
+    ty:Salam_ir.Ty.t ->
+    value:Salam_ir.Bits.t ->
+    on_done:(unit -> unit) ->
+    unit;
+}
+
+type t
+
+(** Aggregated run statistics; see {!stats}. *)
+type run_stats = {
+  cycles : int64;
+  dynamic_instructions : int;
+  loads_issued : int;
+  stores_issued : int;
+  (* per-cycle scheduling mix *)
+  active_cycles : int;  (** cycles with work outstanding *)
+  issue_cycles : int;  (** cycles that issued at least one operation *)
+  stall_cycles : int;
+  stall_load_only : int;  (** stalled cycles waiting only on loads *)
+  stall_load_compute : int;  (** loads + computation outstanding *)
+  stall_load_store_compute : int;
+  stall_other : int;
+  cycles_with_load : int;
+  cycles_with_store : int;
+  cycles_with_load_and_store : int;
+  cycles_with_fp : int;
+  issued_fp : int;
+  issued_int : int;
+  issued_mem : int;
+  issued_other : int;
+  fu_busy_integral : (Salam_hw.Fu.cls * float) list;
+      (** sum over cycles of in-flight ops per class; divide by cycles x
+          allocated units for mean occupancy *)
+  issued_by_class : (Salam_hw.Fu.cls * int) list;
+      (** dynamic operation count per functional-unit class *)
+  dynamic_fu_energy_pj : float;
+  dynamic_reg_energy_pj : float;
+}
+
+val create :
+  Salam_sim.Kernel.t ->
+  Salam_sim.Clock.t ->
+  Salam_sim.Stats.group ->
+  ?config:config ->
+  datapath:Salam_cdfg.Datapath.t ->
+  mem:mem_iface ->
+  unit ->
+  t
+
+val start : t -> args:Salam_ir.Bits.t list -> on_finish:(Salam_ir.Bits.t option -> unit) -> unit
+(** Begin execution of the datapath's function with the given arguments
+    (pointers and scalars, as set up in the accelerator's MMRs). The
+    engine may be restarted after it finishes. *)
+
+val running : t -> bool
+
+val stats : t -> run_stats
+(** Statistics accumulated since [create] (across restarts). *)
+
+val fu_allocated : t -> Salam_hw.Fu.cls -> int
+(** Instantiated units of a class after applying the config limits. *)
+
+val add_ordered_range : t -> base:int64 -> size:int -> unit
+(** Mark an address window as device/stream memory: accesses that fall
+    in any ordered window issue in program order relative to every other
+    ordered access, which is what keeps FIFO data in raster order. *)

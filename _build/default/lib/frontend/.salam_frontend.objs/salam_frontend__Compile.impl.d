@@ -1,0 +1,1 @@
+lib/frontend/compile.ml: Ast Format Lang List Lower Mem2reg Passes Pp Printf Salam_ir String Verify

@@ -1,0 +1,1 @@
+lib/frontend/compile.mli: Lang Salam_ir

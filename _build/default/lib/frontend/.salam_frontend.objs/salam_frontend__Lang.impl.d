@@ -1,0 +1,1 @@
+lib/frontend/lang.ml: Int64 Salam_ir

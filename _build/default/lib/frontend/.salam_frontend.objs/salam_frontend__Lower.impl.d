@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Format Int64 Lang List Option Printf Salam_ir Ty

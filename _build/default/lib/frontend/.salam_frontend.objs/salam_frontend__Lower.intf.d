@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Lang Salam_ir

@@ -1,0 +1,1 @@
+lib/frontend/mem2reg.ml: Array Ast Cfg Hashtbl List Option Queue Salam_ir Subst Ty

@@ -1,0 +1,1 @@
+lib/frontend/mem2reg.mli: Salam_ir

@@ -1,0 +1,1 @@
+lib/frontend/passes.ml: Ast Bits Cfg Hashtbl Int64 List Option Printf Salam_ir String Subst Ty

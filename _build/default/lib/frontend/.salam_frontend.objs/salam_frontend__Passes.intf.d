@@ -1,0 +1,1 @@
+lib/frontend/passes.mli: Salam_ir

@@ -1,0 +1,16 @@
+(** Lowering from the kernel language to IR.
+
+    Follows the clang -O0 recipe: every scalar variable gets an [alloca]
+    slot accessed through loads and stores; {!Mem2reg} then promotes the
+    slots to SSA registers. Loop unrolling is applied here, at the AST
+    level, so that the unrolled copies index arrays with independent
+    address arithmetic (what clang's unroller produces).
+
+    Array parameters become pointer parameters; indexing lowers to [gep]
+    with row-major byte scales. *)
+
+exception Error of string
+
+val kernel : Lang.kernel -> Salam_ir.Ast.func
+(** Lower one kernel. The result is not yet optimised; callers normally
+    use {!Compile.kernel} instead. *)

@@ -1,0 +1,13 @@
+(** Promotion of scalar alloca slots to SSA registers.
+
+    The classic SSA-construction pass: phi nodes are placed on the
+    iterated dominance frontier of each promotable slot's stores, then a
+    dominator-tree walk renames loads to the reaching definition.
+
+    A slot is promotable when it is a single-element alloca used only as
+    the address of loads and stores. Loads that can execute before any
+    store yield a zero of the slot's type (lowering always initialises
+    declared variables, so this only matters for hand-built IR). *)
+
+val run : Salam_ir.Ast.func -> int
+(** Promote in place; returns the number of slots promoted. *)

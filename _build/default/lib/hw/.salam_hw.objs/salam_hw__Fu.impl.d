@@ -1,0 +1,1 @@
+lib/hw/fu.ml: Ast Map Salam_ir Stdlib Ty

@@ -1,0 +1,1 @@
+lib/hw/fu.mli: Map Salam_ir

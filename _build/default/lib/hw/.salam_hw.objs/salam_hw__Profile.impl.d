@@ -1,0 +1,1 @@
+lib/hw/profile.ml: Fu List Salam_ir

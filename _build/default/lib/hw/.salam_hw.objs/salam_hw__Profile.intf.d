@@ -1,0 +1,1 @@
+lib/hw/profile.mli: Fu Salam_ir

@@ -1,0 +1,39 @@
+type config = {
+  capacity_bytes : int;
+  word_bits : int;
+  read_ports : int;
+  write_ports : int;
+}
+
+type result = {
+  read_energy_pj : float;
+  write_energy_pj : float;
+  leakage_mw : float;
+  area_um2 : float;
+}
+
+(* First-order SRAM scaling for a 40 nm-class process:
+   - access energy: wordline/bitline energy grows ~sqrt(capacity) for a
+     square array, scaled by word width and port loading;
+   - leakage and area: linear in capacity, with per-port overheads
+     (each extra port adds wordlines/bitlines to every cell). *)
+let evaluate { capacity_bytes; word_bits; read_ports; write_ports } =
+  if capacity_bytes <= 0 then invalid_arg "Cacti_lite: capacity must be positive";
+  let kb = float_of_int capacity_bytes /. 1024.0 in
+  let word_scale = float_of_int word_bits /. 64.0 in
+  let total_ports = read_ports + write_ports in
+  let port_energy = 1.0 +. (0.18 *. float_of_int (total_ports - 2)) in
+  let port_energy = if port_energy < 1.0 then 1.0 else port_energy in
+  let port_area = 1.0 +. (0.42 *. float_of_int (total_ports - 2)) in
+  let port_area = if port_area < 1.0 then 1.0 else port_area in
+  let base_access = 0.85 *. sqrt kb *. word_scale *. port_energy in
+  {
+    read_energy_pj = base_access;
+    write_energy_pj = base_access *. 1.18;
+    leakage_mw = 0.018 *. kb *. port_area;
+    area_um2 = 1450.0 *. kb *. port_area;
+  }
+
+let sram ?(word_bits = 64) ?(ports = 1) capacity_bytes =
+  evaluate
+    { capacity_bytes; word_bits; read_ports = max 1 ports; write_ports = max 1 ports }

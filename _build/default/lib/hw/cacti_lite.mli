@@ -1,0 +1,28 @@
+(** Analytic SRAM power and area model.
+
+    Stands in for the McPAT/Cacti invocation the paper uses for private
+    scratchpads and caches: per-access read/write energy, leakage power
+    and array area as functions of capacity, word width and port count.
+    The scaling laws are the standard first-order ones (access energy
+    grows with the square root of capacity, leakage and area linearly)
+    with 40 nm-class constants. *)
+
+type config = {
+  capacity_bytes : int;
+  word_bits : int;
+  read_ports : int;
+  write_ports : int;
+}
+
+type result = {
+  read_energy_pj : float;  (** per read access *)
+  write_energy_pj : float;  (** per write access *)
+  leakage_mw : float;
+  area_um2 : float;
+}
+
+val evaluate : config -> result
+
+val sram : ?word_bits:int -> ?ports:int -> int -> result
+(** [sram bytes] with symmetric read/write ports (default 1 port,
+    64-bit words). *)

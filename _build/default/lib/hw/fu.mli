@@ -1,0 +1,35 @@
+(** Functional-unit classes and the opcode mapping.
+
+    Every compute instruction in the IR maps to a virtual hardware
+    functional unit, as in gem5-SALAM's static elaboration. Control
+    instructions, phis and memory operations consume no functional unit
+    (memory operations are constrained by ports instead). *)
+
+type cls =
+  | Int_adder  (** add/sub, integer compare contributes here too *)
+  | Int_multiplier
+  | Int_divider
+  | Shifter
+  | Bitwise  (** and/or/xor *)
+  | Mux  (** select *)
+  | Converter  (** int<->float and width casts *)
+  | Fp_add_sp
+  | Fp_add_dp
+  | Fp_mul_sp
+  | Fp_mul_dp
+  | Fp_div_sp
+  | Fp_div_dp
+  | Fp_special  (** sqrt/exp/log/sin/cos intrinsics *)
+
+val all : cls list
+
+val to_string : cls -> string
+
+val compare : cls -> cls -> int
+
+val of_instr : Salam_ir.Ast.instr -> cls option
+(** Functional unit required by an instruction; [None] for control,
+    phi, memory and zero-hardware operations (gep address adds are
+    charged to {!Int_adder}). *)
+
+module Map : Map.S with type key = cls

@@ -1,0 +1,1 @@
+lib/ir/bits.ml: Ast Float Int32 Int64 Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Ast Int32 Int64 List Ty

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Bits Float Hashtbl Int64 List Memory Option Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Array Bits Bytes Char Int32 Int64 Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Ast Float Hashtbl Int64 List Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Ast Float Format List Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/subst.ml: Ast Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Ast Cfg Format Hashtbl List Pp Printf String Ty

@@ -1,0 +1,143 @@
+type t = Int of int64 | Float of float
+
+let zero ty = if Ty.is_float ty then Float 0.0 else Int 0L
+
+let of_bool b = Int (if b then 1L else 0L)
+
+let to_bool = function Int i -> not (Int64.equal i 0L) | Float f -> f <> 0.0
+
+let mask ty i =
+  match Ty.bits ty with
+  | 64 -> i
+  | 0 -> 0L
+  | n -> Int64.logand i (Int64.sub (Int64.shift_left 1L n) 1L)
+
+let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let truncate ty v =
+  match (v, ty) with
+  | Int i, _ when Ty.is_integer ty || Ty.equal ty Ty.Ptr -> Int (mask ty i)
+  | Float f, Ty.F32 -> Float (round_f32 f)
+  | Float _, Ty.F64 -> v
+  | _ -> v
+
+let signed ty i =
+  match Ty.bits ty with
+  | 64 -> i
+  | 0 -> 0L
+  | n ->
+      let shift = 64 - n in
+      Int64.shift_right (Int64.shift_left i shift) shift
+
+let to_int64 = function
+  | Int i -> i
+  | Float _ -> invalid_arg "Bits.to_int64: float value"
+
+let to_float = function Float f -> f | Int i -> Int64.to_float i
+
+let int_binop op ty a b =
+  let open Int64 in
+  let sa = signed ty a and sb = signed ty b in
+  let shift_amount = to_int (mask ty b) land 63 in
+  match (op : Ast.binop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Sdiv -> if equal sb 0L then raise Division_by_zero else div sa sb
+  | Udiv -> if equal b 0L then raise Division_by_zero else unsigned_div (mask ty a) (mask ty b)
+  | Srem -> if equal sb 0L then raise Division_by_zero else rem sa sb
+  | Urem -> if equal b 0L then raise Division_by_zero else unsigned_rem (mask ty a) (mask ty b)
+  | Shl -> shift_left a shift_amount
+  | Lshr -> shift_right_logical (mask ty a) shift_amount
+  | Ashr -> shift_right sa shift_amount
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Fadd | Fsub | Fmul | Fdiv | Frem -> invalid_arg "Bits: float binop on integers"
+
+let float_binop op a b =
+  match (op : Ast.binop) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Frem -> Float.rem a b
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem | Shl | Lshr | Ashr | And | Or | Xor ->
+      invalid_arg "Bits: integer binop on floats"
+
+let eval_binop op ty a b =
+  if Ty.is_float ty then
+    let r = float_binop op (to_float a) (to_float b) in
+    truncate ty (Float r)
+  else
+    match (a, b) with
+    | Int ia, Int ib -> truncate ty (Int (int_binop op ty ia ib))
+    | _ -> invalid_arg "Bits.eval_binop: operand/type mismatch"
+
+let eval_icmp pred ty a b =
+  let a = to_int64 a and b = to_int64 b in
+  let sa = signed ty a and sb = signed ty b in
+  let ua = mask ty a and ub = mask ty b in
+  let result =
+    match (pred : Ast.icmp) with
+    | Ieq -> Int64.equal ua ub
+    | Ine -> not (Int64.equal ua ub)
+    | Islt -> Int64.compare sa sb < 0
+    | Isle -> Int64.compare sa sb <= 0
+    | Isgt -> Int64.compare sa sb > 0
+    | Isge -> Int64.compare sa sb >= 0
+    | Iult -> Int64.unsigned_compare ua ub < 0
+    | Iule -> Int64.unsigned_compare ua ub <= 0
+    | Iugt -> Int64.unsigned_compare ua ub > 0
+    | Iuge -> Int64.unsigned_compare ua ub >= 0
+  in
+  of_bool result
+
+let eval_fcmp pred a b =
+  let a = to_float a and b = to_float b in
+  let result =
+    match (pred : Ast.fcmp) with
+    | Foeq -> a = b
+    | Fone -> a <> b && not (Float.is_nan a) && not (Float.is_nan b)
+    | Folt -> a < b
+    | Fole -> a <= b
+    | Fogt -> a > b
+    | Foge -> a >= b
+  in
+  of_bool result
+
+let eval_cast op ~src_ty ~dst_ty v =
+  match (op : Ast.cast) with
+  | Trunc -> truncate dst_ty (Int (to_int64 v))
+  | Zext -> Int (mask src_ty (to_int64 v))
+  | Sext -> truncate dst_ty (Int (signed src_ty (to_int64 v)))
+  | Fptrunc -> Float (round_f32 (to_float v))
+  | Fpext -> Float (to_float v)
+  | Fptosi -> truncate dst_ty (Int (Int64.of_float (to_float v)))
+  | Sitofp -> truncate dst_ty (Float (Int64.to_float (signed src_ty (to_int64 v))))
+  | Bitcast -> (
+      match (Ty.is_float src_ty, Ty.is_float dst_ty) with
+      | true, false ->
+          let f = to_float v in
+          let bits =
+            if Ty.equal src_ty Ty.F32 then Int64.of_int32 (Int32.bits_of_float f)
+            else Int64.bits_of_float f
+          in
+          truncate dst_ty (Int bits)
+      | false, true ->
+          let i = to_int64 v in
+          if Ty.equal dst_ty Ty.F32 then Float (Int32.float_of_bits (Int64.to_int32 i))
+          else Float (Int64.float_of_bits i)
+      | _ -> truncate dst_ty v)
+  | Ptrtoint -> truncate dst_ty (Int (to_int64 v))
+  | Inttoptr -> Int (to_int64 v)
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Int _, Float _ | Float _, Int _ -> false
+
+let to_string = function
+  | Int i -> Int64.to_string i
+  | Float f -> Printf.sprintf "%h" f

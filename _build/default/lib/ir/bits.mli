@@ -1,0 +1,40 @@
+(** Runtime values and arithmetic semantics of the IR.
+
+    Integers of every width are stored sign-agnostically in an [int64]
+    whose high bits are truncated to the type's width on every operation,
+    matching LLVM's modular arithmetic. [F32] arithmetic is rounded to
+    single precision after every operation. *)
+
+type t = Int of int64 | Float of float
+
+val zero : Ty.t -> t
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool
+(** Nonzero test. *)
+
+val truncate : Ty.t -> t -> t
+(** Normalise a value to the representation of the given type: mask
+    integer bits, round floats to [F32] precision when applicable. *)
+
+val signed : Ty.t -> int64 -> int64
+(** Sign-extended view of a stored integer of the given width. *)
+
+val eval_binop : Ast.binop -> Ty.t -> t -> t -> t
+(** Integer division/remainder by zero raises [Division_by_zero]. *)
+
+val eval_icmp : Ast.icmp -> Ty.t -> t -> t -> t
+
+val eval_fcmp : Ast.fcmp -> t -> t -> t
+
+val eval_cast : Ast.cast -> src_ty:Ty.t -> dst_ty:Ty.t -> t -> t
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val to_int64 : t -> int64
+(** Raw integer payload; raises [Invalid_argument] on floats. *)
+
+val to_float : t -> float

@@ -1,0 +1,128 @@
+open Ast
+
+type t = {
+  fname : string;
+  ret_ty : Ty.t;
+  f_params : var list;
+  mutable next_id : int;
+  mutable blocks : block list; (* reverse order *)
+  mutable current : block option;
+}
+
+let create ~name ~ret_ty ~params =
+  let next = ref 0 in
+  let f_params =
+    List.map
+      (fun (vname, ty) ->
+        let id = !next in
+        incr next;
+        { id; vname; ty })
+      params
+  in
+  { fname = name; ret_ty; f_params; next_id = !next; blocks = []; current = None }
+
+let params t = t.f_params
+
+let fresh t vname ty =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  { id; vname; ty }
+
+let add_block t label =
+  if List.exists (fun b -> b.label = label) t.blocks then
+    invalid_arg ("Builder.add_block: duplicate label " ^ label);
+  let b = { label; instrs = [] } in
+  t.blocks <- b :: t.blocks;
+  t.current <- Some b
+
+let set_block t label =
+  match List.find_opt (fun b -> b.label = label) t.blocks with
+  | Some b -> t.current <- Some b
+  | None -> invalid_arg ("Builder.set_block: unknown label " ^ label)
+
+let current_label t =
+  match t.current with
+  | Some b -> b.label
+  | None -> invalid_arg "Builder.current_label: no current block"
+
+let emit t instr =
+  match t.current with
+  | Some b -> b.instrs <- b.instrs @ [ instr ]
+  | None -> invalid_arg "Builder.emit: no current block"
+
+let binop t ?(name = "t") op lhs rhs =
+  let dst = fresh t name (binop_ty op lhs) in
+  emit t (Binop { dst; op; lhs; rhs });
+  Var dst
+
+let icmp t ?(name = "c") pred lhs rhs =
+  let dst = fresh t name Ty.I1 in
+  emit t (Icmp { dst; pred; lhs; rhs });
+  Var dst
+
+let fcmp t ?(name = "c") pred lhs rhs =
+  let dst = fresh t name Ty.I1 in
+  emit t (Fcmp { dst; pred; lhs; rhs });
+  Var dst
+
+let cast t ?(name = "t") op src dst_ty =
+  let dst = fresh t name dst_ty in
+  emit t (Cast { dst; op; src });
+  Var dst
+
+let select t ?(name = "t") cond if_true if_false =
+  let dst = fresh t name (value_ty if_true) in
+  emit t (Select { dst; cond; if_true; if_false });
+  Var dst
+
+let load t ?(name = "v") ty addr =
+  let dst = fresh t name ty in
+  emit t (Load { dst; addr });
+  Var dst
+
+let store t ~src ~addr = emit t (Store { src; addr })
+
+let gep t ?(name = "p") base offsets =
+  let dst = fresh t name Ty.Ptr in
+  emit t (Gep { dst; base; offsets });
+  Var dst
+
+let alloca t ?(name = "buf") elem_ty count =
+  let dst = fresh t name Ty.Ptr in
+  emit t (Alloca { dst; elem_ty; count });
+  Var dst
+
+let phi t ?(name = "phi") ty incoming =
+  let dst = fresh t name ty in
+  emit t (Phi { dst; incoming });
+  Var dst
+
+let call t ?(name = "r") ret_ty callee args =
+  if Ty.equal ret_ty Ty.Void then begin
+    emit t (Call { dst = None; callee; args });
+    None
+  end
+  else begin
+    let dst = fresh t name ret_ty in
+    emit t (Call { dst = Some dst; callee; args });
+    Some (Var dst)
+  end
+
+let br t label = emit t (Br label)
+
+let cond_br t cond if_true if_false = emit t (Cond_br { cond; if_true; if_false })
+
+let ret t v = emit t (Ret v)
+
+let finish t =
+  { fname = t.fname; params = t.f_params; ret_ty = t.ret_ty; blocks = List.rev t.blocks }
+
+let ci32 i = Const (Cint (Ty.I32, Int64.of_int i))
+
+let ci64 i = Const (Cint (Ty.I64, Int64.of_int i))
+
+let cf32 f = Const (Cfloat (Ty.F32, Int32.float_of_bits (Int32.bits_of_float f)))
+
+let cf64 f = Const (Cfloat (Ty.F64, f))
+
+let cbool b = Const (Cint (Ty.I1, if b then 1L else 0L))

@@ -1,0 +1,44 @@
+(** Functional interpreter for the IR.
+
+    This is the golden semantic reference: the timing engine, the
+    trace-based baseline and the tests all check against it. Execution is
+    sequential and instantaneous — no timing model.
+
+    Calls to functions not defined in the module are resolved through the
+    intrinsic table; {!default_intrinsics} provides the math routines
+    MachSuite kernels use ([sqrt], [fabs], [exp], [sin], [cos], [fmin],
+    [fmax], [floor]). *)
+
+exception Out_of_fuel
+
+exception Trap of string
+(** Runtime error: division by zero, null dereference, unknown callee,
+    or call-stack overflow. *)
+
+type event = {
+  ev_instr : Ast.instr;
+  ev_block : string;
+  ev_operands : Bits.t list;  (** evaluated operands, {!Ast.used_values} order *)
+  ev_result : Bits.t option;
+}
+
+type intrinsics = (string * (Bits.t list -> Bits.t)) list
+
+val default_intrinsics : intrinsics
+
+val run :
+  ?fuel:int ->
+  ?intrinsics:intrinsics ->
+  ?on_exec:(event -> unit) ->
+  Memory.t ->
+  Ast.modul ->
+  entry:string ->
+  args:Bits.t list ->
+  Bits.t option
+(** [run mem m ~entry ~args] interprets function [entry]. [fuel] bounds
+    the total number of executed instructions (default 100 million).
+    [on_exec] fires after every executed instruction and is how the
+    trace-based baseline captures its dynamic trace. *)
+
+val instructions_executed : unit -> int
+(** Number of instructions executed by the most recent [run]. *)

@@ -1,0 +1,76 @@
+type t = { data : Bytes.t; mutable brk : int }
+
+let create ~size = { data = Bytes.make size '\000'; brk = 8 }
+
+let size t = Bytes.length t.data
+
+let align_up v align = (v + align - 1) / align * align
+
+let alloc t ~bytes ~align =
+  let base = align_up t.brk align in
+  if base + bytes > Bytes.length t.data then failwith "Memory.alloc: out of memory";
+  t.brk <- base + bytes;
+  Int64.of_int base
+
+let check t addr len =
+  let a = Int64.to_int addr in
+  if a < 0 || a + len > Bytes.length t.data then
+    invalid_arg (Printf.sprintf "Memory: access at %Ld size %d out of bounds" addr len);
+  a
+
+let load t ty addr =
+  let a = check t addr (Ty.size_bytes ty) in
+  match ty with
+  | Ty.I1 | Ty.I8 -> Bits.Int (Int64.of_int (Char.code (Bytes.get t.data a)))
+  | Ty.I16 -> Bits.Int (Int64.of_int (Bytes.get_uint16_le t.data a))
+  | Ty.I32 -> Bits.Int (Int64.of_int32 (Bytes.get_int32_le t.data a))
+  | Ty.I64 | Ty.Ptr -> Bits.Int (Bytes.get_int64_le t.data a)
+  | Ty.F32 -> Bits.Float (Int32.float_of_bits (Bytes.get_int32_le t.data a))
+  | Ty.F64 -> Bits.Float (Int64.float_of_bits (Bytes.get_int64_le t.data a))
+  | Ty.Void -> invalid_arg "Memory.load: void"
+
+let store t ty addr v =
+  let a = check t addr (Ty.size_bytes ty) in
+  match (ty, Bits.truncate ty v) with
+  | (Ty.I1 | Ty.I8), Bits.Int i -> Bytes.set t.data a (Char.chr (Int64.to_int i land 0xff))
+  | Ty.I16, Bits.Int i -> Bytes.set_uint16_le t.data a (Int64.to_int i land 0xffff)
+  | Ty.I32, Bits.Int i -> Bytes.set_int32_le t.data a (Int64.to_int32 i)
+  | (Ty.I64 | Ty.Ptr), Bits.Int i -> Bytes.set_int64_le t.data a i
+  | Ty.F32, Bits.Float f -> Bytes.set_int32_le t.data a (Int32.bits_of_float f)
+  | Ty.F64, Bits.Float f -> Bytes.set_int64_le t.data a (Int64.bits_of_float f)
+  | _ -> invalid_arg "Memory.store: value does not match type"
+
+let load_bytes t addr len =
+  let a = check t addr len in
+  Bytes.sub t.data a len
+
+let store_bytes t addr b =
+  let a = check t addr (Bytes.length b) in
+  Bytes.blit b 0 t.data a (Bytes.length b)
+
+let fill t addr len c =
+  let a = check t addr len in
+  Bytes.fill t.data a len c
+
+let offset addr i elem_size = Int64.add addr (Int64.of_int (i * elem_size))
+
+let read_i32_array t addr n =
+  Array.init n (fun i -> Int64.to_int (Bits.to_int64 (load t Ty.I32 (offset addr i 4))))
+
+let write_i32_array t addr a =
+  Array.iteri (fun i v -> store t Ty.I32 (offset addr i 4) (Bits.Int (Int64.of_int v))) a
+
+let read_i64_array t addr n = Array.init n (fun i -> Bits.to_int64 (load t Ty.I64 (offset addr i 8)))
+
+let write_i64_array t addr a =
+  Array.iteri (fun i v -> store t Ty.I64 (offset addr i 8) (Bits.Int v)) a
+
+let read_f32_array t addr n = Array.init n (fun i -> Bits.to_float (load t Ty.F32 (offset addr i 4)))
+
+let write_f32_array t addr a =
+  Array.iteri (fun i v -> store t Ty.F32 (offset addr i 4) (Bits.Float v)) a
+
+let read_f64_array t addr n = Array.init n (fun i -> Bits.to_float (load t Ty.F64 (offset addr i 8)))
+
+let write_f64_array t addr a =
+  Array.iteri (fun i v -> store t Ty.F64 (offset addr i 8) (Bits.Float v)) a

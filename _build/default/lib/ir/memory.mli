@@ -1,0 +1,41 @@
+(** Flat byte-addressable memory.
+
+    Backs the functional interpreter and serves as the storage substrate
+    behind the timing-level memory models. Addresses are 64-bit but must
+    fall inside the allocated size. Multi-byte values are little-endian. *)
+
+type t
+
+val create : size:int -> t
+
+val size : t -> int
+
+val alloc : t -> bytes:int -> align:int -> int64
+(** Bump allocation; raises [Failure] when full. Never returns address 0
+    (address 0 is reserved so null pointers trap). *)
+
+val load : t -> Ty.t -> int64 -> Bits.t
+
+val store : t -> Ty.t -> int64 -> Bits.t -> unit
+
+val load_bytes : t -> int64 -> int -> bytes
+
+val store_bytes : t -> int64 -> bytes -> unit
+
+val fill : t -> int64 -> int -> char -> unit
+
+val read_i32_array : t -> int64 -> int -> int array
+
+val write_i32_array : t -> int64 -> int array -> unit
+
+val read_i64_array : t -> int64 -> int -> int64 array
+
+val write_i64_array : t -> int64 -> int64 array -> unit
+
+val read_f32_array : t -> int64 -> int -> float array
+
+val write_f32_array : t -> int64 -> float array -> unit
+
+val read_f64_array : t -> int64 -> int -> float array
+
+val write_f64_array : t -> int64 -> float array -> unit

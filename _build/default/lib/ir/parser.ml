@@ -1,0 +1,616 @@
+open Ast
+
+exception Error of string
+
+type token =
+  | Tword of string
+  | Tvar of string
+  | Tglobal of string
+  | Tint of int64
+  | Tfloat of float
+  | Tnull
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Teq
+  | Tcolon
+
+let fail line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_number_char c =
+  (c >= '0' && c <= '9')
+  || (c >= 'a' && c <= 'f')
+  || (c >= 'A' && c <= 'F')
+  || c = 'x' || c = '.' || c = 'p' || c = 'P' || c = '+' || c = '-'
+
+(* Tokenise the whole input; each token carries its source line for error
+   reporting. *)
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let read_while start pred =
+    let j = ref start in
+    while !j < n && pred src.[!j] do
+      incr j
+    done;
+    (String.sub src start (!j - start), !j)
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '%' then begin
+      let word, j = read_while (!i + 1) is_word_char in
+      push (Tvar word);
+      i := j
+    end
+    else if c = '@' then begin
+      let word, j = read_while (!i + 1) is_word_char in
+      push (Tglobal word);
+      i := j
+    end
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = '{' then (push Tlbrace; incr i)
+    else if c = '}' then (push Trbrace; incr i)
+    else if c = '[' then (push Tlbracket; incr i)
+    else if c = ']' then (push Trbracket; incr i)
+    else if c = ',' then (push Tcomma; incr i)
+    else if c = '=' then (push Teq; incr i)
+    else if c = ':' then (push Tcolon; incr i)
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && is_number_char src.[!i + 1])
+    then begin
+      let word, j = read_while !i (fun c -> is_number_char c) in
+      let looks_float =
+        String.contains word '.' || String.contains word 'p' || String.contains word 'P'
+        || String.contains word 'x'
+      in
+      (try
+         if looks_float then push (Tfloat (float_of_string word))
+         else push (Tint (Int64.of_string word))
+       with Failure _ -> fail !line ("bad number: " ^ word));
+      i := j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let word, j = read_while !i is_word_char in
+      (match word with
+      | "null" -> push Tnull
+      | "nan" -> push (Tfloat Float.nan)
+      | "inf" -> push (Tfloat Float.infinity)
+      | _ -> push (Tword word));
+      i := j
+    end
+    else fail !line (Printf.sprintf "unexpected character %C" c)
+  done;
+  Array.of_list (List.rev !tokens)
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.toks then Some (fst st.toks.(st.pos)) else None
+
+let cur_line st =
+  if st.pos < Array.length st.toks then snd st.toks.(st.pos)
+  else if Array.length st.toks = 0 then 1
+  else snd st.toks.(Array.length st.toks - 1)
+
+let next st =
+  match peek st with
+  | Some t ->
+      st.pos <- st.pos + 1;
+      t
+  | None -> fail (cur_line st) "unexpected end of input"
+
+let expect st t what =
+  let got = next st in
+  if got <> t then fail (cur_line st) ("expected " ^ what)
+
+let expect_word st w =
+  match next st with
+  | Tword got when got = w -> ()
+  | _ -> fail (cur_line st) ("expected keyword " ^ w)
+
+let parse_ty st =
+  match next st with
+  | Tword w -> (
+      match Ty.of_string w with
+      | Some t -> t
+      | None -> fail (cur_line st) ("unknown type " ^ w))
+  | _ -> fail (cur_line st) "expected a type"
+
+(* Split "%name.id" into the name hint and numeric id. *)
+let split_var_token line tok =
+  match String.rindex_opt tok '.' with
+  | Some dot -> (
+      let name = String.sub tok 0 dot in
+      let id_str = String.sub tok (dot + 1) (String.length tok - dot - 1) in
+      match int_of_string_opt id_str with
+      | Some id -> (name, id)
+      | None -> fail line ("register name missing numeric id: %" ^ tok))
+  | None -> fail line ("register name missing numeric id: %" ^ tok)
+
+(* First pass over a function body: record the type of every defined
+   register so that uses (possibly before definitions, as in phis) can be
+   resolved during the real parse. *)
+let scan_defs st0 params =
+  let st = { toks = st0.toks; pos = st0.pos } in
+  let table = Hashtbl.create 32 in
+  List.iter (fun (p : var) -> Hashtbl.replace table (p.vname, p.id) p) params;
+  let add tok ty =
+    let name, id = split_var_token (cur_line st) tok in
+    Hashtbl.replace table (name, id) { id; vname = name; ty }
+  in
+  let depth = ref 1 in
+  let rec skip_to_type () =
+    match next st with
+    | Tword w -> (
+        match Ty.of_string w with Some t -> t | None -> skip_to_type ())
+    | _ -> skip_to_type ()
+  in
+  (try
+     while !depth > 0 do
+       match next st with
+       | Trbrace -> decr depth
+       | Tlbrace -> incr depth
+       | Tvar tok when peek st = Some Teq -> begin
+           ignore (next st);
+           (* opcode word *)
+           match next st with
+           | Tword op -> (
+               match op with
+               | "icmp" | "fcmp" -> add tok Ty.I1
+               | "gep" | "alloca" -> add tok Ty.Ptr
+               | "select" ->
+                   (* select i1 <val>, <ty> <val>, ... *)
+                   expect_word st "i1";
+                   ignore (next st);
+                   expect st Tcomma ",";
+                   add tok (parse_ty st)
+               | "trunc" | "zext" | "sext" | "fptrunc" | "fpext" | "fptosi" | "sitofp"
+               | "bitcast" | "ptrtoint" | "inttoptr" ->
+                   (* <srcty> <val> to <dstty> *)
+                   ignore (parse_ty st);
+                   ignore (next st);
+                   expect_word st "to";
+                   add tok (parse_ty st)
+               | _ ->
+                   (* binop/load/phi/call: result type follows the opcode *)
+                   add tok (skip_to_type ()))
+           | _ -> fail (cur_line st) "expected opcode after ="
+         end
+       | _ -> ()
+     done
+   with Error _ as e -> raise e);
+  table
+
+let lookup_var st table tok =
+  let name, id = split_var_token (cur_line st) tok in
+  match Hashtbl.find_opt table (name, id) with
+  | Some v -> v
+  | None -> fail (cur_line st) ("use of undefined register %" ^ tok)
+
+(* Parse a value whose type [ty] is already known from context. *)
+let parse_value st table ty =
+  match next st with
+  | Tvar tok -> Var (lookup_var st table tok)
+  | Tint i ->
+      if Ty.is_float ty then Const (Cfloat (ty, Int64.to_float i))
+      else Const (Cint (ty, i))
+  | Tfloat f -> Const (Cfloat (ty, f))
+  | Tnull -> Const Cnull
+  | _ -> fail (cur_line st) "expected a value"
+
+let parse_typed_value st table =
+  let ty = parse_ty st in
+  (ty, parse_value st table ty)
+
+let binop_of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv
+  | "udiv" -> Some Udiv
+  | "srem" -> Some Srem
+  | "urem" -> Some Urem
+  | "shl" -> Some Shl
+  | "lshr" -> Some Lshr
+  | "ashr" -> Some Ashr
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "fadd" -> Some Fadd
+  | "fsub" -> Some Fsub
+  | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | "frem" -> Some Frem
+  | _ -> None
+
+let icmp_of_string = function
+  | "eq" -> Some Ieq
+  | "ne" -> Some Ine
+  | "slt" -> Some Islt
+  | "sle" -> Some Isle
+  | "sgt" -> Some Isgt
+  | "sge" -> Some Isge
+  | "ult" -> Some Iult
+  | "ule" -> Some Iule
+  | "ugt" -> Some Iugt
+  | "uge" -> Some Iuge
+  | _ -> None
+
+let fcmp_of_string = function
+  | "oeq" -> Some Foeq
+  | "one" -> Some Fone
+  | "olt" -> Some Folt
+  | "ole" -> Some Fole
+  | "ogt" -> Some Fogt
+  | "oge" -> Some Foge
+  | _ -> None
+
+let cast_of_string = function
+  | "trunc" -> Some Trunc
+  | "zext" -> Some Zext
+  | "sext" -> Some Sext
+  | "fptrunc" -> Some Fptrunc
+  | "fpext" -> Some Fpext
+  | "fptosi" -> Some Fptosi
+  | "sitofp" -> Some Sitofp
+  | "bitcast" -> Some Bitcast
+  | "ptrtoint" -> Some Ptrtoint
+  | "inttoptr" -> Some Inttoptr
+  | _ -> None
+
+let parse_label st =
+  match next st with
+  | Tvar l -> l
+  | _ -> fail (cur_line st) "expected %label"
+
+let def_var st table tok =
+  (* The scan pass recorded the var; reuse the identical record. *)
+  lookup_var st table tok
+
+let parse_instr st table dst_tok =
+  match dst_tok with
+  | Some tok -> begin
+      let line = cur_line st in
+      match next st with
+      | Tword op -> begin
+          match binop_of_string op with
+          | Some bop ->
+              let dst = def_var st table tok in
+              let ty = parse_ty st in
+              let lhs = parse_value st table ty in
+              expect st Tcomma ",";
+              let rhs = parse_value st table ty in
+              Binop { dst; op = bop; lhs; rhs }
+          | None -> (
+              match op with
+              | "icmp" ->
+                  let dst = def_var st table tok in
+                  let pred =
+                    match next st with
+                    | Tword p -> (
+                        match icmp_of_string p with
+                        | Some pred -> pred
+                        | None -> fail line ("bad icmp predicate " ^ p))
+                    | _ -> fail line "expected icmp predicate"
+                  in
+                  let ty = parse_ty st in
+                  let lhs = parse_value st table ty in
+                  expect st Tcomma ",";
+                  let rhs = parse_value st table ty in
+                  Icmp { dst; pred; lhs; rhs }
+              | "fcmp" ->
+                  let dst = def_var st table tok in
+                  let pred =
+                    match next st with
+                    | Tword p -> (
+                        match fcmp_of_string p with
+                        | Some pred -> pred
+                        | None -> fail line ("bad fcmp predicate " ^ p))
+                    | _ -> fail line "expected fcmp predicate"
+                  in
+                  let ty = parse_ty st in
+                  let lhs = parse_value st table ty in
+                  expect st Tcomma ",";
+                  let rhs = parse_value st table ty in
+                  Fcmp { dst; pred; lhs; rhs }
+              | "select" ->
+                  let dst = def_var st table tok in
+                  expect_word st "i1";
+                  let cond = parse_value st table Ty.I1 in
+                  expect st Tcomma ",";
+                  let _, if_true = parse_typed_value st table in
+                  expect st Tcomma ",";
+                  let _, if_false = parse_typed_value st table in
+                  Select { dst; cond; if_true; if_false }
+              | "load" ->
+                  let dst = def_var st table tok in
+                  ignore (parse_ty st);
+                  expect st Tcomma ",";
+                  expect_word st "ptr";
+                  let addr = parse_value st table Ty.Ptr in
+                  Load { dst; addr }
+              | "gep" ->
+                  let dst = def_var st table tok in
+                  expect_word st "ptr";
+                  let base = parse_value st table Ty.Ptr in
+                  let offsets = ref [] in
+                  while peek st = Some Tcomma do
+                    ignore (next st);
+                    let scale =
+                      match next st with
+                      | Tint i -> Int64.to_int i
+                      | _ -> fail (cur_line st) "expected scale integer in gep"
+                    in
+                    expect_word st "x";
+                    let _, idx = parse_typed_value st table in
+                    offsets := (scale, idx) :: !offsets
+                  done;
+                  Gep { dst; base; offsets = List.rev !offsets }
+              | "phi" ->
+                  let dst = def_var st table tok in
+                  let ty = parse_ty st in
+                  let incoming = ref [] in
+                  let parse_arm () =
+                    expect st Tlbracket "[";
+                    let v = parse_value st table ty in
+                    expect st Tcomma ",";
+                    let l = parse_label st in
+                    expect st Trbracket "]";
+                    incoming := (v, l) :: !incoming
+                  in
+                  parse_arm ();
+                  while peek st = Some Tcomma do
+                    ignore (next st);
+                    parse_arm ()
+                  done;
+                  Phi { dst; incoming = List.rev !incoming }
+              | "alloca" ->
+                  let dst = def_var st table tok in
+                  let elem_ty = parse_ty st in
+                  expect st Tcomma ",";
+                  let count =
+                    match next st with
+                    | Tint i -> Int64.to_int i
+                    | _ -> fail (cur_line st) "expected alloca count"
+                  in
+                  Alloca { dst; elem_ty; count }
+              | "call" ->
+                  let dst = def_var st table tok in
+                  ignore (parse_ty st);
+                  let callee =
+                    match next st with
+                    | Tglobal g -> g
+                    | _ -> fail (cur_line st) "expected @callee"
+                  in
+                  expect st Tlparen "(";
+                  let args = ref [] in
+                  if peek st <> Some Trparen then begin
+                    let _, a = parse_typed_value st table in
+                    args := [ a ];
+                    while peek st = Some Tcomma do
+                      ignore (next st);
+                      let _, a = parse_typed_value st table in
+                      args := a :: !args
+                    done;
+                    args := List.rev !args
+                  end;
+                  expect st Trparen ")";
+                  Call { dst = Some dst; callee; args = !args }
+              | op -> (
+                  match cast_of_string op with
+                  | Some cop ->
+                      let dst = def_var st table tok in
+                      let src_ty = parse_ty st in
+                      let src = parse_value st table src_ty in
+                      expect_word st "to";
+                      ignore (parse_ty st);
+                      Cast { dst; op = cop; src }
+                  | None -> fail line ("unknown opcode " ^ op)))
+        end
+      | _ -> fail line "expected opcode"
+    end
+  | None -> begin
+      match next st with
+      | Tword "store" ->
+          let _, src = parse_typed_value st table in
+          expect st Tcomma ",";
+          expect_word st "ptr";
+          let addr = parse_value st table Ty.Ptr in
+          Store { src; addr }
+      | Tword "br" -> begin
+          match next st with
+          | Tword "label" -> Br (parse_label st)
+          | Tword "i1" ->
+              let cond = parse_value st table Ty.I1 in
+              expect st Tcomma ",";
+              expect_word st "label";
+              let if_true = parse_label st in
+              expect st Tcomma ",";
+              expect_word st "label";
+              let if_false = parse_label st in
+              Cond_br { cond; if_true; if_false }
+          | _ -> fail (cur_line st) "expected label or i1 after br"
+        end
+      | Tword "ret" -> begin
+          match peek st with
+          | Some (Tword "void") ->
+              ignore (next st);
+              Ret None
+          | _ ->
+              let _, v = parse_typed_value st table in
+              Ret (Some v)
+        end
+      | Tword "call" ->
+          expect_word st "void";
+          let callee =
+            match next st with
+            | Tglobal g -> g
+            | _ -> fail (cur_line st) "expected @callee"
+          in
+          expect st Tlparen "(";
+          let args = ref [] in
+          if peek st <> Some Trparen then begin
+            let _, a = parse_typed_value st table in
+            args := [ a ];
+            while peek st = Some Tcomma do
+              ignore (next st);
+              let _, a = parse_typed_value st table in
+              args := a :: !args
+            done;
+            args := List.rev !args
+          end;
+          expect st Trparen ")";
+          Call { dst = None; callee; args = !args }
+      | _ -> fail (cur_line st) "expected an instruction"
+    end
+
+let parse_function st =
+  let ret_ty = parse_ty st in
+  let fname =
+    match next st with
+    | Tglobal g -> g
+    | _ -> fail (cur_line st) "expected @function_name"
+  in
+  expect st Tlparen "(";
+  let params = ref [] in
+  if peek st <> Some Trparen then begin
+    let parse_param () =
+      let ty = parse_ty st in
+      match next st with
+      | Tvar tok ->
+          let name, id = split_var_token (cur_line st) tok in
+          params := { id; vname = name; ty } :: !params
+      | _ -> fail (cur_line st) "expected %param"
+    in
+    parse_param ();
+    while peek st = Some Tcomma do
+      ignore (next st);
+      parse_param ()
+    done
+  end;
+  expect st Trparen ")";
+  expect st Tlbrace "{";
+  let params = List.rev !params in
+  let table = scan_defs st params in
+  let blocks = ref [] in
+  let current : block option ref = ref None in
+  let finish () = match !current with Some b -> blocks := b :: !blocks | None -> () in
+  let done_ = ref false in
+  while not !done_ do
+    match peek st with
+    | Some Trbrace ->
+        ignore (next st);
+        done_ := true
+    | Some (Tword label) when st.pos + 1 < Array.length st.toks
+                              && fst st.toks.(st.pos + 1) = Tcolon ->
+        ignore (next st);
+        ignore (next st);
+        finish ();
+        current := Some { label; instrs = [] }
+    | Some _ -> begin
+        let dst_tok =
+          match peek st with
+          | Some (Tvar tok) when st.pos + 1 < Array.length st.toks
+                                 && fst st.toks.(st.pos + 1) = Teq ->
+              ignore (next st);
+              ignore (next st);
+              Some tok
+          | _ -> None
+        in
+        let instr = parse_instr st table dst_tok in
+        match !current with
+        | Some b -> b.instrs <- b.instrs @ [ instr ]
+        | None -> fail (cur_line st) "instruction before first block label"
+      end
+    | None -> fail (cur_line st) "unexpected end of input in function body"
+  done;
+  finish ();
+  { fname; params; ret_ty; blocks = List.rev !blocks }
+
+let parse_global st =
+  let gname =
+    match next st with
+    | Tglobal g -> g
+    | _ -> fail (cur_line st) "expected @global"
+  in
+  expect st Teq "=";
+  expect_word st "global";
+  let gty = parse_ty st in
+  expect_word st "x";
+  let elements =
+    match next st with
+    | Tint i -> Int64.to_int i
+    | _ -> fail (cur_line st) "expected element count"
+  in
+  let init =
+    if peek st = Some Tlbracket then begin
+      ignore (next st);
+      let consts = ref [] in
+      let parse_const () =
+        match next st with
+        | Tint i ->
+            if Ty.is_float gty then consts := Cfloat (gty, Int64.to_float i) :: !consts
+            else consts := Cint (gty, i) :: !consts
+        | Tfloat f -> consts := Cfloat (gty, f) :: !consts
+        | Tnull -> consts := Cnull :: !consts
+        | _ -> fail (cur_line st) "expected constant"
+      in
+      if peek st <> Some Trbracket then begin
+        parse_const ();
+        while peek st = Some Tcomma do
+          ignore (next st);
+          parse_const ()
+        done
+      end;
+      expect st Trbracket "]";
+      Some (Array.of_list (List.rev !consts))
+    end
+    else None
+  in
+  { gname; gty; elements; init }
+
+let parse_modul src =
+  let st = { toks = tokenize src; pos = 0 } in
+  let m = { funcs = []; globals = [] } in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some (Tword "define") ->
+        ignore (next st);
+        m.funcs <- m.funcs @ [ parse_function st ];
+        loop ()
+    | Some (Tglobal _) ->
+        m.globals <- m.globals @ [ parse_global st ];
+        loop ()
+    | Some _ -> fail (cur_line st) "expected define or @global at top level"
+  in
+  loop ();
+  m
+
+let parse_func src =
+  match (parse_modul src).funcs with
+  | [ f ] -> f
+  | funcs -> raise (Error (Printf.sprintf "expected exactly one function, got %d" (List.length funcs)))

@@ -1,0 +1,14 @@
+(** Parser for the textual IR emitted by {!Pp}.
+
+    The grammar is the LLVM-flavoured subset the printer produces; see
+    [Pp]. Register ids embedded in names ([%acc.17]) are preserved so
+    that print/parse round trips are exact. *)
+
+exception Error of string
+(** Raised with a message of the form ["line N: ..."] on malformed
+    input. *)
+
+val parse_modul : string -> Ast.modul
+
+val parse_func : string -> Ast.func
+(** Parse a single [define]; convenience for tests. *)

@@ -1,0 +1,24 @@
+(** Textual printer for the IR.
+
+    The output is LLVM-flavoured assembly that {!Parser} reads back
+    exactly ([parse (print m)] reproduces [m] up to register ids). Floats
+    are printed as hexadecimal literals so the round trip is bit-exact. *)
+
+val var : Format.formatter -> Ast.var -> unit
+
+val value : Format.formatter -> Ast.value -> unit
+
+val typed_value : Format.formatter -> Ast.value -> unit
+(** Value prefixed by its type, e.g. [i32 %n.4]. *)
+
+val instr : Format.formatter -> Ast.instr -> unit
+
+val block : Format.formatter -> Ast.block -> unit
+
+val func : Format.formatter -> Ast.func -> unit
+
+val modul : Format.formatter -> Ast.modul -> unit
+
+val func_to_string : Ast.func -> string
+
+val modul_to_string : Ast.modul -> string

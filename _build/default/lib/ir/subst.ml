@@ -1,0 +1,36 @@
+open Ast
+
+type t = (int, value) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let add t (v : var) replacement = Hashtbl.replace t v.id replacement
+
+let is_empty t = Hashtbl.length t = 0
+
+let rec resolve t v =
+  match v with
+  | Var x -> ( match Hashtbl.find_opt t x.id with Some v' -> resolve t v' | None -> v)
+  | Const _ -> v
+
+let rewrite_instr t instr =
+  let rw = resolve t in
+  match instr with
+  | Binop r -> Binop { r with lhs = rw r.lhs; rhs = rw r.rhs }
+  | Icmp r -> Icmp { r with lhs = rw r.lhs; rhs = rw r.rhs }
+  | Fcmp r -> Fcmp { r with lhs = rw r.lhs; rhs = rw r.rhs }
+  | Cast r -> Cast { r with src = rw r.src }
+  | Select r ->
+      Select { r with cond = rw r.cond; if_true = rw r.if_true; if_false = rw r.if_false }
+  | Load r -> Load { r with addr = rw r.addr }
+  | Store r -> Store { src = rw r.src; addr = rw r.addr }
+  | Gep r ->
+      Gep { r with base = rw r.base; offsets = List.map (fun (s, v) -> (s, rw v)) r.offsets }
+  | Phi r -> Phi { r with incoming = List.map (fun (v, l) -> (rw v, l)) r.incoming }
+  | Alloca _ -> instr
+  | Call r -> Call { r with args = List.map rw r.args }
+  | Br _ -> instr
+  | Cond_br r -> Cond_br { r with cond = rw r.cond }
+  | Ret v -> Ret (Option.map rw v)
+
+let apply t f = if is_empty t then () else map_instrs f (rewrite_instr t)

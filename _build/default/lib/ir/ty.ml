@@ -1,0 +1,51 @@
+type t = I1 | I8 | I16 | I32 | I64 | F32 | F64 | Ptr | Void
+
+let size_bytes = function
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 | F32 -> 4
+  | I64 | F64 | Ptr -> 8
+  | Void -> 0
+
+let bits = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 | F32 -> 32
+  | I64 | F64 | Ptr -> 64
+  | Void -> 0
+
+let is_integer = function
+  | I1 | I8 | I16 | I32 | I64 -> true
+  | F32 | F64 | Ptr | Void -> false
+
+let is_float = function
+  | F32 | F64 -> true
+  | I1 | I8 | I16 | I32 | I64 | Ptr | Void -> false
+
+let to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "float"
+  | F64 -> "double"
+  | Ptr -> "ptr"
+  | Void -> "void"
+
+let of_string = function
+  | "i1" -> Some I1
+  | "i8" -> Some I8
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "float" -> Some F32
+  | "double" -> Some F64
+  | "ptr" -> Some Ptr
+  | "void" -> Some Void
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,35 @@
+(** IR types.
+
+    A pragmatic subset of LLVM's type system: the integer widths, floats
+    and (opaque) pointers that hardware kernels need. Aggregates are
+    flattened by the front end, so arrays appear only as allocation
+    element types, never as SSA value types. *)
+
+type t =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr  (** opaque pointer, 64-bit *)
+  | Void
+
+val size_bytes : t -> int
+(** Storage size. [Void] has size 0. *)
+
+val bits : t -> int
+(** Bit width as carried through the register netlist (I1 counts as 1). *)
+
+val is_integer : t -> bool
+
+val is_float : t -> bool
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

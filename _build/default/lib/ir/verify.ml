@@ -1,0 +1,198 @@
+open Ast
+
+type problem = { in_func : string; in_block : string; message : string }
+
+let pp_problem ppf p =
+  Format.fprintf ppf "%s/%s: %s" p.in_func p.in_block p.message
+
+let type_errors instr =
+  let err fmt = Format.asprintf fmt in
+  match instr with
+  | Binop { dst; op; lhs; rhs } ->
+      let lt = value_ty lhs and rt = value_ty rhs in
+      let is_float_op =
+        match op with
+        | Fadd | Fsub | Fmul | Fdiv | Frem -> true
+        | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem | Shl | Lshr | Ashr | And | Or | Xor ->
+            false
+      in
+      if not (Ty.equal lt rt) then
+        [ err "binop operand types differ: %a vs %a" Ty.pp lt Ty.pp rt ]
+      else if not (Ty.equal dst.ty lt) then
+        [ err "binop result type %a differs from operands %a" Ty.pp dst.ty Ty.pp lt ]
+      else if is_float_op && not (Ty.is_float lt) then
+        [ err "float binop on non-float type %a" Ty.pp lt ]
+      else if (not is_float_op) && not (Ty.is_integer lt) then
+        [ err "integer binop on non-integer type %a" Ty.pp lt ]
+      else []
+  | Icmp { dst; lhs; rhs; _ } ->
+      let lt = value_ty lhs and rt = value_ty rhs in
+      if not (Ty.equal lt rt) then [ err "icmp operand types differ" ]
+      else if not (Ty.is_integer lt || Ty.equal lt Ty.Ptr) then
+        [ err "icmp on non-integer type %a" Ty.pp lt ]
+      else if not (Ty.equal dst.ty Ty.I1) then [ err "icmp result must be i1" ]
+      else []
+  | Fcmp { dst; lhs; rhs; _ } ->
+      let lt = value_ty lhs and rt = value_ty rhs in
+      if not (Ty.equal lt rt) then [ err "fcmp operand types differ" ]
+      else if not (Ty.is_float lt) then [ err "fcmp on non-float type %a" Ty.pp lt ]
+      else if not (Ty.equal dst.ty Ty.I1) then [ err "fcmp result must be i1" ]
+      else []
+  | Cast { dst; op; src } ->
+      if cast_result_ok op ~src:(value_ty src) ~dst:dst.ty then []
+      else
+        [ err "invalid %s from %a to %a" (cast_to_string op) Ty.pp (value_ty src) Ty.pp
+            dst.ty ]
+  | Select { dst; cond; if_true; if_false } ->
+      (if Ty.equal (value_ty cond) Ty.I1 then [] else [ err "select condition must be i1" ])
+      @
+      if Ty.equal (value_ty if_true) (value_ty if_false) && Ty.equal dst.ty (value_ty if_true)
+      then []
+      else [ err "select arm types must match result" ]
+  | Load { addr; _ } ->
+      if Ty.equal (value_ty addr) Ty.Ptr then [] else [ err "load address must be ptr" ]
+  | Store { addr; _ } ->
+      if Ty.equal (value_ty addr) Ty.Ptr then [] else [ err "store address must be ptr" ]
+  | Gep { dst; base; offsets } ->
+      (if Ty.equal (value_ty base) Ty.Ptr then [] else [ err "gep base must be ptr" ])
+      @ (if Ty.equal dst.ty Ty.Ptr then [] else [ err "gep result must be ptr" ])
+      @ List.concat_map
+          (fun (scale, idx) ->
+            (if scale <= 0 then [ err "gep scale must be positive" ] else [])
+            @
+            if Ty.is_integer (value_ty idx) then []
+            else [ err "gep index must be an integer" ])
+          offsets
+  | Phi { dst; incoming } ->
+      List.concat_map
+        (fun (v, _) ->
+          if Ty.equal (value_ty v) dst.ty then []
+          else [ err "phi incoming type %a differs from %a" Ty.pp (value_ty v) Ty.pp dst.ty ])
+        incoming
+  | Alloca { dst; count; _ } ->
+      (if Ty.equal dst.ty Ty.Ptr then [] else [ err "alloca result must be ptr" ])
+      @ if count <= 0 then [ err "alloca count must be positive" ] else []
+  | Call _ -> []
+  | Br _ -> []
+  | Cond_br { cond; _ } ->
+      if Ty.equal (value_ty cond) Ty.I1 then [] else [ err "branch condition must be i1" ]
+  | Ret _ -> []
+
+let func (f : func) =
+  let problems = ref [] in
+  let report in_block message = problems := { in_func = f.fname; in_block; message } :: !problems in
+  if f.blocks = [] then report "<none>" "function has no blocks";
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.label then report b.label "duplicate block label";
+      Hashtbl.replace labels b.label ())
+    f.blocks;
+  (* Structural checks per block. *)
+  List.iter
+    (fun b ->
+      (match List.rev b.instrs with
+      | [] -> report b.label "empty block (no terminator)"
+      | last :: _ -> if not (is_terminator last) then report b.label "block does not end in a terminator");
+      let seen_non_phi = ref false in
+      List.iteri
+        (fun i instr ->
+          (match instr with
+          | Phi _ -> if !seen_non_phi then report b.label "phi after non-phi instruction"
+          | _ -> seen_non_phi := true);
+          if is_terminator instr && i < List.length b.instrs - 1 then
+            report b.label "terminator in the middle of a block";
+          List.iter
+            (fun l ->
+              if not (Hashtbl.mem labels l) then
+                report b.label ("branch to unknown label " ^ l))
+            (successors instr);
+          List.iter (fun m -> report b.label m) (type_errors instr))
+        b.instrs)
+    f.blocks;
+  if !problems <> [] then List.rev !problems
+  else begin
+    (* SSA checks need a structurally valid CFG. *)
+    let cfg = Cfg.build f in
+    let def_site = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace def_site p.id (-1, -1)) f.params;
+    List.iteri
+      (fun bi b ->
+        List.iteri
+          (fun ii instr ->
+            match defined_var instr with
+            | Some v ->
+                if Hashtbl.mem def_site v.id then
+                  report b.label
+                    (Format.asprintf "register %a defined more than once" Pp.var v)
+                else Hashtbl.replace def_site v.id (bi, ii)
+            | None -> ())
+          b.instrs)
+      f.blocks;
+    let check_use b_label bi ii v =
+      match Hashtbl.find_opt def_site v.id with
+      | None -> report b_label (Format.asprintf "use of undefined register %a" Pp.var v)
+      | Some (-1, _) -> () (* parameter *)
+      | Some (dbi, dii) ->
+          let ok =
+            if dbi = bi then dii < ii
+            else Cfg.dominates cfg dbi bi
+          in
+          if not ok then
+            report b_label
+              (Format.asprintf "use of register %a not dominated by its definition" Pp.var v)
+    in
+    List.iteri
+      (fun bi b ->
+        let n_preds = List.length (Cfg.preds cfg bi) in
+        List.iteri
+          (fun ii instr ->
+            match instr with
+            | Phi { incoming; dst = _ } ->
+                if Cfg.reachable cfg bi && List.length incoming <> n_preds then
+                  report b.label
+                    (Printf.sprintf "phi has %d incoming values but block has %d predecessors"
+                       (List.length incoming) n_preds);
+                (* a phi use must be dominated by its def at the end of the
+                   incoming edge, i.e. the def must dominate the predecessor *)
+                let check_incoming (v, l) =
+                  (match Hashtbl.find_opt labels l with
+                  | Some () -> ()
+                  | None -> report b.label ("phi references unknown label " ^ l));
+                  match v with
+                  | Const _ -> ()
+                  | Var var -> (
+                      match Hashtbl.find_opt def_site var.id with
+                      | None ->
+                          report b.label
+                            (Format.asprintf "use of undefined register %a" Pp.var var)
+                      | Some (-1, _) -> ()
+                      | Some (dbi, _) ->
+                          if Hashtbl.mem labels l then begin
+                            let pbi = Cfg.index_of_label cfg l in
+                            if Cfg.reachable cfg pbi && not (Cfg.dominates cfg dbi pbi) then
+                              report b.label
+                                (Format.asprintf
+                                   "phi incoming %a not dominated by its definition" Pp.var
+                                   var)
+                          end)
+                in
+                List.iter check_incoming incoming
+            | _ ->
+                if Cfg.reachable cfg bi then
+                  List.iter (fun v -> check_use b.label bi ii v) (used_vars instr))
+          b.instrs)
+      f.blocks;
+    List.rev !problems
+  end
+
+let modul (m : modul) = List.concat_map func m.funcs
+
+let check_exn m =
+  match modul m with
+  | [] -> ()
+  | problems ->
+      let msg =
+        String.concat "\n" (List.map (Format.asprintf "%a" pp_problem) problems)
+      in
+      failwith ("IR verification failed:\n" ^ msg)

@@ -1,0 +1,1 @@
+lib/mem/cache.ml: Array Clock Int64 List Packet Port Queue Salam_hw Salam_sim Stats

@@ -1,0 +1,1 @@
+lib/mem/dma.ml: Clock Int64 Packet Port Salam_ir Salam_sim Stats Stream_buffer

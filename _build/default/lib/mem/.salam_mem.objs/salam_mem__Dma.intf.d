@@ -1,0 +1,1 @@
+lib/mem/dma.mli: Port Salam_ir Salam_sim Stream_buffer

@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Clock Int64 Packet Port Salam_sim Stats

@@ -1,0 +1,1 @@
+lib/mem/packet.mli: Format

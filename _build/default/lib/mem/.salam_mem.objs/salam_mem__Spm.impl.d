@@ -1,0 +1,1 @@
+lib/mem/spm.ml: Array Clock Int64 Kernel Packet Port Printf Queue Salam_hw Salam_sim Stats

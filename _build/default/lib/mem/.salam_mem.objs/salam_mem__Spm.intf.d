@@ -1,0 +1,1 @@
+lib/mem/spm.mli: Port Salam_sim

@@ -1,0 +1,1 @@
+lib/mem/stream_buffer.ml: Bytes Clock Queue Salam_sim Stats

@@ -1,0 +1,1 @@
+lib/mem/xbar.ml: Clock Int64 List Packet Port Printf Queue Salam_sim Stats

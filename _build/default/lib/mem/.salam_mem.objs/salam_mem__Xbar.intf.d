@@ -1,0 +1,1 @@
+lib/mem/xbar.mli: Port Salam_sim

@@ -1,0 +1,236 @@
+open Salam_sim
+
+type config = {
+  name : string;
+  size : int;
+  line_bytes : int;
+  ways : int;
+  hit_latency : int;
+  mshrs : int;
+  lookup_ports : int;
+}
+
+type line = { mutable valid : bool; mutable dirty : bool; mutable tag : int64; mutable last_use : int }
+
+type mshr = { line_addr : int64; mutable waiters : (Packet.op * (unit -> unit)) list }
+
+type pending = { pkt : Packet.t; on_complete : unit -> unit }
+
+type t = {
+  clock : Clock.t;
+  cfg : config;
+  sets : int;
+  lines : line array array; (* [set].[way] *)
+  lower : Port.t;
+  mutable mshr_list : mshr list;
+  queue : pending Queue.t; (* waiting for a lookup port or an MSHR *)
+  mutable service_scheduled : bool;
+  mutable use_clock : int;
+  cacti : Salam_hw.Cacti_lite.result;
+  s_hits : Stats.scalar;
+  s_misses : Stats.scalar;
+  s_writebacks : Stats.scalar;
+  mutable port : Port.t option;
+}
+
+let default_config ~name ~size =
+  { name; size; line_bytes = 64; ways = 4; hit_latency = 2; mshrs = 8; lookup_ports = 2 }
+
+let line_addr t addr =
+  Int64.mul
+    (Int64.div addr (Int64.of_int t.cfg.line_bytes))
+    (Int64.of_int t.cfg.line_bytes)
+
+let set_index t laddr =
+  Int64.to_int (Int64.rem (Int64.div laddr (Int64.of_int t.cfg.line_bytes)) (Int64.of_int t.sets))
+
+let touch t line =
+  t.use_clock <- t.use_clock + 1;
+  line.last_use <- t.use_clock
+
+let find_line t laddr =
+  let set = t.lines.(set_index t laddr) in
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then None
+    else
+      let l = set.(i) in
+      if l.valid && Int64.equal l.tag laddr then Some l else go (i + 1)
+  in
+  go 0
+
+let victim t laddr =
+  let set = t.lines.(set_index t laddr) in
+  let best = ref set.(0) in
+  Array.iter
+    (fun l ->
+      if not l.valid then (if !best.valid then best := l)
+      else if !best.valid && l.last_use < !best.last_use then best := l)
+    set;
+  !best
+
+let rec service t =
+  t.service_scheduled <- false;
+  let lookups_left = ref t.cfg.lookup_ports in
+  let still_waiting = Queue.create () in
+  Queue.iter
+    (fun p ->
+      if !lookups_left > 0 && try_lookup t p then decr lookups_left
+      else Queue.add p still_waiting)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer still_waiting t.queue;
+  if not (Queue.is_empty t.queue) then schedule_service t
+
+and schedule_service t =
+  if not t.service_scheduled then begin
+    t.service_scheduled <- true;
+    Clock.schedule_cycles t.clock ~cycles:1 (fun () -> service t)
+  end
+
+(* Returns true when the request was accepted (hit, new MSHR, or
+   piggyback); false when it must retry (MSHRs exhausted). *)
+and try_lookup t (p : pending) =
+  let laddr = line_addr t p.pkt.Packet.addr in
+  match find_line t laddr with
+  | Some line ->
+      Stats.incr t.s_hits;
+      touch t line;
+      if Packet.is_write p.pkt then line.dirty <- true;
+      Clock.schedule_cycles t.clock ~cycles:t.cfg.hit_latency p.on_complete;
+      true
+  | None -> (
+      match List.find_opt (fun m -> Int64.equal m.line_addr laddr) t.mshr_list with
+      | Some m ->
+          Stats.incr t.s_misses;
+          m.waiters <- (p.pkt.Packet.op, p.on_complete) :: m.waiters;
+          true
+      | None ->
+          if List.length t.mshr_list >= t.cfg.mshrs then false
+          else begin
+            Stats.incr t.s_misses;
+            let m = { line_addr = laddr; waiters = [ (p.pkt.Packet.op, p.on_complete) ] } in
+            t.mshr_list <- m :: t.mshr_list;
+            let v = victim t laddr in
+            if v.valid && v.dirty then begin
+              Stats.incr t.s_writebacks;
+              let wb = Packet.make Packet.Write ~addr:v.tag ~size:t.cfg.line_bytes in
+              Port.send t.lower wb ~on_complete:(fun () -> ())
+            end;
+            v.valid <- false;
+            v.dirty <- false;
+            let fetch = Packet.make Packet.Read ~addr:laddr ~size:t.cfg.line_bytes in
+            Port.send t.lower fetch ~on_complete:(fun () ->
+                v.valid <- true;
+                v.tag <- laddr;
+                touch t v;
+                t.mshr_list <- List.filter (fun m' -> m' != m) t.mshr_list;
+                List.iter
+                  (fun (op, k) ->
+                    if op = Packet.Write then v.dirty <- true;
+                    Clock.schedule_cycles t.clock ~cycles:t.cfg.hit_latency k)
+                  (List.rev m.waiters);
+                (* an MSHR freed: blocked requests may proceed *)
+                if not (Queue.is_empty t.queue) then schedule_service t);
+            true
+          end)
+
+(* Split a request into line-sized fragments; complete when all do. *)
+let fragments t (pkt : Packet.t) =
+  let first = line_addr t pkt.Packet.addr in
+  let last = line_addr t (Int64.add pkt.Packet.addr (Int64.of_int (pkt.Packet.size - 1))) in
+  if Int64.equal first last then [ pkt ]
+  else begin
+    let rec go acc addr remaining =
+      if remaining <= 0 then List.rev acc
+      else begin
+        let line_end = Int64.add (line_addr t addr) (Int64.of_int t.cfg.line_bytes) in
+        let chunk = min remaining (Int64.to_int (Int64.sub line_end addr)) in
+        go (Packet.make pkt.Packet.op ~addr ~size:chunk :: acc) (Int64.add addr (Int64.of_int chunk))
+          (remaining - chunk)
+      end
+    in
+    go [] pkt.Packet.addr pkt.Packet.size
+  end
+
+let create _kernel clock stats cfg ~lower =
+  if cfg.size mod (cfg.line_bytes * cfg.ways) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of line_bytes * ways";
+  let sets = cfg.size / cfg.line_bytes / cfg.ways in
+  let group = Stats.group ~parent:stats cfg.name in
+  let cacti =
+    Salam_hw.Cacti_lite.evaluate
+      {
+        Salam_hw.Cacti_lite.capacity_bytes = cfg.size;
+        word_bits = 64;
+        read_ports = cfg.lookup_ports;
+        write_ports = 1;
+      }
+  in
+  let t =
+    {
+      clock;
+      cfg;
+      sets;
+      lines =
+        Array.init sets (fun _ ->
+            Array.init cfg.ways (fun _ ->
+                { valid = false; dirty = false; tag = 0L; last_use = 0 }));
+      lower;
+      mshr_list = [];
+      queue = Queue.create ();
+      service_scheduled = false;
+      use_clock = 0;
+      cacti;
+      s_hits = Stats.scalar group "hits";
+      s_misses = Stats.scalar group "misses";
+      s_writebacks = Stats.scalar group "writebacks";
+      port = None;
+    }
+  in
+  let handler pkt ~on_complete =
+    let frags = fragments t pkt in
+    let outstanding = ref (List.length frags) in
+    let complete_one () =
+      decr outstanding;
+      if !outstanding = 0 then on_complete ()
+    in
+    List.iter
+      (fun frag ->
+        Queue.add { pkt = frag; on_complete = complete_one } t.queue)
+      frags;
+    (* service on the next edge so same-cycle arrivals share the port
+       arbitration *)
+    if not t.service_scheduled then begin
+      t.service_scheduled <- true;
+      Clock.schedule_cycles t.clock ~cycles:0 (fun () -> service t)
+    end
+  in
+  t.port <- Some (Port.make ~name:cfg.name handler);
+  t
+
+let port t = match t.port with Some p -> p | None -> assert false
+
+let hits t = int_of_float (Stats.value t.s_hits)
+
+let misses t = int_of_float (Stats.value t.s_misses)
+
+let writebacks t = int_of_float (Stats.value t.s_writebacks)
+
+let flush t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l ->
+          l.valid <- false;
+          l.dirty <- false)
+        set)
+    t.lines
+
+let energy_pj t =
+  let accesses = Stats.value t.s_hits +. Stats.value t.s_misses in
+  accesses *. t.cacti.Salam_hw.Cacti_lite.read_energy_pj
+
+let leakage_mw t = t.cacti.Salam_hw.Cacti_lite.leakage_mw
+
+let area_um2 t = t.cacti.Salam_hw.Cacti_lite.area_um2

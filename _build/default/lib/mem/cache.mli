@@ -1,0 +1,51 @@
+(** Set-associative cache.
+
+    Write-back, write-allocate, LRU replacement, with a configurable
+    number of MSHRs for outstanding misses and a per-cycle lookup port
+    limit. Timing only: data lives in the shared backing store, so a
+    cache is a latency/bandwidth filter between its requestors and the
+    [lower] port (crossbar, next cache level, or DRAM).
+
+    Requests that cross line boundaries are split internally and
+    complete when every fragment has completed. *)
+
+type config = {
+  name : string;
+  size : int;  (** capacity in bytes *)
+  line_bytes : int;
+  ways : int;
+  hit_latency : int;  (** cycles *)
+  mshrs : int;  (** max outstanding misses *)
+  lookup_ports : int;  (** lookups serviced per cycle *)
+}
+
+type t
+
+val default_config : name:string -> size:int -> config
+(** 64-byte lines, 4 ways, 2-cycle hits, 8 MSHRs, 2 lookup ports. *)
+
+val create :
+  Salam_sim.Kernel.t ->
+  Salam_sim.Clock.t ->
+  Salam_sim.Stats.group ->
+  config ->
+  lower:Port.t ->
+  t
+
+val port : t -> Port.t
+
+val hits : t -> int
+
+val misses : t -> int
+
+val writebacks : t -> int
+
+val flush : t -> unit
+(** Invalidate everything (drop dirty lines silently — data is always in
+    the backing store); used between host/accelerator hand-offs. *)
+
+val energy_pj : t -> float
+
+val leakage_mw : t -> float
+
+val area_um2 : t -> float

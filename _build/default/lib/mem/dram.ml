@@ -1,0 +1,57 @@
+open Salam_sim
+
+type config = {
+  name : string;
+  base : int64;
+  size : int;
+  access_latency : int;
+  bus_bytes : int;
+}
+
+type t = {
+  clock : Clock.t;
+  cfg : config;
+  mutable busy_until_cycle : int64;
+  s_bytes_read : Stats.scalar;
+  s_bytes_written : Stats.scalar;
+  mutable port : Port.t option;
+}
+
+let default_config ~name ~base ~size =
+  { name; base; size; access_latency = 30; bus_bytes = 8 }
+
+let create _kernel clock stats cfg =
+  let group = Stats.group ~parent:stats cfg.name in
+  let t =
+    {
+      clock;
+      cfg;
+      busy_until_cycle = 0L;
+      s_bytes_read = Stats.scalar group "bytes_read";
+      s_bytes_written = Stats.scalar group "bytes_written";
+      port = None;
+    }
+  in
+  let handler (pkt : Packet.t) ~on_complete =
+    (match pkt.op with
+    | Packet.Read -> Stats.add t.s_bytes_read (float_of_int pkt.size)
+    | Packet.Write -> Stats.add t.s_bytes_written (float_of_int pkt.size));
+    (* the channel frees after the burst transfer; the requester sees
+       transfer plus the fixed access latency *)
+    let now = Clock.current_cycle t.clock in
+    let start = if Int64.compare t.busy_until_cycle now > 0 then t.busy_until_cycle else now in
+    let transfer = (pkt.size + cfg.bus_bytes - 1) / cfg.bus_bytes in
+    let finish = Int64.add start (Int64.of_int (max 1 transfer)) in
+    t.busy_until_cycle <- finish;
+    let done_cycle = Int64.add finish (Int64.of_int cfg.access_latency) in
+    let delay = Int64.to_int (Int64.sub done_cycle now) in
+    Clock.schedule_cycles t.clock ~cycles:(max 1 delay) on_complete
+  in
+  t.port <- Some (Port.make ~name:cfg.name handler);
+  t
+
+let port t = match t.port with Some p -> p | None -> assert false
+
+let bytes_read t = int_of_float (Stats.value t.s_bytes_read)
+
+let bytes_written t = int_of_float (Stats.value t.s_bytes_written)

@@ -1,0 +1,18 @@
+type op = Read | Write
+
+type t = { id : int; op : op; addr : int64; size : int }
+
+let counter = ref 0
+
+let make op ~addr ~size =
+  incr counter;
+  { id = !counter; op; addr; size }
+
+let is_read t = t.op = Read
+
+let is_write t = t.op = Write
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d @%Ld+%d"
+    (match t.op with Read -> "R" | Write -> "W")
+    t.id t.addr t.size

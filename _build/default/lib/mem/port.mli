@@ -1,0 +1,18 @@
+(** Memory ports.
+
+    A port is the target side of a master/slave connection: a device
+    exposes a port; requestors send packets into it and receive a
+    completion callback when the device's timing model has serviced the
+    request. Connecting a master to a slave is simply capturing the
+    slave's port. *)
+
+type t
+
+val make : name:string -> (Packet.t -> on_complete:(unit -> unit) -> unit) -> t
+
+val name : t -> string
+
+val send : t -> Packet.t -> on_complete:(unit -> unit) -> unit
+
+val pending : t -> int
+(** Requests sent but not yet completed. *)

@@ -1,0 +1,153 @@
+open Salam_sim
+
+type partitioning = Cyclic | Blocked
+
+type config = {
+  name : string;
+  base : int64;
+  size : int;
+  banks : int;
+  read_ports : int;
+  write_ports : int;
+  latency : int;
+  word_bytes : int;
+  partitioning : partitioning;
+}
+
+type pending = { pkt : Packet.t; on_complete : unit -> unit; mutable delayed : bool }
+
+type t = {
+  kernel : Kernel.t;
+  clock : Clock.t;
+  cfg : config;
+  queue : pending Queue.t;
+  mutable service_scheduled : bool;
+  cacti : Salam_hw.Cacti_lite.result;
+  s_reads : Stats.scalar;
+  s_writes : Stats.scalar;
+  s_conflicts : Stats.scalar;
+  mutable port : Port.t option;
+}
+
+let default_config ~name ~base ~size =
+  {
+    name;
+    base;
+    size;
+    banks = 2;
+    read_ports = 2;
+    write_ports = 1;
+    latency = 1;
+    word_bytes = 8;
+    partitioning = Cyclic;
+  }
+
+let bank_of t addr =
+  let off = Int64.to_int (Int64.sub addr t.cfg.base) in
+  let word = off / t.cfg.word_bytes in
+  match t.cfg.partitioning with
+  | Cyclic -> word mod t.cfg.banks
+  | Blocked ->
+      let words_per_bank = max 1 (t.cfg.size / t.cfg.word_bytes / t.cfg.banks) in
+      min (t.cfg.banks - 1) (word / words_per_bank)
+
+let rec service t =
+  t.service_scheduled <- false;
+  let reads_left = ref t.cfg.read_ports in
+  let writes_left = ref t.cfg.write_ports in
+  let banks_busy = Array.make t.cfg.banks false in
+  let still_waiting = Queue.create () in
+  let serviced = ref 0 in
+  Queue.iter
+    (fun p ->
+      let bank = bank_of t p.pkt.Packet.addr in
+      let port_ok =
+        match p.pkt.Packet.op with Packet.Read -> !reads_left > 0 | Packet.Write -> !writes_left > 0
+      in
+      if port_ok && not banks_busy.(bank) then begin
+        banks_busy.(bank) <- true;
+        (match p.pkt.Packet.op with
+        | Packet.Read ->
+            decr reads_left;
+            Stats.incr t.s_reads
+        | Packet.Write ->
+            decr writes_left;
+            Stats.incr t.s_writes);
+        incr serviced;
+        Clock.schedule_cycles t.clock ~cycles:t.cfg.latency p.on_complete
+      end
+      else begin
+        if not p.delayed then begin
+          p.delayed <- true;
+          Stats.incr t.s_conflicts
+        end;
+        Queue.add p still_waiting
+      end)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer still_waiting t.queue;
+  if not (Queue.is_empty t.queue) then schedule_service t ~cycles:1
+
+and schedule_service t ~cycles =
+  if not t.service_scheduled then begin
+    t.service_scheduled <- true;
+    Clock.schedule_cycles t.clock ~cycles (fun () -> service t)
+  end
+
+let create kernel clock stats cfg =
+  if cfg.banks < 1 || cfg.read_ports < 1 || cfg.write_ports < 1 then
+    invalid_arg "Spm.create: banks and ports must be at least 1";
+  let group = Stats.group ~parent:stats cfg.name in
+  let cacti =
+    Salam_hw.Cacti_lite.evaluate
+      {
+        Salam_hw.Cacti_lite.capacity_bytes = cfg.size;
+        word_bits = cfg.word_bytes * 8;
+        read_ports = cfg.read_ports;
+        write_ports = cfg.write_ports;
+      }
+  in
+  let t =
+    {
+      kernel;
+      clock;
+      cfg;
+      queue = Queue.create ();
+      service_scheduled = false;
+      cacti;
+      s_reads = Stats.scalar group "reads";
+      s_writes = Stats.scalar group "writes";
+      s_conflicts = Stats.scalar group "bank_conflicts";
+      port = None;
+    }
+  in
+  let handler pkt ~on_complete =
+    let last = Int64.add pkt.Packet.addr (Int64.of_int pkt.Packet.size) in
+    let limit = Int64.add cfg.base (Int64.of_int cfg.size) in
+    if Int64.compare pkt.Packet.addr cfg.base < 0 || Int64.compare last limit > 0 then
+      invalid_arg
+        (Printf.sprintf "%s: access %Ld+%d outside [%Ld, %Ld)" cfg.name pkt.Packet.addr
+           pkt.Packet.size cfg.base limit);
+    Queue.add { pkt; on_complete; delayed = false } t.queue;
+    schedule_service t ~cycles:0
+  in
+  t.port <- Some (Port.make ~name:cfg.name handler);
+  t
+
+let port t = match t.port with Some p -> p | None -> assert false
+
+let config t = t.cfg
+
+let reads t = int_of_float (Stats.value t.s_reads)
+
+let writes t = int_of_float (Stats.value t.s_writes)
+
+let bank_conflicts t = int_of_float (Stats.value t.s_conflicts)
+
+let energy_pj t =
+  (Stats.value t.s_reads *. t.cacti.Salam_hw.Cacti_lite.read_energy_pj)
+  +. (Stats.value t.s_writes *. t.cacti.Salam_hw.Cacti_lite.write_energy_pj)
+
+let leakage_mw t = t.cacti.Salam_hw.Cacti_lite.leakage_mw
+
+let area_um2 t = t.cacti.Salam_hw.Cacti_lite.area_um2

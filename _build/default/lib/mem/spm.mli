@@ -1,0 +1,47 @@
+(** Scratchpad memory.
+
+    A banked, multi-ported SRAM with deterministic latency — the private
+    and shared SPMs of the paper. Per cycle it accepts up to
+    [read_ports] reads and [write_ports] writes, with at most one access
+    per bank; bank mapping is cyclic or blocked, matching the
+    partitioning knob in gem5-SALAM's device configs. Requests that
+    cannot be serviced stall in the request queue (this is what produces
+    the port-sweep behaviour of Figures 14-15). *)
+
+type partitioning = Cyclic | Blocked
+
+type config = {
+  name : string;
+  base : int64;
+  size : int;
+  banks : int;
+  read_ports : int;
+  write_ports : int;
+  latency : int;  (** cycles from service to completion *)
+  word_bytes : int;  (** bank interleave granularity *)
+  partitioning : partitioning;
+}
+
+type t
+
+val default_config : name:string -> base:int64 -> size:int -> config
+
+val create : Salam_sim.Kernel.t -> Salam_sim.Clock.t -> Salam_sim.Stats.group -> config -> t
+
+val port : t -> Port.t
+
+val config : t -> config
+
+val reads : t -> int
+
+val writes : t -> int
+
+val bank_conflicts : t -> int
+(** Accesses delayed at least one cycle by bank or port contention. *)
+
+val energy_pj : t -> float
+(** Access energy so far, from the {!Salam_hw.Cacti_lite} model. *)
+
+val leakage_mw : t -> float
+
+val area_um2 : t -> float

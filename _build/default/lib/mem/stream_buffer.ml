@@ -1,0 +1,83 @@
+open Salam_sim
+
+type t = {
+  clock : Clock.t;
+  buf_name : string;
+  capacity_bytes : int;
+  fifo : char Queue.t;
+  pending_pushes : (Bytes.t * (unit -> unit)) Queue.t;
+  pending_pops : (int * (Bytes.t -> unit)) Queue.t;
+  s_pushes : Stats.scalar;
+  s_pops : Stats.scalar;
+  s_full_stalls : Stats.scalar;
+  s_empty_stalls : Stats.scalar;
+}
+
+let create _kernel clock stats ~name ~capacity_bytes =
+  if capacity_bytes <= 0 then invalid_arg "Stream_buffer.create: capacity must be positive";
+  let group = Stats.group ~parent:stats name in
+  {
+    clock;
+    buf_name = name;
+    capacity_bytes;
+    fifo = Queue.create ();
+    pending_pushes = Queue.create ();
+    pending_pops = Queue.create ();
+    s_pushes = Stats.scalar group "pushes";
+    s_pops = Stats.scalar group "pops";
+    s_full_stalls = Stats.scalar group "full_stalls";
+    s_empty_stalls = Stats.scalar group "empty_stalls";
+  }
+
+let name t = t.buf_name
+
+let capacity t = t.capacity_bytes
+
+let occupancy t = Queue.length t.fifo
+
+(* Move as many queued pushes and pops as possible; every state change
+   can unblock the other side, so iterate to quiescence. *)
+let rec settle t =
+  let progress = ref false in
+  (match Queue.peek_opt t.pending_pushes with
+  | Some (data, on_accepted) when Queue.length t.fifo + Bytes.length data <= t.capacity_bytes ->
+      ignore (Queue.pop t.pending_pushes);
+      Bytes.iter (fun c -> Queue.add c t.fifo) data;
+      Stats.incr t.s_pushes;
+      Clock.schedule_cycles t.clock ~cycles:1 on_accepted;
+      progress := true
+  | _ -> ());
+  (match Queue.peek_opt t.pending_pops with
+  | Some (size, on_data) when Queue.length t.fifo >= size ->
+      ignore (Queue.pop t.pending_pops);
+      let data = Bytes.init size (fun _ -> Queue.pop t.fifo) in
+      Stats.incr t.s_pops;
+      Clock.schedule_cycles t.clock ~cycles:1 (fun () -> on_data data);
+      progress := true
+  | _ -> ());
+  if !progress then settle t
+
+let push t data ~on_accepted =
+  if Bytes.length data > t.capacity_bytes then
+    invalid_arg (t.buf_name ^ ": push larger than FIFO capacity");
+  if
+    Queue.length t.fifo + Bytes.length data > t.capacity_bytes
+    || not (Queue.is_empty t.pending_pushes)
+  then Stats.incr t.s_full_stalls;
+  Queue.add (data, on_accepted) t.pending_pushes;
+  settle t
+
+let pop t ~size ~on_data =
+  if size > t.capacity_bytes then invalid_arg (t.buf_name ^ ": pop larger than FIFO capacity");
+  if Queue.length t.fifo < size || not (Queue.is_empty t.pending_pops) then
+    Stats.incr t.s_empty_stalls;
+  Queue.add (size, on_data) t.pending_pops;
+  settle t
+
+let pushes t = int_of_float (Stats.value t.s_pushes)
+
+let pops t = int_of_float (Stats.value t.s_pops)
+
+let full_stalls t = int_of_float (Stats.value t.s_full_stalls)
+
+let empty_stalls t = int_of_float (Stats.value t.s_empty_stalls)

@@ -1,0 +1,95 @@
+open Salam_sim
+
+type config = { name : string; latency : int; width : int }
+
+type range = { base : int64; size : int; target : Port.t }
+
+type pending = { pkt : Packet.t; on_complete : unit -> unit }
+
+type t = {
+  clock : Clock.t;
+  cfg : config;
+  mutable ranges : range list;
+  mutable default : Port.t option;
+  queue : pending Queue.t;
+  mutable service_scheduled : bool;
+  s_routed : Stats.scalar;
+  mutable port : Port.t option;
+}
+
+let set_default t port = t.default <- Some port
+
+let overlaps a b =
+  let a_end = Int64.add a.base (Int64.of_int a.size) in
+  let b_end = Int64.add b.base (Int64.of_int b.size) in
+  Int64.compare a.base b_end < 0 && Int64.compare b.base a_end < 0
+
+let add_range t ~base ~size target =
+  let r = { base; size; target } in
+  List.iter
+    (fun existing ->
+      if overlaps existing r then
+        invalid_arg
+          (Printf.sprintf "%s: range %Ld+%d overlaps %Ld+%d" t.cfg.name base size
+             existing.base existing.size))
+    t.ranges;
+  t.ranges <- r :: t.ranges
+
+let route t addr =
+  match
+    List.find_opt
+      (fun r ->
+        Int64.compare addr r.base >= 0
+        && Int64.compare addr (Int64.add r.base (Int64.of_int r.size)) < 0)
+      t.ranges
+  with
+  | Some r -> Some r.target
+  | None -> t.default
+
+let rec service t =
+  t.service_scheduled <- false;
+  let width_left = ref t.cfg.width in
+  while !width_left > 0 && not (Queue.is_empty t.queue) do
+    let p = Queue.pop t.queue in
+    decr width_left;
+    Stats.incr t.s_routed;
+    match route t p.pkt.Packet.addr with
+    | Some target ->
+        Clock.schedule_cycles t.clock ~cycles:t.cfg.latency (fun () ->
+            Port.send target p.pkt ~on_complete:p.on_complete)
+    | None ->
+        invalid_arg
+          (Printf.sprintf "%s: no route for address %Ld" t.cfg.name p.pkt.Packet.addr)
+  done;
+  if not (Queue.is_empty t.queue) then begin
+    t.service_scheduled <- true;
+    Clock.schedule_cycles t.clock ~cycles:1 (fun () -> service t)
+  end
+
+let create _kernel clock stats cfg =
+  let group = Stats.group ~parent:stats cfg.name in
+  let t =
+    {
+      clock;
+      cfg;
+      ranges = [];
+      default = None;
+      queue = Queue.create ();
+      service_scheduled = false;
+      s_routed = Stats.scalar group "packets_routed";
+      port = None;
+    }
+  in
+  let handler pkt ~on_complete =
+    Queue.add { pkt; on_complete } t.queue;
+    if not t.service_scheduled then begin
+      t.service_scheduled <- true;
+      Clock.schedule_cycles t.clock ~cycles:0 (fun () -> service t)
+    end
+  in
+  t.port <- Some (Port.make ~name:cfg.name handler);
+  t
+
+let port t = match t.port with Some p -> p | None -> assert false
+
+let packets_routed t = int_of_float (Stats.value t.s_routed)

@@ -1,0 +1,1 @@
+lib/reference/asic_model.ml: Array Fu List Salam_cdfg Salam_engine Salam_hw

@@ -1,0 +1,1 @@
+lib/reference/asic_model.mli: Salam_cdfg Salam_engine

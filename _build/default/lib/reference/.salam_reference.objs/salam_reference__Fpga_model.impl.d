@@ -1,0 +1,1 @@
+lib/reference/fpga_model.ml:

@@ -1,0 +1,1 @@
+lib/reference/hls_model.ml: Array Ast Cfg Format Fu Fun Hashtbl Interp List Option Profile Queue Salam_hw Salam_ir Sys

@@ -1,0 +1,1 @@
+lib/reference/hls_model.mli: Salam_hw Salam_ir

@@ -1,0 +1,83 @@
+open Salam_hw
+module Datapath = Salam_cdfg.Datapath
+module Engine = Salam_engine.Engine
+
+(* Independently characterised 40 nm library values: (area um^2,
+   leakage mW, switching energy pJ per op). They intentionally differ
+   from Profile.default_40nm by a few percent in both directions, the
+   way a synthesis run differs from a model calibrated against it. *)
+let cell_specs =
+  [
+    (Fu.Int_adder, (455.0, 0.0034, 0.146));
+    (Fu.Int_multiplier, (4390.0, 0.0172, 1.27));
+    (Fu.Int_divider, (6510.0, 0.0271, 2.96));
+    (Fu.Shifter, (396.0, 0.0029, 0.077));
+    (Fu.Bitwise, (212.0, 0.00155, 0.042));
+    (Fu.Mux, (171.0, 0.00113, 0.0285));
+    (Fu.Converter, (1835.0, 0.0094, 0.86));
+    (Fu.Fp_add_sp, (7890.0, 0.0342, 3.77));
+    (Fu.Fp_add_dp, (13760.0, 0.0601, 7.16));
+    (Fu.Fp_mul_sp, (13420.0, 0.0531, 7.35));
+    (Fu.Fp_mul_dp, (25300.0, 0.1002, 13.71));
+    (Fu.Fp_div_sp, (18300.0, 0.0687, 20.2));
+    (Fu.Fp_div_dp, (31900.0, 0.1325, 36.6));
+    (Fu.Fp_special, (42400.0, 0.1545, 50.1));
+  ]
+
+let wiring_overhead = 0.005 (* routing area on top of placed cells; datapaths here are register-dominated so routing adds little *)
+
+let clock_tree_fraction = 0.08 (* clock network power, fraction of register power *)
+
+let reg_area_per_bit = 6.1
+
+let reg_leak_per_bit = 0.000204
+
+let reg_energy_per_bit_toggle = 0.0041
+
+let spec cls =
+  match List.assoc_opt cls cell_specs with
+  | Some s -> s
+  | None -> invalid_arg ("Asic_model: no cell data for " ^ Fu.to_string cls)
+
+let area_um2 (dp : Datapath.t) =
+  let cells =
+    Fu.Map.fold
+      (fun cls count acc ->
+        let area, _, _ = spec cls in
+        acc +. (float_of_int count *. area))
+      dp.Datapath.fu_alloc 0.0
+  in
+  let regs = float_of_int dp.Datapath.register_bits *. reg_area_per_bit in
+  (cells +. regs) *. (1.0 +. wiring_overhead)
+
+let power_mw (dp : Datapath.t) ~stats ~seconds =
+  let leakage =
+    Fu.Map.fold
+      (fun cls count acc ->
+        let _, leak, _ = spec cls in
+        acc +. (float_of_int count *. leak))
+      dp.Datapath.fu_alloc 0.0
+    +. (float_of_int dp.Datapath.register_bits *. reg_leak_per_bit)
+  in
+  if seconds <= 0.0 then leakage
+  else begin
+    let to_mw pj = pj *. 1e-12 /. seconds *. 1e3 in
+    let switching =
+      List.fold_left
+        (fun acc (cls, ops) ->
+          let _, _, energy = spec cls in
+          acc +. (float_of_int ops *. energy))
+        0.0 stats.Engine.issued_by_class
+    in
+    (* every dynamic instruction toggles a destination register; use the
+       datapath's mean register width *)
+    let mean_bits =
+      float_of_int dp.Datapath.register_bits
+      /. float_of_int (max 1 (Array.length dp.Datapath.nodes))
+    in
+    let reg_energy =
+      float_of_int stats.Engine.dynamic_instructions *. mean_bits *. reg_energy_per_bit_toggle
+    in
+    let dynamic = to_mw (switching +. reg_energy) in
+    leakage +. (dynamic *. (1.0 +. clock_tree_fraction))
+  end

@@ -1,0 +1,21 @@
+(** ASIC synthesis reference (the Design Compiler stand-in).
+
+    An independent gate-level-flavoured estimator for the power and area
+    validations of Figs 11-12: per-class area/energy/leakage constants
+    characterised separately from the simulator's hardware profile, plus
+    explicit wiring and clock-tree overheads that the profile folds into
+    its per-unit numbers. Agreement between the two estimators is the
+    measured quantity. *)
+
+val area_um2 : Salam_cdfg.Datapath.t -> float
+(** Post-synthesis area of the datapath (functional units + registers +
+    wiring overhead). *)
+
+val power_mw :
+  Salam_cdfg.Datapath.t ->
+  stats:Salam_engine.Engine.run_stats ->
+  seconds:float ->
+  float
+(** Average total power over the run: leakage + dynamic (per-class
+    switching energy x operation counts, plus register and clock-tree
+    terms). *)

@@ -1,0 +1,23 @@
+type t = {
+  fabric_clock_mhz : float;
+  ddr_bandwidth_mb_s : float;
+  dma_setup_us : float;
+  invalidate_us_per_kb : float;
+}
+
+let zcu102 =
+  {
+    fabric_clock_mhz = 200.0;
+    ddr_bandwidth_mb_s = 5000.0;
+    dma_setup_us = 0.22;
+    invalidate_us_per_kb = 0.03;
+  }
+
+let compute_time_us t ~hls_cycles = float_of_int hls_cycles /. t.fabric_clock_mhz
+
+let bulk_transfer_us t ~bytes ~transfers =
+  let mb = float_of_int bytes /. 1.0e6 in
+  let kb = float_of_int bytes /. 1024.0 in
+  (mb /. t.ddr_bandwidth_mb_s *. 1.0e6)
+  +. (float_of_int transfers *. t.dma_setup_us)
+  +. (kb *. t.invalidate_us_per_kb)

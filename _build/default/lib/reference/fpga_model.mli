@@ -1,0 +1,22 @@
+(** FPGA board reference (the ZCU102 stand-in for Table III).
+
+    An analytic end-to-end model of a Zynq-class board: the programmable
+    logic runs the HLS schedule at the fabric clock, and bulk transfers
+    move over the DDR port at a sustained bandwidth with a fixed
+    per-transfer setup plus a cache-maintenance cost proportional to the
+    footprint (the invalidation effect the paper calls out). *)
+
+type t = {
+  fabric_clock_mhz : float;
+  ddr_bandwidth_mb_s : float;
+  dma_setup_us : float;  (** descriptor programming per transfer *)
+  invalidate_us_per_kb : float;
+}
+
+val zcu102 : t
+
+val compute_time_us : t -> hls_cycles:int -> float
+
+val bulk_transfer_us : t -> bytes:int -> transfers:int -> float
+(** Total read+write bulk time for [bytes] moved in [transfers]
+    DMA operations. *)

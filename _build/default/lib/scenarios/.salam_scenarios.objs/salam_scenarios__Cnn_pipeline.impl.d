@@ -1,0 +1,1 @@
+lib/scenarios/cnn_pipeline.ml: Accelerator Array Cluster Fabric Host Int64 List Memory Printf Salam_engine Salam_frontend Salam_ir Salam_mem Salam_sim Salam_soc Salam_workloads System Ty

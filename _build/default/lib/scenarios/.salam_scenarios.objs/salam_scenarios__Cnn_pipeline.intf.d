@@ -1,0 +1,1 @@
+lib/scenarios/cnn_pipeline.mli:

@@ -1,0 +1,33 @@
+(** The three producer-consumer integration scenarios of Fig 16.
+
+    One CNN layer (3x3 convolution -> ReLU -> 2x2 max-pool) runs on three
+    dedicated accelerators under three system integrations:
+
+    - {!run_private_spm}: every accelerator has a private scratchpad;
+      a block DMA moves intermediate tensors between them and the host
+      synchronises every stage (the gem5-Aladdin-style baseline);
+    - {!run_shared_spm}: the accelerators share one cluster scratchpad,
+      removing the copies, but the host still acts as the central
+      synchroniser (the PARADE-style model);
+    - {!run_streams}: the accelerators are chained with stream buffers
+      and self-synchronise through ready/valid handshakes; no central
+      controller is involved between stages.
+
+    Each run checks the final tensor in DRAM against the golden CNN
+    pipeline. *)
+
+type outcome = {
+  scenario : string;
+  total_us : float;  (** end-to-end, first DMA to last DMA completion *)
+  correct : bool;
+  stage_cycles : (string * int64) list;  (** per-accelerator busy cycles *)
+}
+
+val run_private_spm : ?h:int -> ?w:int -> unit -> outcome
+
+val run_shared_spm : ?h:int -> ?w:int -> unit -> outcome
+
+val run_streams : ?h:int -> ?w:int -> unit -> outcome
+
+val run_all : ?h:int -> ?w:int -> unit -> outcome list
+(** The three scenarios in paper order, same inputs. *)

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Event_queue Int64

@@ -1,0 +1,35 @@
+(** Discrete-event priority queue.
+
+    Events are ordered by (tick, priority, insertion sequence); the
+    insertion sequence makes simulation deterministic when several events
+    share a tick and priority. Ticks are abstract time units; clock
+    domains translate cycles into ticks. *)
+
+type t
+
+type event = private {
+  tick : int64;
+  priority : int;
+  seq : int;
+  action : unit -> unit;
+}
+
+val create : unit -> t
+
+val schedule : t -> tick:int64 -> ?priority:int -> (unit -> unit) -> unit
+(** [schedule q ~tick f] enqueues [f] to run at [tick]. Lower [priority]
+    runs first within a tick (default 0). Scheduling in the past raises
+    [Invalid_argument]. The past is any tick strictly before the tick of
+    the most recently popped event. *)
+
+val pop : t -> event option
+(** Remove and return the next event, or [None] if empty. *)
+
+val peek_tick : t -> int64 option
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val last_popped_tick : t -> int64
+(** Tick of the most recently popped event; 0 before any pop. *)

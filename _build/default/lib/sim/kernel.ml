@@ -1,0 +1,40 @@
+type t = {
+  queue : Event_queue.t;
+  mutable now : int64;
+  mutable executed : int;
+}
+
+let create () = { queue = Event_queue.create (); now = 0L; executed = 0 }
+
+let now t = t.now
+
+let schedule_at t ~tick ?priority action = Event_queue.schedule t.queue ~tick ?priority action
+
+let schedule_after t ~delay ?priority action =
+  Event_queue.schedule t.queue ~tick:(Int64.add t.now delay) ?priority action
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.tick;
+      t.executed <- t.executed + 1;
+      ev.action ();
+      true
+
+let run ?(max_ticks = Int64.max_int) t =
+  let rec loop () =
+    match Event_queue.peek_tick t.queue with
+    | None -> t.now
+    | Some tick when Int64.compare tick max_ticks > 0 -> t.now
+    | Some _ ->
+        ignore (step t);
+        loop ()
+  in
+  loop ()
+
+let run_until t done_ =
+  let rec loop () = if done_ () then t.now else if step t then loop () else t.now in
+  loop ()
+
+let events_executed t = t.executed

@@ -1,0 +1,31 @@
+(** Simulation kernel.
+
+    A [t] owns the global event queue and the notion of current time. All
+    devices in a simulated system share one kernel, mirroring gem5's
+    global event queue. One tick is one picosecond by convention, so a
+    1 GHz clock has a 1000-tick period. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int64
+(** Current simulation tick. *)
+
+val schedule_at : t -> tick:int64 -> ?priority:int -> (unit -> unit) -> unit
+
+val schedule_after : t -> delay:int64 -> ?priority:int -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] runs [f] at [now t + delay]. *)
+
+val run : ?max_ticks:int64 -> t -> int64
+(** Drain the event queue, executing events in order. Stops when the
+    queue is empty or when the next event lies beyond [max_ticks].
+    Returns the tick of the last executed event. *)
+
+val run_until : t -> (unit -> bool) -> int64
+(** [run_until t done_] executes events until [done_ ()] becomes true
+    (checked after every event) or the queue drains. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far; a cheap progress/cost
+    metric used by the simulator-speed benchmarks. *)

@@ -1,0 +1,102 @@
+type scalar = { s_name : string; mutable v : float }
+
+type distribution = {
+  d_name : string;
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type group = {
+  g_name : string;
+  mutable scalars : scalar list;
+  mutable dists : distribution list;
+  mutable children : group list;
+}
+
+let group ?parent name =
+  let g = { g_name = name; scalars = []; dists = []; children = [] } in
+  (match parent with Some p -> p.children <- p.children @ [ g ] | None -> ());
+  g
+
+let scalar g name =
+  let s = { s_name = name; v = 0.0 } in
+  g.scalars <- g.scalars @ [ s ];
+  s
+
+let incr s = s.v <- s.v +. 1.0
+
+let add s x = s.v <- s.v +. x
+
+let set s x = s.v <- x
+
+let value s = s.v
+
+let distribution g name =
+  let d = { d_name = name; count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity } in
+  g.dists <- g.dists @ [ d ];
+  d
+
+let sample d x =
+  d.count <- d.count + 1;
+  d.total <- d.total +. x;
+  if x < d.min_v then d.min_v <- x;
+  if x > d.max_v then d.max_v <- x
+
+let dist_count d = d.count
+
+let dist_mean d = if d.count = 0 then 0.0 else d.total /. float_of_int d.count
+
+let dist_max d = if d.count = 0 then 0.0 else d.max_v
+
+let dist_min d = if d.count = 0 then 0.0 else d.min_v
+
+let dist_total d = d.total
+
+let rec reset_group g =
+  List.iter (fun s -> s.v <- 0.0) g.scalars;
+  List.iter
+    (fun d ->
+      d.count <- 0;
+      d.total <- 0.0;
+      d.min_v <- infinity;
+      d.max_v <- neg_infinity)
+    g.dists;
+  List.iter reset_group g.children
+
+let fold g ~init ~f =
+  let rec go acc prefix g =
+    let prefix = if prefix = "" then g.g_name else prefix ^ "." ^ g.g_name in
+    let acc =
+      List.fold_left (fun acc s -> f acc ~path:(prefix ^ "." ^ s.s_name) s.v) acc g.scalars
+    in
+    List.fold_left (fun acc child -> go acc prefix child) acc g.children
+  in
+  go init "" g
+
+let find g path =
+  let parts = String.split_on_char '.' path in
+  let rec go g = function
+    | [] -> None
+    | [ last ] ->
+        List.find_opt (fun s -> s.s_name = last) g.scalars |> Option.map (fun s -> s.v)
+    | child :: rest -> (
+        match List.find_opt (fun c -> c.g_name = child) g.children with
+        | Some c -> go c rest
+        | None -> None)
+  in
+  go g parts
+
+let pp ppf g =
+  let rec go prefix g =
+    let prefix = if prefix = "" then g.g_name else prefix ^ "." ^ g.g_name in
+    List.iter (fun s -> Format.fprintf ppf "%s.%s = %g@." prefix s.s_name s.v) g.scalars;
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "%s.%s: count=%d mean=%g min=%g max=%g@." prefix d.d_name d.count
+          (dist_mean d) (dist_min d) (dist_max d))
+      g.dists;
+    List.iter (go prefix) g.children
+  in
+  go "" g

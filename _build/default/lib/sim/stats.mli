@@ -1,0 +1,53 @@
+(** Statistics infrastructure.
+
+    Every simulated device registers named statistics into a group;
+    groups nest, mirroring gem5's stats tree. Scalars count events,
+    distributions track per-cycle quantities (queue occupancy, parallel
+    issues), and formulas derive ratios at dump time. *)
+
+type group
+
+type scalar
+
+type distribution
+
+val group : ?parent:group -> string -> group
+
+val scalar : group -> string -> scalar
+(** Fresh scalar statistic, initial value 0. *)
+
+val incr : scalar -> unit
+
+val add : scalar -> float -> unit
+
+val set : scalar -> float -> unit
+
+val value : scalar -> float
+
+val distribution : group -> string -> distribution
+
+val sample : distribution -> float -> unit
+
+val dist_count : distribution -> int
+
+val dist_mean : distribution -> float
+(** Mean of samples; 0 when empty. *)
+
+val dist_max : distribution -> float
+
+val dist_min : distribution -> float
+
+val dist_total : distribution -> float
+
+val reset_group : group -> unit
+(** Reset every statistic in the group and its children to zero. *)
+
+val fold : group -> init:'a -> f:('a -> path:string -> float -> 'a) -> 'a
+(** Fold over all scalar values in the subtree; [path] is
+    ["group.subgroup.name"]. *)
+
+val find : group -> string -> float option
+(** [find g path] looks a scalar up by dotted path relative to [g]. *)
+
+val pp : Format.formatter -> group -> unit
+(** Dump all statistics in the subtree, one per line. *)

@@ -1,0 +1,1 @@
+lib/soc/accelerator.ml: Ast Bits Clock Comm_interface Int32 Int64 List Salam_cdfg Salam_engine Salam_hw Salam_ir Salam_sim Stats System Ty

@@ -1,0 +1,1 @@
+lib/soc/accelerator.mli: Comm_interface Salam_cdfg Salam_engine Salam_hw Salam_ir Salam_sim System

@@ -1,0 +1,1 @@
+lib/soc/cluster.ml: Accelerator Cache Comm_interface Dma Fabric Printf Salam_mem Salam_sim Spm Stream_buffer System Xbar

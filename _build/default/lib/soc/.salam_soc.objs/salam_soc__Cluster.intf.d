@@ -1,0 +1,1 @@
+lib/soc/cluster.mli: Accelerator Fabric Salam_mem System

@@ -1,0 +1,1 @@
+lib/soc/comm_interface.ml: Bits Clock Int64 List Memory Packet Port Salam_engine Salam_ir Salam_mem Salam_sim Stats Stream_buffer System Ty

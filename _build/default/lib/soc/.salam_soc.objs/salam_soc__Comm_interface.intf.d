@@ -1,0 +1,1 @@
+lib/soc/comm_interface.mli: Salam_engine Salam_mem Salam_sim System

@@ -1,0 +1,1 @@
+lib/soc/fabric.ml: Dram Salam_ir Salam_mem Salam_sim System Xbar

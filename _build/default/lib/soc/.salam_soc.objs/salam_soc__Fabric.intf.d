@@ -1,0 +1,1 @@
+lib/soc/fabric.mli: Salam_mem Salam_sim System

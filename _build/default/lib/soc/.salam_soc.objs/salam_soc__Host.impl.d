@@ -1,0 +1,1 @@
+lib/soc/host.ml: Bits Clock Comm_interface Int64 Memory Packet Port Salam_ir Salam_mem Salam_sim System Ty

@@ -1,0 +1,1 @@
+lib/soc/host.mli: Comm_interface Salam_mem Salam_sim System

@@ -1,0 +1,1 @@
+lib/soc/system.ml: Int64 Salam_ir Salam_sim

@@ -1,0 +1,1 @@
+lib/soc/system.mli: Salam_ir Salam_sim

@@ -1,0 +1,110 @@
+open Salam_sim
+open Salam_ir
+module Engine = Salam_engine.Engine
+module Datapath = Salam_cdfg.Datapath
+
+type t = {
+  acc_name : string;
+  system : System.t;
+  comm : Comm_interface.t;
+  engine : Engine.t;
+  datapath : Datapath.t;
+  clock : Clock.t;
+}
+
+type power_report = {
+  static_fu_mw : float;
+  static_reg_mw : float;
+  dynamic_fu_mw : float;
+  dynamic_reg_mw : float;
+  area_um2 : float;
+}
+
+let decode_arg (p : Ast.var) raw =
+  match p.ty with
+  | Ty.F32 -> Bits.Float (Int32.float_of_bits (Int64.to_int32 raw))
+  | Ty.F64 -> Bits.Float (Int64.float_of_bits raw)
+  | Ty.I1 | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 | Ty.Ptr -> Bits.truncate p.ty (Bits.Int raw)
+  | Ty.Void -> invalid_arg "Accelerator: void parameter"
+
+let encode_ret v =
+  match v with
+  | Bits.Int i -> i
+  | Bits.Float f -> Int64.bits_of_float f
+
+let create system ~name ~clock_mhz ?(profile = Salam_hw.Profile.default_40nm) ?(fu_limits = [])
+    ?(engine_config = Engine.default_config) (func : Ast.func) =
+  let clock = System.clock system ~mhz:clock_mhz in
+  let datapath = Datapath.build ~profile ~limits:fu_limits func in
+  let n_args = List.length func.Ast.params in
+  let comm = Comm_interface.create system ~name ~clock ~mmr_words:(3 + max 1 n_args) in
+  let group = Stats.group ~parent:(System.stats system) (name ^ ".engine") in
+  let engine =
+    Engine.create (System.kernel system) clock group ~config:engine_config ~datapath
+      ~mem:(Comm_interface.mem_iface comm) ()
+  in
+  let t = { acc_name = name; system; comm; engine; datapath; clock } in
+  (* control-register starts: decode the argument MMRs and launch *)
+  Comm_interface.on_control_write comm (fun value ->
+      if Int64.logand value 1L = 1L && not (Engine.running engine) then begin
+        let args =
+          List.mapi
+            (fun i p -> decode_arg p (Comm_interface.read_mmr comm (Comm_interface.Layout.arg i)))
+            func.Ast.params
+        in
+        Comm_interface.write_mmr comm Comm_interface.Layout.status 1L;
+        Engine.start engine ~args ~on_finish:(fun ret ->
+            (match ret with
+            | Some v -> Comm_interface.write_mmr comm Comm_interface.Layout.ret_value (encode_ret v)
+            | None -> ());
+            Comm_interface.write_mmr comm Comm_interface.Layout.status 2L;
+            Comm_interface.raise_interrupt comm)
+      end);
+  t
+
+let name t = t.acc_name
+
+let comm t = t.comm
+
+let engine t = t.engine
+
+let datapath t = t.datapath
+
+let clock t = t.clock
+
+let launch t ~args ~on_done =
+  Comm_interface.write_mmr t.comm Comm_interface.Layout.status 1L;
+  Engine.start t.engine ~args ~on_finish:(fun ret ->
+      (match ret with
+      | Some v -> Comm_interface.write_mmr t.comm Comm_interface.Layout.ret_value (encode_ret v)
+      | None -> ());
+      Comm_interface.write_mmr t.comm Comm_interface.Layout.status 2L;
+      Comm_interface.raise_interrupt t.comm;
+      on_done ret)
+
+let busy t = Engine.running t.engine
+
+let add_ordered_range t ~base ~size = Engine.add_ordered_range t.engine ~base ~size
+
+let stats t = Engine.stats t.engine
+
+let power t ~elapsed_seconds =
+  let stats = Engine.stats t.engine in
+  let profile = t.datapath.Datapath.profile in
+  let fu_leak =
+    Salam_hw.Fu.Map.fold
+      (fun cls count acc ->
+        acc +. (float_of_int count *. (Salam_hw.Profile.spec profile cls).Salam_hw.Profile.leakage_mw))
+      t.datapath.Datapath.fu_alloc 0.0
+  in
+  let reg_leak =
+    float_of_int t.datapath.Datapath.register_bits *. profile.Salam_hw.Profile.reg_leak_mw_per_bit
+  in
+  let to_mw pj = if elapsed_seconds <= 0.0 then 0.0 else pj *. 1e-12 /. elapsed_seconds *. 1e3 in
+  {
+    static_fu_mw = fu_leak;
+    static_reg_mw = reg_leak;
+    dynamic_fu_mw = to_mw stats.Engine.dynamic_fu_energy_pj;
+    dynamic_reg_mw = to_mw stats.Engine.dynamic_reg_energy_pj;
+    area_um2 = Datapath.static_area_um2 t.datapath;
+  }

@@ -1,0 +1,163 @@
+open Salam_sim
+open Salam_ir
+open Salam_mem
+
+module Layout = struct
+  let status = 0
+
+  let control = 1
+
+  let ret_value = 2
+
+  let arg i = 3 + i
+end
+
+type stream_map = { s_base : int64; s_size : int; buffer : Stream_buffer.t }
+
+type range = { r_base : int64; r_size : int; target : Port.t }
+
+type t = {
+  system : System.t;
+  iface_name : string;
+  clock : Clock.t;
+  mmr_base : int64;
+  mmr_words : int;
+  mutable ranges : range list;
+  mutable default : Port.t option;
+  mutable stream_pops : stream_map list;
+  mutable stream_pushes : stream_map list;
+  mutable control_handlers : (int64 -> unit) list;
+  mutable irq_handlers : (unit -> unit) list;
+  mutable mmr_port : Port.t option;
+  s_loads : Stats.scalar;
+  s_stores : Stats.scalar;
+}
+
+let create system ~name ~clock ~mmr_words =
+  if mmr_words < 3 then invalid_arg "Comm_interface.create: need at least 3 MMR words";
+  let mmr_base = System.alloc_region system ~bytes:(mmr_words * 8) in
+  let group = Stats.group ~parent:(System.stats system) name in
+  let t =
+    {
+      system;
+      iface_name = name;
+      clock;
+      mmr_base;
+      mmr_words;
+      ranges = [];
+      default = None;
+      stream_pops = [];
+      stream_pushes = [];
+      control_handlers = [];
+      irq_handlers = [];
+      mmr_port = None;
+      s_loads = Stats.scalar group "loads";
+      s_stores = Stats.scalar group "stores";
+    }
+  in
+  (* MMR timing port: one interface-clock cycle per access; control
+     writes fire the start logic after the write completes. *)
+  let handler (pkt : Packet.t) ~on_complete =
+    Clock.schedule_cycles clock ~cycles:1 (fun () ->
+        on_complete ();
+        if Packet.is_write pkt then begin
+          let word = Int64.to_int (Int64.div (Int64.sub pkt.Packet.addr mmr_base) 8L) in
+          if word = Layout.control then begin
+            let value = Bits.to_int64 (Memory.load (System.backing system) Ty.I64 pkt.Packet.addr) in
+            List.iter (fun h -> h value) t.control_handlers
+          end
+        end)
+  in
+  t.mmr_port <- Some (Port.make ~name:(name ^ ".mmr") handler);
+  t
+
+let name t = t.iface_name
+
+let clock t = t.clock
+
+let mmr_base t = t.mmr_base
+
+let mmr_size t = t.mmr_words * 8
+
+let mmr_addr t word =
+  if word < 0 || word >= t.mmr_words then invalid_arg (t.iface_name ^ ": MMR index out of range");
+  Int64.add t.mmr_base (Int64.of_int (word * 8))
+
+let read_mmr t word = Bits.to_int64 (Memory.load (System.backing t.system) Ty.I64 (mmr_addr t word))
+
+let write_mmr t word v = Memory.store (System.backing t.system) Ty.I64 (mmr_addr t word) (Bits.Int v)
+
+let mmr_port t = match t.mmr_port with Some p -> p | None -> assert false
+
+let on_control_write t h = t.control_handlers <- t.control_handlers @ [ h ]
+
+let set_interrupt t h = t.irq_handlers <- t.irq_handlers @ [ h ]
+
+let raise_interrupt t = List.iter (fun h -> h ()) t.irq_handlers
+
+let add_route t ~base ~size target = t.ranges <- { r_base = base; r_size = size; target } :: t.ranges
+
+let set_default_route t port = t.default <- Some port
+
+let in_range ~base ~size addr =
+  Int64.compare addr base >= 0 && Int64.compare addr (Int64.add base (Int64.of_int size)) < 0
+
+let map_stream_pop t ~base ~size buffer =
+  t.stream_pops <- { s_base = base; s_size = size; buffer } :: t.stream_pops
+
+let map_stream_push t ~base ~size buffer =
+  t.stream_pushes <- { s_base = base; s_size = size; buffer } :: t.stream_pushes
+
+let route t addr =
+  match
+    List.find_opt (fun r -> in_range ~base:r.r_base ~size:r.r_size addr) t.ranges
+  with
+  | Some r -> Some r.target
+  | None -> t.default
+
+let bits_of_bytes ty data =
+  let scratch = Memory.create ~size:16 in
+  Memory.store_bytes scratch 8L data;
+  Memory.load scratch ty 8L
+
+let bytes_of_bits ty v =
+  let scratch = Memory.create ~size:16 in
+  Memory.store scratch ty 8L v;
+  Memory.load_bytes scratch 8L (Ty.size_bytes ty)
+
+let mem_iface t : Salam_engine.Engine.mem_iface =
+  let backing = System.backing t.system in
+  let read ~addr ~ty ~on_value =
+    Stats.incr t.s_loads;
+    match List.find_opt (fun s -> in_range ~base:s.s_base ~size:s.s_size addr) t.stream_pops with
+    | Some s ->
+        Stream_buffer.pop s.buffer ~size:(Ty.size_bytes ty) ~on_data:(fun data ->
+            on_value (bits_of_bytes ty data))
+    | None -> (
+        (* capture the value at issue; the timing response only releases
+           dependants (see Packet's documentation) *)
+        let value = Memory.load backing ty addr in
+        let pkt = Packet.make Packet.Read ~addr ~size:(Ty.size_bytes ty) in
+        match route t addr with
+        | Some port -> Port.send port pkt ~on_complete:(fun () -> on_value value)
+        | None -> invalid_arg (t.iface_name ^ ": no route for load address " ^ Int64.to_string addr))
+  in
+  let write ~addr ~ty ~value ~on_done =
+    Stats.incr t.s_stores;
+    match
+      List.find_opt (fun s -> in_range ~base:s.s_base ~size:s.s_size addr) t.stream_pushes
+    with
+    | Some s -> Stream_buffer.push s.buffer (bytes_of_bits ty value) ~on_accepted:on_done
+    | None -> (
+        Memory.store backing ty addr value;
+        let pkt = Packet.make Packet.Write ~addr ~size:(Ty.size_bytes ty) in
+        match route t addr with
+        | Some port -> Port.send port pkt ~on_complete:on_done
+        | None ->
+            invalid_arg (t.iface_name ^ ": no route for store address " ^ Int64.to_string addr))
+  in
+  { Salam_engine.Engine.read; write }
+
+let loads t = int_of_float (Stats.value t.s_loads)
+
+let stores t = int_of_float (Stats.value t.s_stores)

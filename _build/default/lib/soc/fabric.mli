@@ -1,0 +1,28 @@
+(** System backbone: global crossbar plus DRAM.
+
+    The global crossbar grants clusters access to resources outside
+    themselves; DRAM is its default route and backs the whole address
+    space. Cluster-local devices that must be visible system-wide
+    (private SPMs for DMA, MMR blocks) are mapped in with
+    {!add_range}. *)
+
+type t
+
+val create :
+  System.t ->
+  ?clock_mhz:float ->
+  ?dram_latency:int ->
+  ?dram_bus_bytes:int ->
+  ?xbar_latency:int ->
+  ?xbar_width:int ->
+  unit ->
+  t
+
+val port : t -> Salam_mem.Port.t
+(** Into the global crossbar. *)
+
+val add_range : t -> base:int64 -> size:int -> Salam_mem.Port.t -> unit
+
+val dram : t -> Salam_mem.Dram.t
+
+val clock : t -> Salam_sim.Clock.t

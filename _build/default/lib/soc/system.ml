@@ -1,0 +1,26 @@
+type t = {
+  kernel : Salam_sim.Kernel.t;
+  stats : Salam_sim.Stats.group;
+  backing : Salam_ir.Memory.t;
+}
+
+let create ?(mem_bytes = 64 * 1024 * 1024) () =
+  {
+    kernel = Salam_sim.Kernel.create ();
+    stats = Salam_sim.Stats.group "system";
+    backing = Salam_ir.Memory.create ~size:mem_bytes;
+  }
+
+let kernel t = t.kernel
+
+let stats t = t.stats
+
+let backing t = t.backing
+
+let clock t ~mhz = Salam_sim.Clock.create t.kernel ~freq_mhz:mhz
+
+let alloc_region t ~bytes = Salam_ir.Memory.alloc t.backing ~bytes ~align:64
+
+let run ?max_ticks t = Salam_sim.Kernel.run ?max_ticks t.kernel
+
+let elapsed_seconds t = Int64.to_float (Salam_sim.Kernel.now t.kernel) *. 1e-12

@@ -1,0 +1,29 @@
+(** Full-system container.
+
+    Owns the event kernel, the statistics tree and the shared functional
+    backing store that every timing device reads and writes through.
+    Device address regions are carved out of the backing store by a bump
+    allocator, so the system's address map is constructed as devices are
+    added — the role of gem5-SALAM's system configuration file. *)
+
+type t
+
+val create : ?mem_bytes:int -> unit -> t
+(** Default backing store: 64 MiB. *)
+
+val kernel : t -> Salam_sim.Kernel.t
+
+val stats : t -> Salam_sim.Stats.group
+
+val backing : t -> Salam_ir.Memory.t
+
+val clock : t -> mhz:float -> Salam_sim.Clock.t
+
+val alloc_region : t -> bytes:int -> int64
+(** 64-byte-aligned region of the backing store. *)
+
+val run : ?max_ticks:int64 -> t -> int64
+(** Drain all scheduled events; returns the final tick. *)
+
+val elapsed_seconds : t -> float
+(** Simulated seconds at the current tick (1 tick = 1 ps). *)

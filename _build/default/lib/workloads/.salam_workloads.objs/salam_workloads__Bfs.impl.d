@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Array Memory Printf Queue Salam_frontend Salam_ir Salam_sim Ty Workload

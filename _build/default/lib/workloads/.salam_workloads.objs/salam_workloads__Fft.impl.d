@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Array Float Memory Printf Salam_frontend Salam_ir Salam_sim Ty Workload

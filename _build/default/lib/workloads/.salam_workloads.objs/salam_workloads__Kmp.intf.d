@@ -1,0 +1,1 @@
+lib/workloads/kmp.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/md_grid.mli: Workload

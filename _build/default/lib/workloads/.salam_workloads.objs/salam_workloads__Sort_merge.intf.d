@@ -1,0 +1,1 @@
+lib/workloads/sort_merge.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/spmv.ml: Array Memory Printf Salam_frontend Salam_ir Salam_sim Ty Workload

@@ -1,0 +1,1 @@
+lib/workloads/stencil3d.mli: Workload

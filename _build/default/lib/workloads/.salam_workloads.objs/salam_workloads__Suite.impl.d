@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Bfs Fft Gemm List Md_grid Md_knn Nw Spmv Stencil2d Stencil3d String Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Ast Bits Hashtbl Interp List Memory Salam_frontend Salam_ir Salam_sim

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Salam_frontend Salam_ir Salam_sim

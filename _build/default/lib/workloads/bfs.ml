@@ -1,0 +1,98 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let golden node_begin node_end edges n src =
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for e = node_begin.(u) to node_end.(u) - 1 do
+      let d = edges.(e) in
+      if level.(d) = -1 then begin
+        level.(d) <- level.(u) + 1;
+        Queue.add d queue
+      end
+    done
+  done;
+  level
+
+let workload ?(nodes = 128) ?(edges_per_node = 4) () =
+  let n = nodes in
+  let e_total = n * edges_per_node in
+  let src = 0 in
+  let kern =
+    kernel (Printf.sprintf "bfs_queue_n%d" n)
+      ~params:
+        [
+          array "node_begin" Ty.I32 [ n ];
+          array "node_end" Ty.I32 [ n ];
+          array "edges" Ty.I32 [ e_total ];
+          array "level" Ty.I32 [ n ];
+          array "queue" Ty.I32 [ n ];
+        ]
+      [
+        decl Ty.I32 "head" (i 0);
+        decl Ty.I32 "tail" (i 1);
+        store "queue" [ i 0 ] (i src);
+        store "level" [ i src ] (i 0);
+        While
+          ( v "head" <: v "tail",
+            [
+              decl Ty.I32 "u" (idx "queue" [ v "head" ]);
+              assign "head" (v "head" +: i 1);
+              decl Ty.I32 "lvl" (idx "level" [ v "u" ] +: i 1);
+              for_ "e" (idx "node_begin" [ v "u" ]) (idx "node_end" [ v "u" ])
+                [
+                  decl Ty.I32 "d" (idx "edges" [ v "e" ]);
+                  if_
+                    (idx "level" [ v "d" ] =: i (-1))
+                    [
+                      store "level" [ v "d" ] (v "lvl");
+                      store "queue" [ v "tail" ] (v "d");
+                      assign "tail" (v "tail" +: i 1);
+                    ]
+                    [];
+                ];
+            ] );
+      ]
+  in
+  let fill rng mem bases =
+    let node_begin = Array.init n (fun u -> u * edges_per_node) in
+    let node_end = Array.init n (fun u -> (u + 1) * edges_per_node) in
+    (* random graph with a guaranteed spanning chain so everything is
+       reachable *)
+    let edges =
+      Array.init e_total (fun k ->
+          let u = k / edges_per_node in
+          if k mod edges_per_node = 0 then (u + 1) mod n else Salam_sim.Rng.int rng n)
+    in
+    Memory.write_i32_array mem bases.(0) node_begin;
+    Memory.write_i32_array mem bases.(1) node_end;
+    Memory.write_i32_array mem bases.(2) edges;
+    Memory.write_i32_array mem bases.(3) (Array.make n (-1));
+    Memory.fill mem bases.(4) (n * 4) '\000'
+  in
+  let check mem bases =
+    let node_begin = Memory.read_i32_array mem bases.(0) n in
+    let node_end = Memory.read_i32_array mem bases.(1) n in
+    let edges = Memory.read_i32_array mem bases.(2) e_total in
+    let level = Memory.read_i32_array mem bases.(3) n in
+    level = golden node_begin node_end edges n src
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers =
+      [
+        ("node_begin", n * 4);
+        ("node_end", n * 4);
+        ("edges", e_total * 4);
+        ("level", n * 4);
+        ("queue", n * 4);
+      ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

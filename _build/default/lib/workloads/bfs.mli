@@ -1,0 +1,5 @@
+(** Breadth-first search with an explicit work queue (MachSuite
+    bfs/queue). Entirely data-dependent control flow — the class of
+    kernel trace-based simulators mis-model. *)
+
+val workload : ?nodes:int -> ?edges_per_node:int -> unit -> Workload.t

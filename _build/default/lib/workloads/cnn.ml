@@ -1,0 +1,161 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let golden_conv input weights h w =
+  let wp = w + 2 in
+  let out = Array.make (h * w) 0.0 in
+  for r = 0 to h - 1 do
+    for c = 0 to w - 1 do
+      let s = ref 0.0 in
+      for k1 = 0 to 2 do
+        for k2 = 0 to 2 do
+          s := !s +. (weights.((k1 * 3) + k2) *. input.(((r + k1) * wp) + c + k2))
+        done
+      done;
+      out.((r * w) + c) <- !s
+    done
+  done;
+  out
+
+let golden_relu x = Array.map (fun v -> if v > 0.0 then v else 0.0) x
+
+let golden_pool x h w =
+  let oh = h / 2 and ow = w / 2 in
+  let out = Array.make (oh * ow) 0.0 in
+  for r = 0 to oh - 1 do
+    for c = 0 to ow - 1 do
+      let at dr dc = x.((((2 * r) + dr) * w) + (2 * c) + dc) in
+      out.((r * ow) + c) <- max (max (at 0 0) (at 0 1)) (max (at 1 0) (at 1 1))
+    done
+  done;
+  out
+
+let golden_pipeline ~input ~weights ~h ~w =
+  golden_pool (golden_relu (golden_conv input weights h w)) h w
+
+let close a b = abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b)
+
+let conv ?(h = 16) ?(w = 16) ?(unroll = 1) ?(pixel_unroll = 1) () =
+  let hp = h + 2 and wp = w + 2 in
+  let kern =
+    kernel (Printf.sprintf "cnn_conv_%dx%d_u%d_p%d" h w unroll pixel_unroll)
+      ~params:
+        [
+          array "input" Ty.F64 [ hp; wp ];
+          array "weights" Ty.F64 [ 3; 3 ];
+          array "output" Ty.F64 [ h; w ];
+        ]
+      [
+        for_ "r" (i 0) (i h)
+          [
+            for_ ~unroll:pixel_unroll "c" (i 0) (i w)
+              [
+                decl Ty.F64 "sum" (f 0.0);
+                for_ ~unroll "k1" (i 0) (i 3)
+                  [
+                    for_ ~unroll "k2" (i 0) (i 3)
+                      [
+                        assign "sum"
+                          (v "sum"
+                          +: (idx "weights" [ v "k1"; v "k2" ]
+                             *: idx "input" [ v "r" +: v "k1"; v "c" +: v "k2" ]));
+                      ];
+                  ];
+                store "output" [ v "r"; v "c" ] (v "sum");
+              ];
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let input = Array.init (hp * wp) (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    let weights = Array.init 9 (fun _ -> Salam_sim.Rng.float rng 1.0 -. 0.5) in
+    Memory.write_f64_array mem bases.(0) input;
+    Memory.write_f64_array mem bases.(1) weights;
+    Memory.fill mem bases.(2) (h * w * 8) '\000'
+  in
+  let check mem bases =
+    let input = Memory.read_f64_array mem bases.(0) (hp * wp) in
+    let weights = Memory.read_f64_array mem bases.(1) 9 in
+    let out = Memory.read_f64_array mem bases.(2) (h * w) in
+    Array.for_all2 close out (golden_conv input weights h w)
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("input", hp * wp * 8); ("weights", 9 * 8); ("output", h * w * 8) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }
+
+let relu ?(h = 16) ?(w = 16) ?(unroll = 1) () =
+  let n = h * w in
+  let kern =
+    kernel (Printf.sprintf "cnn_relu_%dx%d_u%d" h w unroll)
+      ~params:[ array "input" Ty.F64 [ n ]; array "output" Ty.F64 [ n ] ]
+      [
+        for_ ~unroll "k" (i 0) (i n)
+          [
+            decl Ty.F64 "x" (idx "input" [ v "k" ]);
+            store "output" [ v "k" ] (Cond (v "x" >: f 0.0, v "x", f 0.0));
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let input = Array.init n (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    Memory.write_f64_array mem bases.(0) input;
+    Memory.fill mem bases.(1) (n * 8) '\000'
+  in
+  let check mem bases =
+    let input = Memory.read_f64_array mem bases.(0) n in
+    let out = Memory.read_f64_array mem bases.(1) n in
+    Array.for_all2 close out (golden_relu input)
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("input", n * 8); ("output", n * 8) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }
+
+let pool ?(h = 16) ?(w = 16) () =
+  let oh = h / 2 and ow = w / 2 in
+  let kern =
+    kernel (Printf.sprintf "cnn_pool_%dx%d" h w)
+      ~params:[ array "input" Ty.F64 [ h; w ]; array "output" Ty.F64 [ oh; ow ] ]
+      [
+        for_ "r" (i 0) (i oh)
+          [
+            for_ "c" (i 0) (i ow)
+              [
+                decl Ty.F64 "a" (idx "input" [ v "r" *: i 2; v "c" *: i 2 ]);
+                decl Ty.F64 "b" (idx "input" [ v "r" *: i 2; (v "c" *: i 2) +: i 1 ]);
+                decl Ty.F64 "cc" (idx "input" [ (v "r" *: i 2) +: i 1; v "c" *: i 2 ]);
+                decl Ty.F64 "d" (idx "input" [ (v "r" *: i 2) +: i 1; (v "c" *: i 2) +: i 1 ]);
+                decl Ty.F64 "m1" (Cond (v "a" >: v "b", v "a", v "b"));
+                decl Ty.F64 "m2" (Cond (v "cc" >: v "d", v "cc", v "d"));
+                store "output" [ v "r"; v "c" ] (Cond (v "m1" >: v "m2", v "m1", v "m2"));
+              ];
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let input = Array.init (h * w) (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    Memory.write_f64_array mem bases.(0) input;
+    Memory.fill mem bases.(1) (oh * ow * 8) '\000'
+  in
+  let check mem bases =
+    let input = Memory.read_f64_array mem bases.(0) (h * w) in
+    let out = Memory.read_f64_array mem bases.(1) (oh * ow) in
+    Array.for_all2 close out (golden_pool input h w)
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("input", h * w * 8); ("output", oh * ow * 8) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

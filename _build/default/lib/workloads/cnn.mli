@@ -1,0 +1,20 @@
+(** First CNN layer: 3x3 convolution, ReLU, 2x2 max-pool (the Fig 16
+    multi-accelerator workload).
+
+    Each stage is its own kernel so each can run on a dedicated
+    accelerator; [golden_pipeline] computes the end-to-end reference for
+    checking a chained execution. *)
+
+val conv : ?h:int -> ?w:int -> ?unroll:int -> ?pixel_unroll:int -> unit -> Workload.t
+(** Input is [(h+2) x (w+2)] (pre-padded); output [h x w]. Buffers:
+    input, 3x3 weights, output. *)
+
+val relu : ?h:int -> ?w:int -> ?unroll:int -> unit -> Workload.t
+(** Buffers: input [h x w], output [h x w]. *)
+
+val pool : ?h:int -> ?w:int -> unit -> Workload.t
+(** 2x2 max-pool; output [(h/2) x (w/2)]. *)
+
+val golden_pipeline :
+  input:float array -> weights:float array -> h:int -> w:int -> float array
+(** conv + relu + pool of the padded input; result is [(h/2) x (w/2)]. *)

@@ -1,0 +1,130 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+(* reference implementation of the identical strided algorithm *)
+let golden real img real_twid img_twid size =
+  let real = Array.copy real and img = Array.copy img in
+  let log = ref 0 in
+  let span = ref (size lsr 1) in
+  while !span > 0 do
+    let odd = ref !span in
+    while !odd < size do
+      odd := !odd lor !span;
+      let even = !odd lxor !span in
+      let temp = real.(even) +. real.(!odd) in
+      real.(!odd) <- real.(even) -. real.(!odd);
+      real.(even) <- temp;
+      let temp = img.(even) +. img.(!odd) in
+      img.(!odd) <- img.(even) -. img.(!odd);
+      img.(even) <- temp;
+      let rootindex = even lsl !log land (size - 1) in
+      if rootindex <> 0 then begin
+        let temp =
+          (real_twid.(rootindex) *. real.(!odd)) -. (img_twid.(rootindex) *. img.(!odd))
+        in
+        img.(!odd) <-
+          (real_twid.(rootindex) *. img.(!odd)) +. (img_twid.(rootindex) *. real.(!odd));
+        real.(!odd) <- temp
+      end;
+      incr odd
+    done;
+    span := !span lsr 1;
+    incr log
+  done;
+  (real, img)
+
+let workload ?(size = 256) () =
+  if size land (size - 1) <> 0 then invalid_arg "Fft.workload: size must be a power of two";
+  let half = size / 2 in
+  let kern =
+    kernel (Printf.sprintf "fft_strided_%d" size)
+      ~params:
+        [
+          array "real" Ty.F64 [ size ];
+          array "img" Ty.F64 [ size ];
+          array "real_twid" Ty.F64 [ half ];
+          array "img_twid" Ty.F64 [ half ];
+        ]
+      [
+        decl Ty.I32 "log" (i 0);
+        decl Ty.I32 "span" (i (size lsr 1));
+        While
+          ( v "span" >: i 0,
+            [
+              decl Ty.I32 "odd" (v "span");
+              While
+                ( v "odd" <: i size,
+                  [
+                    assign "odd" (Binop (Bor, v "odd", v "span"));
+                    decl Ty.I32 "even" (Binop (Bxor, v "odd", v "span"));
+                    decl Ty.F64 "temp" (idx "real" [ v "even" ] +: idx "real" [ v "odd" ]);
+                    store "real" [ v "odd" ] (idx "real" [ v "even" ] -: idx "real" [ v "odd" ]);
+                    store "real" [ v "even" ] (v "temp");
+                    decl Ty.F64 "tempi" (idx "img" [ v "even" ] +: idx "img" [ v "odd" ]);
+                    store "img" [ v "odd" ] (idx "img" [ v "even" ] -: idx "img" [ v "odd" ]);
+                    store "img" [ v "even" ] (v "tempi");
+                    decl Ty.I32 "rootindex"
+                      (Binop (Band, Binop (Shl, v "even", v "log"), i (size - 1)));
+                    if_
+                      (v "rootindex" <>: i 0)
+                      [
+                        decl Ty.F64 "tw"
+                          ((idx "real_twid" [ v "rootindex" ] *: idx "real" [ v "odd" ])
+                          -: (idx "img_twid" [ v "rootindex" ] *: idx "img" [ v "odd" ]));
+                        store "img" [ v "odd" ]
+                          ((idx "real_twid" [ v "rootindex" ] *: idx "img" [ v "odd" ])
+                          +: (idx "img_twid" [ v "rootindex" ] *: idx "real" [ v "odd" ]));
+                        store "real" [ v "odd" ] (v "tw");
+                      ]
+                      [];
+                    assign "odd" (v "odd" +: i 1);
+                  ] );
+              assign "span" (Binop (Shr, v "span", i 1));
+              assign "log" (v "log" +: i 1);
+            ] );
+      ]
+  in
+  let bytes = size * 8 in
+  let twid_bytes = half * 8 in
+  let make_twiddles () =
+    let rt = Array.init half (fun k -> cos (-2.0 *. Float.pi *. float_of_int k /. float_of_int size)) in
+    let it = Array.init half (fun k -> sin (-2.0 *. Float.pi *. float_of_int k /. float_of_int size)) in
+    (rt, it)
+  in
+  let fill rng mem bases =
+    let real = Array.init size (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    let img = Array.init size (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    let rt, it = make_twiddles () in
+    Memory.write_f64_array mem bases.(0) real;
+    Memory.write_f64_array mem bases.(1) img;
+    Memory.write_f64_array mem bases.(2) rt;
+    Memory.write_f64_array mem bases.(3) it
+  in
+  let original = ref ([||], [||]) in
+  let fill_capture rng mem bases =
+    fill rng mem bases;
+    original :=
+      (Memory.read_f64_array mem bases.(0) size, Memory.read_f64_array mem bases.(1) size)
+  in
+  let check mem bases =
+    let real = Memory.read_f64_array mem bases.(0) size in
+    let img = Memory.read_f64_array mem bases.(1) size in
+    let rt = Memory.read_f64_array mem bases.(2) half in
+    let it = Memory.read_f64_array mem bases.(3) half in
+    let orig_r, orig_i = !original in
+    if Array.length orig_r = 0 then false
+    else begin
+      let er, ei = golden orig_r orig_i rt it size in
+      let close a b = abs_float (a -. b) <= 1e-6 *. (1.0 +. abs_float b) in
+      Array.for_all2 close real er && Array.for_all2 close img ei
+    end
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers =
+      [ ("real", bytes); ("img", bytes); ("real_twid", twid_bytes); ("img_twid", twid_bytes) ];
+    scalar_args = [];
+    init = fill_capture;
+    check;
+  }

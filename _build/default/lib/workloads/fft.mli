@@ -1,0 +1,8 @@
+(** FFT (strided, in-place, MachSuite fft/strided).
+
+    Radix-2 butterflies over real/imaginary arrays with precomputed
+    twiddle factors; the twiddle multiply is guarded by a data-dependent
+    branch on the root index. *)
+
+val workload : ?size:int -> unit -> Workload.t
+(** [size] must be a power of two (default 256). *)

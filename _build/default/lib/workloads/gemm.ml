@@ -1,0 +1,59 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let golden a b n =
+  let c = Array.make (n * n) 0.0 in
+  for i0 = 0 to n - 1 do
+    for j0 = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k0 = 0 to n - 1 do
+        s := !s +. (a.((i0 * n) + k0) *. b.((k0 * n) + j0))
+      done;
+      c.((i0 * n) + j0) <- !s
+    done
+  done;
+  c
+
+let workload ?(n = 32) ?(unroll = 1) ?(junroll = 1) () =
+  let kern =
+    kernel (Printf.sprintf "gemm_ncubed_n%d_u%d_j%d" n unroll junroll)
+      ~params:[ array "a" Ty.F64 [ n; n ]; array "b" Ty.F64 [ n; n ]; array "c" Ty.F64 [ n; n ] ]
+      [
+        for_ "i" (i 0) (i n)
+          [
+            for_ ~unroll:junroll "j" (i 0) (i n)
+              [
+                decl Ty.F64 "sum" (f 0.0);
+                for_ ~unroll "k" (i 0) (i n)
+                  [
+                    assign "sum"
+                      (v "sum" +: (idx "a" [ v "i"; v "k" ] *: idx "b" [ v "k"; v "j" ]));
+                  ];
+                store "c" [ v "i"; v "j" ] (v "sum");
+              ];
+          ];
+      ]
+  in
+  let bytes = n * n * 8 in
+  let fill rng mem bases =
+    let a = Array.init (n * n) (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    let b = Array.init (n * n) (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    Memory.write_f64_array mem bases.(0) a;
+    Memory.write_f64_array mem bases.(1) b;
+    Memory.fill mem bases.(2) bytes '\000'
+  in
+  let check mem bases =
+    let a = Memory.read_f64_array mem bases.(0) (n * n) in
+    let b = Memory.read_f64_array mem bases.(1) (n * n) in
+    let c = Memory.read_f64_array mem bases.(2) (n * n) in
+    let expect = golden a b n in
+    Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float y)) c expect
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("a", bytes); ("b", bytes); ("c", bytes) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,10 @@
+(** GEMM (n-cubed), MachSuite's dense matrix multiply. *)
+
+val workload : ?n:int -> ?unroll:int -> ?junroll:int -> unit -> Workload.t
+(** [n] is the matrix dimension (default 32); [unroll] unrolls the inner
+    (k) loop and [junroll] the middle (j) loop — the latter creates
+    independent accumulation chains and therefore memory-bandwidth
+    pressure. Buffers: a, b, c — all [n x n] doubles. *)
+
+val golden : float array -> float array -> int -> float array
+(** Reference multiply of two row-major [n x n] matrices. *)

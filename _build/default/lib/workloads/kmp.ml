@@ -1,0 +1,100 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let golden pattern text m n =
+  let failure = Array.make m 0 in
+  let k = ref 0 in
+  for q = 1 to m - 1 do
+    while !k > 0 && pattern.(!k) <> pattern.(q) do
+      k := failure.(!k - 1)
+    done;
+    if pattern.(!k) = pattern.(q) then incr k;
+    failure.(q) <- !k
+  done;
+  let q = ref 0 and matches = ref 0 in
+  for i0 = 0 to n - 1 do
+    while !q > 0 && pattern.(!q) <> text.(i0) do
+      q := failure.(!q - 1)
+    done;
+    if pattern.(!q) = text.(i0) then incr q;
+    if !q = m then begin
+      incr matches;
+      q := failure.(!q - 1)
+    end
+  done;
+  (failure, !matches)
+
+let workload ?(text_len = 256) ?(pattern_len = 4) () =
+  let n = text_len and m = pattern_len in
+  let kern =
+    kernel (Printf.sprintf "kmp_n%d_m%d" n m)
+      ~params:
+        [
+          array "pattern" Ty.I32 [ m ];
+          array "text" Ty.I32 [ n ];
+          array "failure" Ty.I32 [ m ];
+          array "n_matches" Ty.I32 [ 1 ];
+        ]
+      [
+        (* phase 1: failure table (CPF in MachSuite) *)
+        decl Ty.I32 "k" (i 0);
+        store "failure" [ i 0 ] (i 0);
+        for_ "q" (i 1) (i m)
+          [
+            While
+              ( And (v "k" >: i 0, idx "pattern" [ v "k" ] <>: idx "pattern" [ v "q" ]),
+                [ assign "k" (idx "failure" [ v "k" -: i 1 ]) ] );
+            if_
+              (idx "pattern" [ v "k" ] =: idx "pattern" [ v "q" ])
+              [ assign "k" (v "k" +: i 1) ]
+              [];
+            store "failure" [ v "q" ] (v "k");
+          ];
+        (* phase 2: scan *)
+        decl Ty.I32 "qq" (i 0);
+        decl Ty.I32 "matches" (i 0);
+        for_ "t" (i 0) (i n)
+          [
+            While
+              ( And (v "qq" >: i 0, idx "pattern" [ v "qq" ] <>: idx "text" [ v "t" ]),
+                [ assign "qq" (idx "failure" [ v "qq" -: i 1 ]) ] );
+            if_
+              (idx "pattern" [ v "qq" ] =: idx "text" [ v "t" ])
+              [ assign "qq" (v "qq" +: i 1) ]
+              [];
+            if_
+              (v "qq" =: i m)
+              [
+                assign "matches" (v "matches" +: i 1);
+                assign "qq" (idx "failure" [ v "qq" -: i 1 ]);
+              ]
+              [];
+          ];
+        store "n_matches" [ i 0 ] (v "matches");
+      ]
+  in
+  let fill rng mem bases =
+    (* small alphabet so matches actually occur *)
+    let pattern = Array.init m (fun _ -> Salam_sim.Rng.int rng 2) in
+    let text = Array.init n (fun _ -> Salam_sim.Rng.int rng 2) in
+    Memory.write_i32_array mem bases.(0) pattern;
+    Memory.write_i32_array mem bases.(1) text;
+    Memory.fill mem bases.(2) (m * 4) '\000';
+    Memory.fill mem bases.(3) 4 '\000'
+  in
+  let check mem bases =
+    let pattern = Memory.read_i32_array mem bases.(0) m in
+    let text = Memory.read_i32_array mem bases.(1) n in
+    let failure = Memory.read_i32_array mem bases.(2) m in
+    let matches = (Memory.read_i32_array mem bases.(3) 1).(0) in
+    let exp_failure, exp_matches = golden pattern text m n in
+    failure = exp_failure && matches = exp_matches && exp_matches > 0
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("pattern", m * 4); ("text", n * 4); ("failure", m * 4); ("n_matches", 4) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,8 @@
+(** Knuth-Morris-Pratt string matching (MachSuite kmp).
+
+    Computes the failure table and scans the input inside the kernel;
+    both phases are dominated by data-dependent while-loops, making this
+    the most control-irregular kernel in the collection. Not part of the
+    paper's evaluation suite, but available for exploration. *)
+
+val workload : ?text_len:int -> ?pattern_len:int -> unit -> Workload.t

@@ -1,0 +1,174 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let lj1 = 1.5
+
+let lj2 = 2.0
+
+let golden n_points px py pz side density =
+  let nblocks = side * side * side in
+  let fx = Array.make (nblocks * density) 0.0 in
+  let fy = Array.make (nblocks * density) 0.0 in
+  let fz = Array.make (nblocks * density) 0.0 in
+  let bidx bx by bz = ((bx * side) + by) * side + bz in
+  for b0x = 0 to side - 1 do
+    for b0y = 0 to side - 1 do
+      for b0z = 0 to side - 1 do
+        let b0 = bidx b0x b0y b0z in
+        for b1x = max 0 (b0x - 1) to min (side - 1) (b0x + 1) do
+          for b1y = max 0 (b0y - 1) to min (side - 1) (b0y + 1) do
+            for b1z = max 0 (b0z - 1) to min (side - 1) (b0z + 1) do
+              let b1 = bidx b1x b1y b1z in
+              for p = 0 to n_points.(b0) - 1 do
+                let ip = (b0 * density) + p in
+                for q = 0 to n_points.(b1) - 1 do
+                  let iq = (b1 * density) + q in
+                  if ip <> iq then begin
+                    let dx = px.(ip) -. px.(iq) in
+                    let dy = py.(ip) -. py.(iq) in
+                    let dz = pz.(ip) -. pz.(iq) in
+                    let r2inv = 1.0 /. ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+                    let r6inv = r2inv *. r2inv *. r2inv in
+                    let pot = r6inv *. ((lj1 *. r6inv) -. lj2) in
+                    let force = r2inv *. pot in
+                    fx.(ip) <- fx.(ip) +. (dx *. force);
+                    fy.(ip) <- fy.(ip) +. (dy *. force);
+                    fz.(ip) <- fz.(ip) +. (dz *. force)
+                  end
+                done
+              done
+            done
+          done
+        done
+      done
+    done
+  done;
+  (fx, fy, fz)
+
+let workload ?(block_side = 3) ?(density = 4) () =
+  let side = block_side in
+  let nblocks = side * side * side in
+  let slots = nblocks * density in
+  let max3 a b = Cond (a >: b, a, b) in
+  let min3 a b = Cond (a <: b, a, b) in
+  let kern =
+    kernel (Printf.sprintf "md_grid_s%d_d%d" side density)
+      ~params:
+        [
+          array "n_points" Ty.I32 [ nblocks ];
+          array "px" Ty.F64 [ nblocks; density ];
+          array "py" Ty.F64 [ nblocks; density ];
+          array "pz" Ty.F64 [ nblocks; density ];
+          array "fx" Ty.F64 [ nblocks; density ];
+          array "fy" Ty.F64 [ nblocks; density ];
+          array "fz" Ty.F64 [ nblocks; density ];
+        ]
+      [
+        for_ "b0x" (i 0) (i side)
+          [
+            for_ "b0y" (i 0) (i side)
+              [
+                for_ "b0z" (i 0) (i side)
+                  [
+                    decl Ty.I32 "b0" (((v "b0x" *: i side) +: v "b0y") *: i side +: v "b0z");
+                    for_ "b1x" (max3 (i 0) (v "b0x" -: i 1)) (min3 (i side) (v "b0x" +: i 2))
+                      [
+                        for_ "b1y" (max3 (i 0) (v "b0y" -: i 1)) (min3 (i side) (v "b0y" +: i 2))
+                          [
+                            for_ "b1z" (max3 (i 0) (v "b0z" -: i 1))
+                              (min3 (i side) (v "b0z" +: i 2))
+                              [
+                                decl Ty.I32 "b1"
+                                  (((v "b1x" *: i side) +: v "b1y") *: i side +: v "b1z");
+                                for_ "p" (i 0) (idx "n_points" [ v "b0" ])
+                                  [
+                                    decl Ty.F64 "ax" (idx "px" [ v "b0"; v "p" ]);
+                                    decl Ty.F64 "ay" (idx "py" [ v "b0"; v "p" ]);
+                                    decl Ty.F64 "az" (idx "pz" [ v "b0"; v "p" ]);
+                                    decl Ty.F64 "sx" (f 0.0);
+                                    decl Ty.F64 "sy" (f 0.0);
+                                    decl Ty.F64 "sz" (f 0.0);
+                                    for_ "q" (i 0) (idx "n_points" [ v "b1" ])
+                                      [
+                                        if_
+                                          (Not
+                                             (And
+                                                ( v "b0" =: v "b1",
+                                                  v "p" =: v "q" )))
+                                          [
+                                            decl Ty.F64 "dx"
+                                              (v "ax" -: idx "px" [ v "b1"; v "q" ]);
+                                            decl Ty.F64 "dy"
+                                              (v "ay" -: idx "py" [ v "b1"; v "q" ]);
+                                            decl Ty.F64 "dz"
+                                              (v "az" -: idx "pz" [ v "b1"; v "q" ]);
+                                            decl Ty.F64 "r2inv"
+                                              (f 1.0
+                                              /: ((v "dx" *: v "dx") +: (v "dy" *: v "dy")
+                                                 +: (v "dz" *: v "dz")));
+                                            decl Ty.F64 "r6inv"
+                                              (v "r2inv" *: v "r2inv" *: v "r2inv");
+                                            decl Ty.F64 "pot"
+                                              (v "r6inv" *: ((f lj1 *: v "r6inv") -: f lj2));
+                                            decl Ty.F64 "force" (v "r2inv" *: v "pot");
+                                            assign "sx" (v "sx" +: (v "dx" *: v "force"));
+                                            assign "sy" (v "sy" +: (v "dy" *: v "force"));
+                                            assign "sz" (v "sz" +: (v "dz" *: v "force"));
+                                          ]
+                                          [];
+                                      ];
+                                    store "fx" [ v "b0"; v "p" ]
+                                      (idx "fx" [ v "b0"; v "p" ] +: v "sx");
+                                    store "fy" [ v "b0"; v "p" ]
+                                      (idx "fy" [ v "b0"; v "p" ] +: v "sy");
+                                    store "fz" [ v "b0"; v "p" ]
+                                      (idx "fz" [ v "b0"; v "p" ] +: v "sz");
+                                  ];
+                              ];
+                          ];
+                      ];
+                  ];
+              ];
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let n_points = Array.init nblocks (fun _ -> 1 + Salam_sim.Rng.int rng density) in
+    let coords () = Array.init slots (fun _ -> Salam_sim.Rng.float rng 8.0 +. 0.25) in
+    Memory.write_i32_array mem bases.(0) n_points;
+    Memory.write_f64_array mem bases.(1) (coords ());
+    Memory.write_f64_array mem bases.(2) (coords ());
+    Memory.write_f64_array mem bases.(3) (coords ());
+    Memory.fill mem bases.(4) (slots * 8) '\000';
+    Memory.fill mem bases.(5) (slots * 8) '\000';
+    Memory.fill mem bases.(6) (slots * 8) '\000'
+  in
+  let check mem bases =
+    let n_points = Memory.read_i32_array mem bases.(0) nblocks in
+    let px = Memory.read_f64_array mem bases.(1) slots in
+    let py = Memory.read_f64_array mem bases.(2) slots in
+    let pz = Memory.read_f64_array mem bases.(3) slots in
+    let fx = Memory.read_f64_array mem bases.(4) slots in
+    let fy = Memory.read_f64_array mem bases.(5) slots in
+    let fz = Memory.read_f64_array mem bases.(6) slots in
+    let ex, ey, ez = golden n_points px py pz side density in
+    let close a b = abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b) in
+    Array.for_all2 close fx ex && Array.for_all2 close fy ey && Array.for_all2 close fz ez
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers =
+      [
+        ("n_points", nblocks * 4);
+        ("px", slots * 8);
+        ("py", slots * 8);
+        ("pz", slots * 8);
+        ("fx", slots * 8);
+        ("fy", slots * 8);
+        ("fz", slots * 8);
+      ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

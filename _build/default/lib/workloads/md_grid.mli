@@ -1,0 +1,6 @@
+(** Molecular dynamics over a spatial grid (MachSuite md/grid).
+
+    Blocks of particles interact with their 3x3x3 neighbourhood; the
+    per-block particle counts make the inner loop bounds data-dependent. *)
+
+val workload : ?block_side:int -> ?density:int -> unit -> Workload.t

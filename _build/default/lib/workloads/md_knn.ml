@@ -1,0 +1,120 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let lj1 = 1.5
+
+let lj2 = 2.0
+
+let golden px py pz nl atoms neighbours =
+  let fx = Array.make atoms 0.0 and fy = Array.make atoms 0.0 and fz = Array.make atoms 0.0 in
+  for i0 = 0 to atoms - 1 do
+    let sx = ref 0.0 and sy = ref 0.0 and sz = ref 0.0 in
+    for j0 = 0 to neighbours - 1 do
+      let jidx = nl.((i0 * neighbours) + j0) in
+      let delx = px.(i0) -. px.(jidx) in
+      let dely = py.(i0) -. py.(jidx) in
+      let delz = pz.(i0) -. pz.(jidx) in
+      let r2inv = 1.0 /. ((delx *. delx) +. (dely *. dely) +. (delz *. delz)) in
+      let r6inv = r2inv *. r2inv *. r2inv in
+      let potential = r6inv *. ((lj1 *. r6inv) -. lj2) in
+      let force = r2inv *. potential in
+      sx := !sx +. (delx *. force);
+      sy := !sy +. (dely *. force);
+      sz := !sz +. (delz *. force)
+    done;
+    fx.(i0) <- !sx;
+    fy.(i0) <- !sy;
+    fz.(i0) <- !sz
+  done;
+  (fx, fy, fz)
+
+let workload ?(atoms = 64) ?(neighbours = 16) () =
+  let kern =
+    kernel (Printf.sprintf "md_knn_%dx%d" atoms neighbours)
+      ~params:
+        [
+          array "force_x" Ty.F64 [ atoms ];
+          array "force_y" Ty.F64 [ atoms ];
+          array "force_z" Ty.F64 [ atoms ];
+          array "position_x" Ty.F64 [ atoms ];
+          array "position_y" Ty.F64 [ atoms ];
+          array "position_z" Ty.F64 [ atoms ];
+          array "nl" Ty.I32 [ atoms; neighbours ];
+        ]
+      [
+        for_ "i" (i 0) (i atoms)
+          [
+            decl Ty.F64 "i_x" (idx "position_x" [ v "i" ]);
+            decl Ty.F64 "i_y" (idx "position_y" [ v "i" ]);
+            decl Ty.F64 "i_z" (idx "position_z" [ v "i" ]);
+            decl Ty.F64 "fx" (f 0.0);
+            decl Ty.F64 "fy" (f 0.0);
+            decl Ty.F64 "fz" (f 0.0);
+            for_ "j" (i 0) (i neighbours)
+              [
+                decl Ty.I32 "jidx" (idx "nl" [ v "i"; v "j" ]);
+                decl Ty.F64 "delx" (v "i_x" -: idx "position_x" [ v "jidx" ]);
+                decl Ty.F64 "dely" (v "i_y" -: idx "position_y" [ v "jidx" ]);
+                decl Ty.F64 "delz" (v "i_z" -: idx "position_z" [ v "jidx" ]);
+                decl Ty.F64 "r2inv"
+                  (f 1.0 /: ((v "delx" *: v "delx") +: (v "dely" *: v "dely") +: (v "delz" *: v "delz")));
+                decl Ty.F64 "r6inv" (v "r2inv" *: v "r2inv" *: v "r2inv");
+                decl Ty.F64 "potential" (v "r6inv" *: ((f lj1 *: v "r6inv") -: f lj2));
+                decl Ty.F64 "force" (v "r2inv" *: v "potential");
+                assign "fx" (v "fx" +: (v "delx" *: v "force"));
+                assign "fy" (v "fy" +: (v "dely" *: v "force"));
+                assign "fz" (v "fz" +: (v "delz" *: v "force"));
+              ];
+            store "force_x" [ v "i" ] (v "fx");
+            store "force_y" [ v "i" ] (v "fy");
+            store "force_z" [ v "i" ] (v "fz");
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let pos () = Array.init atoms (fun _ -> Salam_sim.Rng.float rng 10.0 +. 0.5) in
+    let px = pos () and py = pos () and pz = pos () in
+    let nl =
+      Array.init (atoms * neighbours) (fun k ->
+          let i0 = k / neighbours in
+          (* any atom except self *)
+          let j0 = Salam_sim.Rng.int rng (atoms - 1) in
+          if j0 >= i0 then j0 + 1 else j0)
+    in
+    Memory.fill mem bases.(0) (atoms * 8) '\000';
+    Memory.fill mem bases.(1) (atoms * 8) '\000';
+    Memory.fill mem bases.(2) (atoms * 8) '\000';
+    Memory.write_f64_array mem bases.(3) px;
+    Memory.write_f64_array mem bases.(4) py;
+    Memory.write_f64_array mem bases.(5) pz;
+    Memory.write_i32_array mem bases.(6) nl
+  in
+  let check mem bases =
+    let fx = Memory.read_f64_array mem bases.(0) atoms in
+    let fy = Memory.read_f64_array mem bases.(1) atoms in
+    let fz = Memory.read_f64_array mem bases.(2) atoms in
+    let px = Memory.read_f64_array mem bases.(3) atoms in
+    let py = Memory.read_f64_array mem bases.(4) atoms in
+    let pz = Memory.read_f64_array mem bases.(5) atoms in
+    let nl = Memory.read_i32_array mem bases.(6) (atoms * neighbours) in
+    let ex, ey, ez = golden px py pz nl atoms neighbours in
+    let close a b = abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b) in
+    Array.for_all2 close fx ex && Array.for_all2 close fy ey && Array.for_all2 close fz ez
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers =
+      [
+        ("force_x", atoms * 8);
+        ("force_y", atoms * 8);
+        ("force_z", atoms * 8);
+        ("position_x", atoms * 8);
+        ("position_y", atoms * 8);
+        ("position_z", atoms * 8);
+        ("nl", atoms * neighbours * 4);
+      ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

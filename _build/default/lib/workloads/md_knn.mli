@@ -1,0 +1,5 @@
+(** Molecular dynamics, k-nearest-neighbours force kernel (MachSuite
+    md/knn). Lennard-Jones forces over a fixed neighbour list —
+    floating-point heavy, the hardest timing case in the paper's Fig 10. *)
+
+val workload : ?atoms:int -> ?neighbours:int -> unit -> Workload.t

@@ -1,0 +1,84 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let match_score = 1
+
+let mismatch = -1
+
+let gap = -1
+
+let golden seq_a seq_b len =
+  let w = len + 1 in
+  let m = Array.make (w * w) 0 in
+  for i0 = 0 to len do
+    m.(i0 * w) <- i0 * gap;
+    m.(i0) <- i0 * gap
+  done;
+  for i0 = 1 to len do
+    for j0 = 1 to len do
+      let diag =
+        m.(((i0 - 1) * w) + j0 - 1)
+        + if seq_a.(i0 - 1) = seq_b.(j0 - 1) then match_score else mismatch
+      in
+      let up = m.(((i0 - 1) * w) + j0) + gap in
+      let left = m.((i0 * w) + j0 - 1) + gap in
+      m.((i0 * w) + j0) <- max diag (max up left)
+    done
+  done;
+  m
+
+let workload ?(len = 32) () =
+  let w = len + 1 in
+  let kern =
+    kernel (Printf.sprintf "nw_%d" len)
+      ~params:
+        [
+          array "seq_a" Ty.I32 [ len ];
+          array "seq_b" Ty.I32 [ len ];
+          array "m" Ty.I32 [ w; w ];
+        ]
+      [
+        for_ "b" (i 0) (i w)
+          [
+            store "m" [ v "b"; i 0 ] (v "b" *: i gap);
+            store "m" [ i 0; v "b" ] (v "b" *: i gap);
+          ];
+        for_ "i" (i 1) (i w)
+          [
+            for_ "j" (i 1) (i w)
+              [
+                decl Ty.I32 "score"
+                  (Cond
+                     ( idx "seq_a" [ v "i" -: i 1 ] =: idx "seq_b" [ v "j" -: i 1 ],
+                       i match_score,
+                       i mismatch ));
+                decl Ty.I32 "diag" (idx "m" [ v "i" -: i 1; v "j" -: i 1 ] +: v "score");
+                decl Ty.I32 "up" (idx "m" [ v "i" -: i 1; v "j" ] +: i gap);
+                decl Ty.I32 "left" (idx "m" [ v "i"; v "j" -: i 1 ] +: i gap);
+                decl Ty.I32 "best" (Cond (v "diag" >: v "up", v "diag", v "up"));
+                store "m" [ v "i"; v "j" ] (Cond (v "best" >: v "left", v "best", v "left"));
+              ];
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let a = Array.init len (fun _ -> Salam_sim.Rng.int rng 4) in
+    let b = Array.init len (fun _ -> Salam_sim.Rng.int rng 4) in
+    Memory.write_i32_array mem bases.(0) a;
+    Memory.write_i32_array mem bases.(1) b;
+    Memory.fill mem bases.(2) (w * w * 4) '\000'
+  in
+  let check mem bases =
+    let a = Memory.read_i32_array mem bases.(0) len in
+    let b = Memory.read_i32_array mem bases.(1) len in
+    let m = Memory.read_i32_array mem bases.(2) (w * w) in
+    m = golden a b len
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("seq_a", len * 4); ("seq_b", len * 4); ("m", w * w * 4) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,6 @@
+(** Needleman-Wunsch sequence alignment score matrix (MachSuite).
+
+    Heavy on integer adds and 3-way selects (muxes) — the behaviour the
+    paper credits for NW's very low timing error. *)
+
+val workload : ?len:int -> unit -> Workload.t

@@ -1,0 +1,84 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let workload ?(n = 128) () =
+  if n land (n - 1) <> 0 then invalid_arg "Sort_merge.workload: n must be a power of two";
+  let kern =
+    kernel (Printf.sprintf "sort_merge_n%d" n)
+      ~params:[ array "a" Ty.I32 [ n ]; array "temp" Ty.I32 [ n ] ]
+      [
+        decl Ty.I32 "width" (i 1);
+        While
+          ( v "width" <: i n,
+            [
+              decl Ty.I32 "start" (i 0);
+              While
+                ( v "start" <: i n,
+                  [
+                    (* merge [start, start+width) with [start+width,
+                       start+2*width) into temp *)
+                    decl Ty.I32 "l" (v "start");
+                    decl Ty.I32 "mid" (v "start" +: v "width");
+                    decl Ty.I32 "r" (v "mid");
+                    decl Ty.I32 "hi" (v "start" +: (v "width" *: i 2));
+                    decl Ty.I32 "o" (v "start");
+                    While
+                      ( v "o" <: v "hi",
+                        [
+                          decl Ty.I32 "take_left"
+                            (Cond
+                               ( v "l" <: v "mid",
+                                 Cond
+                                   ( v "r" <: v "hi",
+                                     Cond (idx "a" [ v "l" ] <=: idx "a" [ v "r" ], i 1, i 0),
+                                     i 1 ),
+                                 i 0 ));
+                          if_
+                            (v "take_left" =: i 1)
+                            [
+                              store "temp" [ v "o" ] (idx "a" [ v "l" ]);
+                              assign "l" (v "l" +: i 1);
+                            ]
+                            [
+                              store "temp" [ v "o" ] (idx "a" [ v "r" ]);
+                              assign "r" (v "r" +: i 1);
+                            ];
+                          assign "o" (v "o" +: i 1);
+                        ] );
+                    (* copy the merged run back *)
+                    decl Ty.I32 "c" (v "start");
+                    While
+                      ( v "c" <: v "hi",
+                        [
+                          store "a" [ v "c" ] (idx "temp" [ v "c" ]);
+                          assign "c" (v "c" +: i 1);
+                        ] );
+                    assign "start" (v "start" +: (v "width" *: i 2));
+                  ] );
+              assign "width" (v "width" *: i 2);
+            ] );
+      ]
+  in
+  let fill rng mem bases =
+    let a = Array.init n (fun _ -> Salam_sim.Rng.int rng 10000) in
+    Memory.write_i32_array mem bases.(0) a;
+    Memory.fill mem bases.(1) (n * 4) '\000'
+  in
+  let check mem bases =
+    let a = Memory.read_i32_array mem bases.(0) n in
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    (* must be sorted and, against the regenerated dataset, a permutation *)
+    let rng = Salam_sim.Rng.create 42L in
+    let original = Array.init n (fun _ -> Salam_sim.Rng.int rng 10000) in
+    Array.sort compare original;
+    a = sorted && sorted = original
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("a", n * 4); ("temp", n * 4) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

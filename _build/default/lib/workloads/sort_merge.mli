@@ -1,0 +1,8 @@
+(** Bottom-up merge sort (MachSuite sort/merge).
+
+    Memory-movement dominated with data-dependent select chains in the
+    merge step. Not part of the paper's evaluation suite, but available
+    for exploration. *)
+
+val workload : ?n:int -> unit -> Workload.t
+(** [n] must be a power of two (default 128). *)

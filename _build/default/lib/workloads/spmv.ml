@@ -1,0 +1,95 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+(* values in this range trigger the artificial data-dependent shift the
+   paper uses to expose Aladdin's trace dependence (Table I) *)
+let quirk_lo = 0.90
+
+let quirk_hi = 0.95
+
+let golden vals cols rowd vec n =
+  let out = Array.make n 0.0 in
+  for r = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = rowd.(r) to rowd.(r + 1) - 1 do
+      let x = vals.(j) in
+      let c = if x > quirk_lo && x < quirk_hi then cols.(j) lsl 1 else cols.(j) in
+      s := !s +. (x *. vec.(c))
+    done;
+    out.(r) <- !s
+  done;
+  out
+
+let workload ?(n = 64) ?(nnz_per_row = 8) ?(dataset = 1) () =
+  let nnz = n * nnz_per_row in
+  let kern =
+    kernel (Printf.sprintf "spmv_crs_n%d_d%d" n dataset)
+      ~params:
+        [
+          array "vals" Ty.F64 [ nnz ];
+          array "cols" Ty.I32 [ nnz ];
+          array "rowd" Ty.I32 [ n + 1 ];
+          array "vec" Ty.F64 [ n ];
+          array "out" Ty.F64 [ n ];
+        ]
+      [
+        for_ "r" (i 0) (i n)
+          [
+            decl Ty.F64 "sum" (f 0.0);
+            for_ "j" (idx "rowd" [ v "r" ]) (idx "rowd" [ v "r" +: i 1 ])
+              [
+                decl Ty.F64 "x" (idx "vals" [ v "j" ]);
+                decl Ty.I32 "ci" (idx "cols" [ v "j" ]);
+                if_
+                  (And (v "x" >: f quirk_lo, v "x" <: f quirk_hi))
+                  [ assign "ci" (Binop (Shl, v "ci", i 1)) ]
+                  [];
+                assign "sum" (v "sum" +: (v "x" *: idx "vec" [ v "ci" ]));
+              ];
+            store "out" [ v "r" ] (v "sum");
+          ];
+      ]
+  in
+  let fill rng mem bases =
+    let vals =
+      Array.init nnz (fun k ->
+          if dataset = 2 && k mod 17 = 0 then 0.92 (* triggers the shift *)
+          else Salam_sim.Rng.float rng 0.8)
+    in
+    let cols =
+      Array.init nnz (fun k ->
+          if dataset = 2 && k mod 17 = 0 then Salam_sim.Rng.int rng (n / 2)
+          else Salam_sim.Rng.int rng n)
+    in
+    let rowd = Array.init (n + 1) (fun r -> r * nnz_per_row) in
+    let vec = Array.init n (fun _ -> Salam_sim.Rng.float rng 2.0 -. 1.0) in
+    Memory.write_f64_array mem bases.(0) vals;
+    Memory.write_i32_array mem bases.(1) cols;
+    Memory.write_i32_array mem bases.(2) rowd;
+    Memory.write_f64_array mem bases.(3) vec;
+    Memory.fill mem bases.(4) (n * 8) '\000'
+  in
+  let check mem bases =
+    let vals = Memory.read_f64_array mem bases.(0) nnz in
+    let cols = Memory.read_i32_array mem bases.(1) nnz in
+    let rowd = Memory.read_i32_array mem bases.(2) (n + 1) in
+    let vec = Memory.read_f64_array mem bases.(3) n in
+    let out = Memory.read_f64_array mem bases.(4) n in
+    let expect = golden vals cols rowd vec n in
+    Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float y)) out expect
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers =
+      [
+        ("vals", nnz * 8);
+        ("cols", nnz * 4);
+        ("rowd", (n + 1) * 4);
+        ("vec", n * 8);
+        ("out", n * 8);
+      ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,9 @@
+(** SPMV over compact-row-storage (CRS) sparse matrices (MachSuite).
+
+    [dataset] selects between the two input sets of Table I: the kernel
+    contains a data-dependent one-bit shift that fires only when a matrix
+    value falls inside an arbitrary range; dataset 1 contains no such
+    values, dataset 2 does. The static kernel (and hence gem5-SALAM's
+    datapath) is identical for both. *)
+
+val workload : ?n:int -> ?nnz_per_row:int -> ?dataset:int -> unit -> Workload.t

@@ -1,0 +1,71 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let golden orig filter rows cols =
+  let out = Array.make (rows * cols) 0.0 in
+  for r = 0 to rows - 3 do
+    for c = 0 to cols - 3 do
+      let s = ref 0.0 in
+      for k1 = 0 to 2 do
+        for k2 = 0 to 2 do
+          s := !s +. (filter.((k1 * 3) + k2) *. orig.(((r + k1) * cols) + c + k2))
+        done
+      done;
+      out.((r * cols) + c) <- !s
+    done
+  done;
+  out
+
+let workload ?(rows = 32) ?(cols = 32) ?(unroll = 1) () =
+  let kern =
+    kernel (Printf.sprintf "stencil2d_%dx%d_u%d" rows cols unroll)
+      ~params:
+        [
+          array "orig" Ty.F64 [ rows; cols ];
+          array "filter" Ty.F64 [ 3; 3 ];
+          array "sol" Ty.F64 [ rows; cols ];
+        ]
+      [
+        for_ "r" (i 0) (i (rows - 2))
+          [
+            for_ "c" (i 0) (i (cols - 2))
+              [
+                decl Ty.F64 "temp" (f 0.0);
+                for_ "k1" (i 0) (i 3)
+                  [
+                    for_ ~unroll "k2" (i 0) (i 3)
+                      [
+                        assign "temp"
+                          (v "temp"
+                          +: (idx "filter" [ v "k1"; v "k2" ]
+                             *: idx "orig" [ v "r" +: v "k1"; v "c" +: v "k2" ]));
+                      ];
+                  ];
+                store "sol" [ v "r"; v "c" ] (v "temp");
+              ];
+          ];
+      ]
+  in
+  let bytes = rows * cols * 8 in
+  let fill rng mem bases =
+    let orig = Array.init (rows * cols) (fun _ -> Salam_sim.Rng.float rng 1.0) in
+    let filter = Array.init 9 (fun _ -> Salam_sim.Rng.float rng 1.0 -. 0.5) in
+    Memory.write_f64_array mem bases.(0) orig;
+    Memory.write_f64_array mem bases.(1) filter;
+    Memory.fill mem bases.(2) bytes '\000'
+  in
+  let check mem bases =
+    let orig = Memory.read_f64_array mem bases.(0) (rows * cols) in
+    let filter = Memory.read_f64_array mem bases.(1) 9 in
+    let sol = Memory.read_f64_array mem bases.(2) (rows * cols) in
+    let expect = golden orig filter rows cols in
+    Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float y)) sol expect
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("orig", bytes); ("filter", 9 * 8); ("sol", bytes) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,3 @@
+(** Stencil2D: 3x3 convolution over a 2D grid (MachSuite). *)
+
+val workload : ?rows:int -> ?cols:int -> ?unroll:int -> unit -> Workload.t

@@ -1,0 +1,73 @@
+open Salam_frontend.Lang
+open Salam_ir
+
+let c0 = 0.5
+
+let c1 = 0.25
+
+let golden orig d =
+  let out = Array.copy orig in
+  let at i j k = orig.((((i * d) + j) * d) + k) in
+  for i0 = 1 to d - 2 do
+    for j0 = 1 to d - 2 do
+      for k0 = 1 to d - 2 do
+        let sum0 = at i0 j0 k0 in
+        let sum1 =
+          at (i0 + 1) j0 k0 +. at (i0 - 1) j0 k0 +. at i0 (j0 + 1) k0 +. at i0 (j0 - 1) k0
+          +. at i0 j0 (k0 + 1) +. at i0 j0 (k0 - 1)
+        in
+        out.((((i0 * d) + j0) * d) + k0) <- (c0 *. sum0) +. (c1 *. sum1)
+      done
+    done
+  done;
+  out
+
+let workload ?(dim = 16) ?(unroll = 1) () =
+  let d = dim in
+  let kern =
+    kernel (Printf.sprintf "stencil3d_%d_u%d" d unroll)
+      ~params:[ array "orig" Ty.F64 [ d; d; d ]; array "sol" Ty.F64 [ d; d; d ] ]
+      [
+        for_ "i" (i 1) (i (d - 1))
+          [
+            for_ "j" (i 1) (i (d - 1))
+              [
+                for_ ~unroll "k" (i 1) (i (d - 1))
+                  [
+                    decl Ty.F64 "sum0" (idx "orig" [ v "i"; v "j"; v "k" ]);
+                    decl Ty.F64 "sum1"
+                      (idx "orig" [ v "i" +: i 1; v "j"; v "k" ]
+                      +: idx "orig" [ v "i" -: i 1; v "j"; v "k" ]
+                      +: idx "orig" [ v "i"; v "j" +: i 1; v "k" ]
+                      +: idx "orig" [ v "i"; v "j" -: i 1; v "k" ]
+                      +: idx "orig" [ v "i"; v "j"; v "k" +: i 1 ]
+                      +: idx "orig" [ v "i"; v "j"; v "k" -: i 1 ]);
+                    store "sol" [ v "i"; v "j"; v "k" ]
+                      ((f c0 *: v "sum0") +: (f c1 *: v "sum1"));
+                  ];
+              ];
+          ];
+      ]
+  in
+  let n = d * d * d in
+  let bytes = n * 8 in
+  let fill rng mem bases =
+    let orig = Array.init n (fun _ -> Salam_sim.Rng.float rng 1.0) in
+    Memory.write_f64_array mem bases.(0) orig;
+    (* boundary cells of sol keep orig's values in the golden model *)
+    Memory.write_f64_array mem bases.(1) orig
+  in
+  let check mem bases =
+    let orig = Memory.read_f64_array mem bases.(0) n in
+    let sol = Memory.read_f64_array mem bases.(1) n in
+    let expect = golden orig d in
+    Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float y)) sol expect
+  in
+  {
+    Workload.name = kern.kname;
+    kernel = kern;
+    buffers = [ ("orig", bytes); ("sol", bytes) ];
+    scalar_args = [];
+    init = fill;
+    check;
+  }

@@ -1,0 +1,4 @@
+(** Stencil3D: 7-point stencil over a 3D grid (MachSuite). *)
+
+val workload : ?dim:int -> ?unroll:int -> unit -> Workload.t
+(** Cubic grid of side [dim] (default 16). *)

@@ -1,0 +1,32 @@
+let standard () =
+  [
+    Bfs.workload ~nodes:128 ~edges_per_node:4 ();
+    Fft.workload ~size:256 ();
+    Gemm.workload ~n:16 ~unroll:2 ();
+    Md_grid.workload ~block_side:3 ~density:4 ();
+    Md_knn.workload ~atoms:64 ~neighbours:16 ();
+    Nw.workload ~len:32 ();
+    Spmv.workload ~n:64 ~nnz_per_row:8 ();
+    Stencil2d.workload ~rows:32 ~cols:32 ();
+    Stencil3d.workload ~dim:12 ();
+  ]
+
+let quick () =
+  [
+    Bfs.workload ~nodes:32 ~edges_per_node:3 ();
+    Fft.workload ~size:64 ();
+    Gemm.workload ~n:8 ();
+    Md_grid.workload ~block_side:2 ~density:3 ();
+    Md_knn.workload ~atoms:16 ~neighbours:8 ();
+    Nw.workload ~len:16 ();
+    Spmv.workload ~n:24 ~nnz_per_row:4 ();
+    Stencil2d.workload ~rows:12 ~cols:12 ();
+    Stencil3d.workload ~dim:6 ();
+  ]
+
+let by_name prefix =
+  List.find_opt
+    (fun (w : Workload.t) ->
+      String.length w.Workload.name >= String.length prefix
+      && String.sub w.Workload.name 0 (String.length prefix) = prefix)
+    (standard ())

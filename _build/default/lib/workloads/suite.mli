@@ -1,0 +1,12 @@
+(** The benchmark suite used throughout the evaluation.
+
+    [standard] returns the MachSuite benchmarks at the sizes used for
+    the paper-reproduction experiments; [quick] returns smaller variants
+    for tests. *)
+
+val standard : unit -> Workload.t list
+
+val quick : unit -> Workload.t list
+
+val by_name : string -> Workload.t option
+(** Look a standard workload up by name prefix (e.g. ["gemm"]). *)

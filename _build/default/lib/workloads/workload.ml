@@ -1,0 +1,36 @@
+open Salam_ir
+
+type t = {
+  name : string;
+  kernel : Salam_frontend.Lang.kernel;
+  buffers : (string * int) list;
+  scalar_args : Bits.t list;
+  init : Salam_sim.Rng.t -> Memory.t -> int64 array -> unit;
+  check : Memory.t -> int64 array -> bool;
+}
+
+let cache : (string, Ast.func) Hashtbl.t = Hashtbl.create 16
+
+let compile t =
+  match Hashtbl.find_opt cache t.name with
+  | Some f -> f
+  | None ->
+      let f = Salam_frontend.Compile.kernel t.kernel in
+      Hashtbl.replace cache t.name f;
+      f
+
+let modul t = { Ast.funcs = [ compile t ]; globals = [] }
+
+let alloc_buffers t mem =
+  Array.of_list (List.map (fun (_, bytes) -> Memory.alloc mem ~bytes ~align:64) t.buffers)
+
+let args t ~bases = Array.to_list (Array.map (fun b -> Bits.Int b) bases) @ t.scalar_args
+
+let total_buffer_bytes t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.buffers
+
+let run_functional ?(seed = 42L) t =
+  let mem = Memory.create ~size:(max (1 lsl 22) (4 * total_buffer_bytes t)) in
+  let bases = alloc_buffers t mem in
+  t.init (Salam_sim.Rng.create seed) mem bases;
+  ignore (Interp.run mem (modul t) ~entry:t.kernel.Salam_frontend.Lang.kname ~args:(args t ~bases));
+  t.check mem bases

@@ -1,0 +1,1 @@
+test/test_aladdin.ml: Alcotest Array Filename Fu Interp List Memory Salam_aladdin Salam_frontend Salam_hw Salam_ir Salam_sim Salam_workloads Sys

@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Array Fu List Salam_cdfg Salam_hw Salam_ir Salam_workloads

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Int64 Interp List Memory QCheck QCheck_alcotest Salam_cdfg Salam_engine Salam_hw Salam_ir Salam_sim Salam_workloads

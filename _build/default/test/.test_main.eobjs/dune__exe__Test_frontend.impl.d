@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Bits Compile Int32 Int64 Interp List Memory Printf QCheck QCheck_alcotest Salam_frontend Salam_ir Salam_workloads Ty Verify

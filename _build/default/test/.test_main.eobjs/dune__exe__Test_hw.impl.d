@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Ast Cacti_lite Fu List Option Profile Salam_hw Salam_ir Ty

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Bits Builder Cfg Int64 Interp List Memory Option Parser Pp QCheck QCheck_alcotest Salam_frontend Salam_ir Salam_workloads String Ty Verify

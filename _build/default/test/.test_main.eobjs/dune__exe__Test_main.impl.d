@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aladdin Test_cdfg Test_engine Test_frontend Test_hw Test_ir Test_mem Test_reference Test_scenarios Test_sim Test_soc Test_workloads

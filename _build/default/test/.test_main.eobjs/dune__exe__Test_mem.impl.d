@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Buffer Bytes Cache Char Clock Dma Dram Int64 Kernel List Packet Port QCheck QCheck_alcotest Salam_ir Salam_mem Salam_sim Spm Stats Stream_buffer String Xbar

@@ -1,0 +1,1 @@
+test/test_reference.ml: Alcotest Ast Int64 List Memory Printf Salam Salam_cdfg Salam_frontend Salam_ir Salam_reference Salam_sim Salam_workloads

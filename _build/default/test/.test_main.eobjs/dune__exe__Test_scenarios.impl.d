@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Accelerator Alcotest Array Cluster Cnn_pipeline Comm_interface Fabric Int64 List Salam_frontend Salam_ir Salam_mem Salam_scenarios Salam_soc System

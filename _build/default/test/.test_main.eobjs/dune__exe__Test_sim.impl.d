@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clock Event_queue Fun Int64 Kernel List QCheck QCheck_alcotest Rng Salam_sim Stats

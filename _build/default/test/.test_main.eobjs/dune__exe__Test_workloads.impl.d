@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes List Salam Salam_frontend Salam_ir Salam_sim Salam_workloads

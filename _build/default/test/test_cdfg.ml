@@ -1,0 +1,68 @@
+(* Tests for static elaboration: the datapath skeleton, functional-unit
+   allocation and static power/area. *)
+
+open Salam_hw
+module Datapath = Salam_cdfg.Datapath
+
+let check = Alcotest.check
+
+let gemm_func () = Salam_workloads.Workload.compile (Salam_workloads.Gemm.workload ~n:8 ~unroll:4 ())
+
+let test_default_one_to_one () =
+  let dp = Datapath.build (gemm_func ()) in
+  let demand = Datapath.fu_demand dp in
+  Fu.Map.iter
+    (fun cls d -> check Alcotest.int (Fu.to_string cls) d (Datapath.fu_count dp cls))
+    demand
+
+let test_limits_clamp () =
+  let dp = Datapath.build ~limits:[ (Fu.Fp_mul_dp, 1) ] (gemm_func ()) in
+  check Alcotest.int "fmul clamped" 1 (Datapath.fu_count dp Fu.Fp_mul_dp);
+  check Alcotest.bool "adders untouched" true (Datapath.fu_count dp Fu.Int_adder >= 1)
+
+let test_datapath_independent_of_data () =
+  (* dual-CDFG property: datasets do not change the static datapath *)
+  let f1 = Salam_workloads.Workload.compile (Salam_workloads.Spmv.workload ~dataset:1 ()) in
+  let dp1 = Datapath.build f1 in
+  let dp2 = Datapath.build f1 in
+  Fu.Map.iter
+    (fun cls n -> check Alcotest.int (Fu.to_string cls) n (Datapath.fu_count dp2 cls))
+    dp1.Datapath.fu_alloc
+
+let test_node_order_matches_blocks () =
+  let f = gemm_func () in
+  let dp = Datapath.build f in
+  let from_blocks =
+    List.concat_map (fun (b : Salam_ir.Ast.block) -> Datapath.nodes_of_block dp b.Salam_ir.Ast.label) f.Salam_ir.Ast.blocks
+  in
+  check Alcotest.int "node partition covers everything" (Array.length dp.Datapath.nodes)
+    (List.length from_blocks);
+  List.iteri
+    (fun i (n : Datapath.node) -> check Alcotest.int "dense ids" i n.Datapath.n_id)
+    (Array.to_list dp.Datapath.nodes)
+
+let test_area_and_leakage_positive_and_additive () =
+  let dp = Datapath.build (gemm_func ()) in
+  let area = Datapath.static_area_um2 dp in
+  let leak = Datapath.static_leakage_mw dp in
+  check Alcotest.bool "positive" true (area > 0.0 && leak > 0.0);
+  (* restricting units shrinks both *)
+  let dp2 =
+    Datapath.build ~limits:[ (Fu.Fp_mul_dp, 1); (Fu.Fp_add_dp, 1) ] (gemm_func ())
+  in
+  check Alcotest.bool "limits reduce area" true (Datapath.static_area_um2 dp2 < area);
+  check Alcotest.bool "limits reduce leakage" true (Datapath.static_leakage_mw dp2 < leak)
+
+let test_register_bits_counted () =
+  let dp = Datapath.build (gemm_func ()) in
+  check Alcotest.bool "register netlist non-empty" true (dp.Datapath.register_bits > 64)
+
+let suite =
+  [
+    Alcotest.test_case "default 1:1 allocation" `Quick test_default_one_to_one;
+    Alcotest.test_case "limits clamp units" `Quick test_limits_clamp;
+    Alcotest.test_case "datapath independent of data" `Quick test_datapath_independent_of_data;
+    Alcotest.test_case "node ordering" `Quick test_node_order_matches_blocks;
+    Alcotest.test_case "area/leakage behaviour" `Quick test_area_and_leakage_positive_and_additive;
+    Alcotest.test_case "register bits counted" `Quick test_register_bits_counted;
+  ]

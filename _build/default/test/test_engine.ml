@@ -1,0 +1,182 @@
+(* Tests for the dynamic runtime engine: semantic equivalence with the
+   functional interpreter, conservation invariants, hazard handling and
+   resource constraints. *)
+
+open Salam_ir
+module Engine = Salam_engine.Engine
+module W = Salam_workloads.Workload
+
+let check = Alcotest.check
+
+(* run a workload on the engine with an ideal fixed-latency memory *)
+let engine_run ?(config = Engine.default_config) ?(mem_latency = 1) (w : W.t) =
+  let kernel = Salam_sim.Kernel.create () in
+  let clock = Salam_sim.Clock.create kernel ~freq_mhz:1000.0 in
+  let stats = Salam_sim.Stats.group "engine_test" in
+  let backing = Memory.create ~size:(1 lsl 22) in
+  let bases = W.alloc_buffers w backing in
+  w.W.init (Salam_sim.Rng.create 42L) backing bases;
+  let datapath = Salam_cdfg.Datapath.build (W.compile w) in
+  let mem =
+    {
+      Engine.read =
+        (fun ~addr ~ty ~on_value ->
+          let v = Memory.load backing ty addr in
+          Salam_sim.Clock.schedule_cycles clock ~cycles:mem_latency (fun () -> on_value v));
+      Engine.write =
+        (fun ~addr ~ty ~value ~on_done ->
+          Memory.store backing ty addr value;
+          Salam_sim.Clock.schedule_cycles clock ~cycles:mem_latency on_done);
+    }
+  in
+  let engine = Engine.create kernel clock stats ~config ~datapath ~mem () in
+  let finished = ref false in
+  Engine.start engine ~args:(W.args w ~bases) ~on_finish:(fun _ -> finished := true);
+  ignore (Salam_sim.Kernel.run kernel);
+  if not !finished then Alcotest.fail "engine did not finish";
+  (Engine.stats engine, w.W.check backing bases)
+
+let test_engine_matches_golden () =
+  List.iter
+    (fun w ->
+      let _, correct = engine_run w in
+      check Alcotest.bool ("engine result " ^ w.W.name) true correct)
+    (Salam_workloads.Suite.quick ())
+
+let test_engine_instruction_conservation () =
+  (* the engine must execute exactly the instructions the interpreter
+     executes *)
+  List.iter
+    (fun w ->
+      ignore (W.run_functional w);
+      let interp_count = Interp.instructions_executed () in
+      let stats, _ = engine_run w in
+      check Alcotest.int
+        ("dynamic instruction count " ^ w.W.name)
+        interp_count stats.Engine.dynamic_instructions)
+    [ Salam_workloads.Gemm.workload ~n:4 (); Salam_workloads.Nw.workload ~len:8 () ]
+
+let test_engine_load_store_counts () =
+  let w = Salam_workloads.Gemm.workload ~n:4 () in
+  let stats, _ = engine_run w in
+  (* gemm n=4: inner loop loads 2 per MAC = 128, stores 16 *)
+  check Alcotest.int "loads" 128 stats.Engine.loads_issued;
+  check Alcotest.int "stores" 16 stats.Engine.stores_issued
+
+let test_fu_limits_slow_but_stay_correct () =
+  let w = Salam_workloads.Gemm.workload ~n:8 () in
+  let free_stats, ok1 = engine_run w in
+  let limited =
+    {
+      Engine.default_config with
+      Engine.fu_limits = [ (Salam_hw.Fu.Fp_mul_dp, 1); (Salam_hw.Fu.Fp_add_dp, 1) ];
+    }
+  in
+  let tight_stats, ok2 = engine_run ~config:limited w in
+  check Alcotest.bool "correct unconstrained" true ok1;
+  check Alcotest.bool "correct constrained" true ok2;
+  check Alcotest.bool "constraints never speed things up" true
+    (Int64.compare tight_stats.Engine.cycles free_stats.Engine.cycles >= 0)
+
+let test_memory_latency_slows_execution () =
+  let w = Salam_workloads.Gemm.workload ~n:8 () in
+  let fast, _ = engine_run ~mem_latency:1 w in
+  let slow, _ = engine_run ~mem_latency:20 w in
+  check Alcotest.bool "longer memory latency costs cycles" true
+    (Int64.compare slow.Engine.cycles fast.Engine.cycles > 0)
+
+let test_strict_ordering_is_slower () =
+  let w = Salam_workloads.Stencil2d.workload ~rows:12 ~cols:12 () in
+  let relaxed, ok1 = engine_run w in
+  let strict, ok2 =
+    engine_run ~config:{ Engine.default_config with Engine.disambiguate_memory = false } w
+  in
+  check Alcotest.bool "both correct" true (ok1 && ok2);
+  check Alcotest.bool "disambiguation never loses" true
+    (Int64.compare strict.Engine.cycles relaxed.Engine.cycles >= 0)
+
+let test_stall_accounting_consistent () =
+  let w = Salam_workloads.Md_knn.workload ~atoms:16 ~neighbours:8 () in
+  let stats, _ = engine_run w in
+  check Alcotest.int "issue + stall = active" stats.Engine.active_cycles
+    (stats.Engine.issue_cycles + stats.Engine.stall_cycles);
+  check Alcotest.int "stall classes sum" stats.Engine.stall_cycles
+    (stats.Engine.stall_load_only + stats.Engine.stall_load_compute
+   + stats.Engine.stall_load_store_compute + stats.Engine.stall_other);
+  check Alcotest.bool "active <= total cycles" true
+    (Int64.of_int stats.Engine.active_cycles <= stats.Engine.cycles)
+
+let test_issued_by_class_totals () =
+  let w = Salam_workloads.Gemm.workload ~n:4 () in
+  let stats, _ = engine_run w in
+  let by_class = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Engine.issued_by_class in
+  check Alcotest.int "per-class counts cover fp+int" (stats.Engine.issued_fp + stats.Engine.issued_int)
+    by_class
+
+let test_engine_restart () =
+  let w = Salam_workloads.Nw.workload ~len:8 () in
+  let kernel = Salam_sim.Kernel.create () in
+  let clock = Salam_sim.Clock.create kernel ~freq_mhz:1000.0 in
+  let stats = Salam_sim.Stats.group "restart" in
+  let backing = Memory.create ~size:(1 lsl 20) in
+  let bases = W.alloc_buffers w backing in
+  let datapath = Salam_cdfg.Datapath.build (W.compile w) in
+  let mem =
+    {
+      Engine.read =
+        (fun ~addr ~ty ~on_value ->
+          let v = Memory.load backing ty addr in
+          Salam_sim.Clock.schedule_cycles clock ~cycles:1 (fun () -> on_value v));
+      Engine.write =
+        (fun ~addr ~ty ~value ~on_done ->
+          Memory.store backing ty addr value;
+          Salam_sim.Clock.schedule_cycles clock ~cycles:1 on_done);
+    }
+  in
+  let engine = Engine.create kernel clock stats ~datapath ~mem () in
+  let run_once () =
+    w.W.init (Salam_sim.Rng.create 7L) backing bases;
+    let fin = ref false in
+    Engine.start engine ~args:(W.args w ~bases) ~on_finish:(fun _ -> fin := true);
+    ignore (Salam_sim.Kernel.run kernel);
+    check Alcotest.bool "finished" true !fin;
+    check Alcotest.bool "correct" true (w.W.check backing bases)
+  in
+  run_once ();
+  run_once ()
+
+(* randomized configurations must never change results, only timing *)
+let qcheck_engine_correct_under_random_configs =
+  QCheck.Test.make ~name:"engine correct under random configs" ~count:25
+    QCheck.(quad (int_range 1 8) (int_range 1 4) (int_range 0 4) bool)
+    (fun (read_ports, write_ports, fu_cap, disambiguate) ->
+      let fu_limits =
+        if fu_cap = 0 then []
+        else [ (Salam_hw.Fu.Fp_add_dp, fu_cap); (Salam_hw.Fu.Fp_mul_dp, fu_cap) ]
+      in
+      let config =
+        {
+          Engine.default_config with
+          Engine.fu_limits;
+          disambiguate_memory = disambiguate;
+          read_queue_depth = 4 * read_ports;
+          write_queue_depth = 4 * write_ports;
+        }
+      in
+      let _, ok = engine_run ~config (Salam_workloads.Gemm.workload ~n:4 ()) in
+      let _, ok2 = engine_run ~config (Salam_workloads.Nw.workload ~len:8 ()) in
+      ok && ok2)
+
+let suite =
+  [
+    Alcotest.test_case "engine matches golden (quick suite)" `Quick test_engine_matches_golden;
+    Alcotest.test_case "instruction conservation" `Quick test_engine_instruction_conservation;
+    Alcotest.test_case "load/store counts" `Quick test_engine_load_store_counts;
+    Alcotest.test_case "fu limits slow but correct" `Quick test_fu_limits_slow_but_stay_correct;
+    Alcotest.test_case "memory latency slows" `Quick test_memory_latency_slows_execution;
+    Alcotest.test_case "strict ordering slower" `Quick test_strict_ordering_is_slower;
+    Alcotest.test_case "stall accounting" `Quick test_stall_accounting_consistent;
+    Alcotest.test_case "issued by class totals" `Quick test_issued_by_class_totals;
+    Alcotest.test_case "engine restart" `Quick test_engine_restart;
+    QCheck_alcotest.to_alcotest qcheck_engine_correct_under_random_configs;
+  ]

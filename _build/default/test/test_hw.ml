@@ -1,0 +1,89 @@
+(* Tests for hardware profiles, the opcode->FU mapping and the analytic
+   SRAM model. *)
+
+open Salam_hw
+open Salam_ir
+
+let check = Alcotest.check
+
+let test_fu_mapping () =
+  let v32 = { Ast.id = 0; vname = "x"; ty = Ty.I32 } in
+  let v64f = { Ast.id = 1; vname = "f"; ty = Ty.F64 } in
+  let v32f = { Ast.id = 2; vname = "g"; ty = Ty.F32 } in
+  let c = Ast.Const (Ast.Cint (Ty.I32, 1L)) in
+  let cases =
+    [
+      (Ast.Binop { dst = v32; op = Ast.Add; lhs = c; rhs = c }, Some Fu.Int_adder);
+      (Ast.Binop { dst = v32; op = Ast.Mul; lhs = c; rhs = c }, Some Fu.Int_multiplier);
+      (Ast.Binop { dst = v32; op = Ast.Shl; lhs = c; rhs = c }, Some Fu.Shifter);
+      ( Ast.Binop
+          { dst = v64f; op = Ast.Fadd; lhs = Ast.Var v64f; rhs = Ast.Var v64f },
+        Some Fu.Fp_add_dp );
+      ( Ast.Binop
+          { dst = v32f; op = Ast.Fmul; lhs = Ast.Var v32f; rhs = Ast.Var v32f },
+        Some Fu.Fp_mul_sp );
+      (Ast.Select { dst = v32; cond = c; if_true = c; if_false = c }, Some Fu.Mux);
+      (Ast.Load { dst = v32; addr = Ast.Const Ast.Cnull }, None);
+      (Ast.Br "x", None);
+      (Ast.Phi { dst = v32; incoming = [] }, None);
+    ]
+  in
+  List.iter
+    (fun (instr, expected) ->
+      check
+        (Alcotest.option Alcotest.string)
+        "fu class"
+        (Option.map Fu.to_string expected)
+        (Option.map Fu.to_string (Fu.of_instr instr)))
+    cases
+
+let test_profile_lookup_and_override () =
+  let p = Profile.default_40nm in
+  check Alcotest.int "3-stage dp adder" 3 (Profile.spec p Fu.Fp_add_dp).Profile.latency;
+  let p2 = Profile.with_latency p Fu.Fp_add_dp 5 in
+  check Alcotest.int "override" 5 (Profile.spec p2 Fu.Fp_add_dp).Profile.latency;
+  check Alcotest.int "original untouched" 3 (Profile.spec p Fu.Fp_add_dp).Profile.latency
+
+let test_all_classes_have_specs () =
+  List.iter
+    (fun cls -> ignore (Profile.spec Profile.default_40nm cls))
+    Fu.all
+
+let test_instr_latency_wiring () =
+  let v = { Ast.id = 0; vname = "p"; ty = Ty.Ptr } in
+  let gep0 = Ast.Gep { dst = v; base = Ast.Const Ast.Cnull; offsets = [] } in
+  check Alcotest.int "empty gep is wiring" 0
+    (Profile.instr_latency Profile.default_40nm gep0);
+  let phi = Ast.Phi { dst = v; incoming = [] } in
+  check Alcotest.int "phi is wiring" 0 (Profile.instr_latency Profile.default_40nm phi)
+
+let test_cacti_monotonic_in_size () =
+  let small = Cacti_lite.sram 1024 in
+  let big = Cacti_lite.sram 16384 in
+  check Alcotest.bool "bigger arrays cost more" true
+    (big.Cacti_lite.read_energy_pj > small.Cacti_lite.read_energy_pj
+    && big.Cacti_lite.leakage_mw > small.Cacti_lite.leakage_mw
+    && big.Cacti_lite.area_um2 > small.Cacti_lite.area_um2)
+
+let test_cacti_ports_cost_area () =
+  let one = Cacti_lite.sram ~ports:1 4096 in
+  let four = Cacti_lite.sram ~ports:4 4096 in
+  check Alcotest.bool "ports add area and leakage" true
+    (four.Cacti_lite.area_um2 > one.Cacti_lite.area_um2
+    && four.Cacti_lite.leakage_mw > one.Cacti_lite.leakage_mw)
+
+let test_cacti_write_costlier_than_read () =
+  let r = Cacti_lite.sram 4096 in
+  check Alcotest.bool "write > read energy" true
+    (r.Cacti_lite.write_energy_pj > r.Cacti_lite.read_energy_pj)
+
+let suite =
+  [
+    Alcotest.test_case "opcode to FU mapping" `Quick test_fu_mapping;
+    Alcotest.test_case "profile lookup/override" `Quick test_profile_lookup_and_override;
+    Alcotest.test_case "all classes have specs" `Quick test_all_classes_have_specs;
+    Alcotest.test_case "wiring has zero latency" `Quick test_instr_latency_wiring;
+    Alcotest.test_case "cacti monotone in size" `Quick test_cacti_monotonic_in_size;
+    Alcotest.test_case "cacti ports cost area" `Quick test_cacti_ports_cost_area;
+    Alcotest.test_case "cacti write > read" `Quick test_cacti_write_costlier_than_read;
+  ]

@@ -1,0 +1,343 @@
+(* Tests for the IR substrate: types, value semantics, builder +
+   verifier, printer/parser round trips, CFG analyses, flat memory and
+   the functional interpreter. *)
+
+open Salam_ir
+
+let check = Alcotest.check
+
+(* --- types -------------------------------------------------------- *)
+
+let test_ty_roundtrip () =
+  List.iter
+    (fun ty ->
+      check (Alcotest.option Alcotest.string) "of_string/to_string"
+        (Some (Ty.to_string ty))
+        (Option.map Ty.to_string (Ty.of_string (Ty.to_string ty))))
+    [ Ty.I1; Ty.I8; Ty.I16; Ty.I32; Ty.I64; Ty.F32; Ty.F64; Ty.Ptr; Ty.Void ]
+
+let test_ty_sizes () =
+  check Alcotest.int "i32 bytes" 4 (Ty.size_bytes Ty.I32);
+  check Alcotest.int "f64 bytes" 8 (Ty.size_bytes Ty.F64);
+  check Alcotest.int "i1 bits" 1 (Ty.bits Ty.I1);
+  check Alcotest.int "ptr bits" 64 (Ty.bits Ty.Ptr)
+
+(* --- bits ----------------------------------------------------------- *)
+
+let test_bits_masking () =
+  let r = Bits.eval_binop Ast.Add Ty.I8 (Bits.Int 200L) (Bits.Int 100L) in
+  check Alcotest.int64 "i8 wraps" 44L (Bits.to_int64 r)
+
+let test_bits_signed_unsigned_compare () =
+  let minus_one = Bits.truncate Ty.I32 (Bits.Int (-1L)) in
+  let one = Bits.Int 1L in
+  check Alcotest.bool "slt: -1 < 1" true
+    (Bits.to_bool (Bits.eval_icmp Ast.Islt Ty.I32 minus_one one));
+  check Alcotest.bool "ult: 0xffffffff > 1" true
+    (Bits.to_bool (Bits.eval_icmp Ast.Iugt Ty.I32 minus_one one))
+
+let test_bits_f32_rounding () =
+  let a = Bits.Float 0.1 and b = Bits.Float 0.2 in
+  let f32 = Bits.eval_binop Ast.Fadd Ty.F32 a b in
+  let f64 = Bits.eval_binop Ast.Fadd Ty.F64 a b in
+  check Alcotest.bool "f32 add rounds differently from f64"
+    true
+    (Bits.to_float f32 <> Bits.to_float f64)
+
+let test_bits_division_by_zero () =
+  Alcotest.check_raises "sdiv by zero" Division_by_zero (fun () ->
+      ignore (Bits.eval_binop Ast.Sdiv Ty.I32 (Bits.Int 5L) (Bits.Int 0L)))
+
+let test_bits_casts () =
+  let v = Bits.eval_cast Ast.Sext ~src_ty:Ty.I8 ~dst_ty:Ty.I32 (Bits.Int 0xFFL) in
+  check Alcotest.int64 "sext i8 -1" (Bits.to_int64 (Bits.truncate Ty.I32 (Bits.Int (-1L)))) (Bits.to_int64 v);
+  let z = Bits.eval_cast Ast.Zext ~src_ty:Ty.I8 ~dst_ty:Ty.I32 (Bits.Int 0xFFL) in
+  check Alcotest.int64 "zext i8 255" 255L (Bits.to_int64 z);
+  let f = Bits.eval_cast Ast.Sitofp ~src_ty:Ty.I32 ~dst_ty:Ty.F64 (Bits.Int (-3L)) in
+  check (Alcotest.float 1e-9) "sitofp" (-3.0) (Bits.to_float f);
+  let i = Bits.eval_cast Ast.Fptosi ~src_ty:Ty.F64 ~dst_ty:Ty.I32 (Bits.Float 7.9) in
+  check Alcotest.int64 "fptosi truncates" 7L (Bits.to_int64 i)
+
+let qcheck_bits_add_commutes =
+  QCheck.Test.make ~name:"integer add commutes under masking" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let x = Bits.eval_binop Ast.Add Ty.I16 (Bits.Int a) (Bits.Int b) in
+      let y = Bits.eval_binop Ast.Add Ty.I16 (Bits.Int b) (Bits.Int a) in
+      Bits.equal x y)
+
+let qcheck_bits_trunc_idempotent =
+  QCheck.Test.make ~name:"truncate is idempotent" ~count:500 QCheck.int64 (fun a ->
+      let once = Bits.truncate Ty.I8 (Bits.Int a) in
+      Bits.equal once (Bits.truncate Ty.I8 once))
+
+(* --- builder + verifier -------------------------------------------- *)
+
+let build_add_function () =
+  let b = Builder.create ~name:"add2" ~ret_ty:Ty.I32 ~params:[ ("x", Ty.I32); ("y", Ty.I32) ] in
+  Builder.add_block b "entry";
+  let x, y =
+    match Builder.params b with [ x; y ] -> (Ast.Var x, Ast.Var y) | _ -> assert false
+  in
+  let sum = Builder.binop b Ast.Add x y in
+  Builder.ret b (Some sum);
+  Builder.finish b
+
+let test_builder_verifies () =
+  check Alcotest.int "no problems" 0 (List.length (Verify.func (build_add_function ())))
+
+let test_verify_catches_missing_terminator () =
+  let b = Builder.create ~name:"bad" ~ret_ty:Ty.Void ~params:[] in
+  Builder.add_block b "entry";
+  ignore (Builder.binop b Ast.Add (Builder.ci32 1) (Builder.ci32 2));
+  let f = Builder.finish b in
+  check Alcotest.bool "problem reported" true (Verify.func f <> [])
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_verify_catches_type_mismatch () =
+  let b = Builder.create ~name:"bad" ~ret_ty:Ty.Void ~params:[] in
+  Builder.add_block b "entry";
+  let dst = Builder.fresh b "t" Ty.I32 in
+  Builder.emit b (Ast.Binop { dst; op = Ast.Add; lhs = Builder.ci32 1; rhs = Builder.ci64 2 });
+  Builder.ret b None;
+  let f = Builder.finish b in
+  check Alcotest.bool "mismatch reported" true
+    (List.exists
+       (fun (p : Verify.problem) -> contains_substring p.Verify.message "operand types differ")
+       (Verify.func f))
+
+let test_verify_catches_use_before_def () =
+  let b = Builder.create ~name:"bad" ~ret_ty:Ty.I32 ~params:[] in
+  Builder.add_block b "entry";
+  let ghost = { Ast.id = 999; vname = "ghost"; ty = Ty.I32 } in
+  Builder.ret b (Some (Ast.Var ghost));
+  let f = Builder.finish b in
+  check Alcotest.bool "undefined use reported" true (Verify.func f <> [])
+
+(* --- printer / parser ----------------------------------------------- *)
+
+let test_roundtrip_simple () =
+  let f = build_add_function () in
+  let m = { Ast.funcs = [ f ]; globals = [] } in
+  let printed = Pp.modul_to_string m in
+  let reparsed = Parser.parse_modul printed in
+  check Alcotest.string "print/parse/print fixpoint" printed (Pp.modul_to_string reparsed)
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun w ->
+      let f = Salam_workloads.Workload.compile w in
+      let m = { Ast.funcs = [ f ]; globals = [] } in
+      let printed = Pp.modul_to_string m in
+      let reparsed = Parser.parse_modul printed in
+      check Alcotest.string
+        ("roundtrip " ^ w.Salam_workloads.Workload.name)
+        printed (Pp.modul_to_string reparsed))
+    (Salam_workloads.Suite.quick ())
+
+let test_parser_rejects_garbage () =
+  Alcotest.check_raises "unknown opcode"
+    (Parser.Error "line 3: unknown opcode frobnicate")
+    (fun () ->
+      ignore
+        (Parser.parse_modul "define void @f() {\nentry:\n  %x.1 = frobnicate i32 1, 2\n}"))
+
+let test_parse_globals () =
+  let m = Parser.parse_modul "@tab = global i32 x 4 [ 1, 2, 3, 4 ]\ndefine void @f() {\nentry:\n  ret void\n}" in
+  match m.Ast.globals with
+  | [ g ] ->
+      check Alcotest.string "name" "tab" g.Ast.gname;
+      check Alcotest.int "elements" 4 g.Ast.elements
+  | _ -> Alcotest.fail "expected one global"
+
+(* --- CFG ------------------------------------------------------------ *)
+
+let diamond () =
+  let b = Builder.create ~name:"diamond" ~ret_ty:Ty.I32 ~params:[ ("c", Ty.I1) ] in
+  Builder.add_block b "entry";
+  let c = match Builder.params b with [ c ] -> Ast.Var c | _ -> assert false in
+  Builder.cond_br b c "left" "right";
+  Builder.add_block b "left";
+  Builder.br b "join";
+  Builder.add_block b "right";
+  Builder.br b "join";
+  Builder.add_block b "join";
+  let phi =
+    Builder.phi b Ty.I32 [ (Builder.ci32 1, "left"); (Builder.ci32 2, "right") ]
+  in
+  Builder.ret b (Some phi);
+  Builder.finish b
+
+let test_cfg_dominators () =
+  let f = diamond () in
+  let cfg = Cfg.build f in
+  let entry = Cfg.index_of_label cfg "entry" in
+  let left = Cfg.index_of_label cfg "left" in
+  let join = Cfg.index_of_label cfg "join" in
+  check Alcotest.bool "entry dominates join" true (Cfg.dominates cfg entry join);
+  check Alcotest.bool "left does not dominate join" false (Cfg.dominates cfg left join);
+  check (Alcotest.option Alcotest.int) "idom(join) = entry" (Some entry) (Cfg.idom cfg join)
+
+let test_cfg_frontier_and_back_edges () =
+  let f = diamond () in
+  let cfg = Cfg.build f in
+  let left = Cfg.index_of_label cfg "left" in
+  let join = Cfg.index_of_label cfg "join" in
+  check (Alcotest.list Alcotest.int) "frontier(left) = [join]" [ join ]
+    (Cfg.dominance_frontier cfg left);
+  check Alcotest.int "no back edges in a diamond" 0 (List.length (Cfg.back_edges cfg));
+  (* a loop has one *)
+  let w = Salam_workloads.Gemm.workload ~n:4 () in
+  let g = Salam_workloads.Workload.compile w in
+  check Alcotest.bool "gemm has back edges" true (Cfg.back_edges (Cfg.build g) <> [])
+
+(* --- memory ---------------------------------------------------------- *)
+
+let test_memory_types_roundtrip () =
+  let mem = Memory.create ~size:4096 in
+  Memory.store mem Ty.I8 16L (Bits.Int 0xABL);
+  check Alcotest.int64 "i8" 0xABL (Bits.to_int64 (Memory.load mem Ty.I8 16L));
+  Memory.store mem Ty.I16 32L (Bits.Int 0x1234L);
+  check Alcotest.int64 "i16" 0x1234L (Bits.to_int64 (Memory.load mem Ty.I16 32L));
+  Memory.store mem Ty.I32 64L (Bits.Int 0xDEADBEEFL);
+  check Alcotest.int64 "i32" 0xDEADBEEFL
+    (Int64.logand (Bits.to_int64 (Memory.load mem Ty.I32 64L)) 0xFFFFFFFFL);
+  Memory.store mem Ty.F64 128L (Bits.Float 3.25);
+  check (Alcotest.float 0.0) "f64" 3.25 (Bits.to_float (Memory.load mem Ty.F64 128L));
+  Memory.store mem Ty.F32 256L (Bits.Float 1.5);
+  check (Alcotest.float 0.0) "f32" 1.5 (Bits.to_float (Memory.load mem Ty.F32 256L))
+
+let test_memory_little_endian () =
+  let mem = Memory.create ~size:64 in
+  Memory.store mem Ty.I32 8L (Bits.Int 0x11223344L);
+  check Alcotest.int64 "low byte first" 0x44L (Bits.to_int64 (Memory.load mem Ty.I8 8L))
+
+let test_memory_bounds () =
+  let mem = Memory.create ~size:64 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Memory: access at 60 size 8 out of bounds") (fun () ->
+      ignore (Memory.load mem Ty.I64 60L))
+
+let test_memory_alloc () =
+  let mem = Memory.create ~size:4096 in
+  let a = Memory.alloc mem ~bytes:10 ~align:8 in
+  let b = Memory.alloc mem ~bytes:10 ~align:8 in
+  check Alcotest.bool "non-null, aligned, disjoint" true
+    (Int64.compare a 0L > 0
+    && Int64.rem a 8L = 0L
+    && Int64.rem b 8L = 0L
+    && Int64.compare b (Int64.add a 10L) >= 0)
+
+(* --- interpreter ------------------------------------------------------ *)
+
+let factorial_func () =
+  let open Salam_frontend.Lang in
+  kernel "fact" ~ret:Ty.I32
+    ~params:[ scalar "n" Ty.I32 ]
+    [
+      decl Ty.I32 "acc" (i 1);
+      for_ "k" (i 2) (v "n" +: i 1) [ assign "acc" (v "acc" *: v "k") ];
+      Return (Some (v "acc"));
+    ]
+
+let test_interp_factorial () =
+  let f = Salam_frontend.Compile.kernel (factorial_func ()) in
+  let mem = Memory.create ~size:1024 in
+  let m = { Ast.funcs = [ f ]; globals = [] } in
+  match Interp.run mem m ~entry:"fact" ~args:[ Bits.Int 6L ] with
+  | Some (Bits.Int r) -> check Alcotest.int64 "6! = 720" 720L r
+  | _ -> Alcotest.fail "expected an integer result"
+
+let test_interp_out_of_fuel () =
+  let b = Builder.create ~name:"spin" ~ret_ty:Ty.Void ~params:[] in
+  Builder.add_block b "entry";
+  Builder.br b "entry";
+  let f = Builder.finish b in
+  let mem = Memory.create ~size:64 in
+  let m = { Ast.funcs = [ f ]; globals = [] } in
+  Alcotest.check_raises "fuel exhausted" Interp.Out_of_fuel (fun () ->
+      ignore (Interp.run ~fuel:100 mem m ~entry:"spin" ~args:[]))
+
+let test_interp_division_trap () =
+  let b = Builder.create ~name:"div" ~ret_ty:Ty.I32 ~params:[ ("x", Ty.I32) ] in
+  Builder.add_block b "entry";
+  let x = match Builder.params b with [ x ] -> Ast.Var x | _ -> assert false in
+  let q = Builder.binop b Ast.Sdiv (Builder.ci32 10) x in
+  Builder.ret b (Some q);
+  let f = Builder.finish b in
+  let mem = Memory.create ~size:64 in
+  let m = { Ast.funcs = [ f ]; globals = [] } in
+  Alcotest.check_raises "div by zero traps" (Interp.Trap "division by zero") (fun () ->
+      ignore (Interp.run mem m ~entry:"div" ~args:[ Bits.Int 0L ]))
+
+let test_interp_intrinsics () =
+  let b = Builder.create ~name:"root" ~ret_ty:Ty.F64 ~params:[ ("x", Ty.F64) ] in
+  Builder.add_block b "entry";
+  let x = match Builder.params b with [ x ] -> Ast.Var x | _ -> assert false in
+  let r = Option.get (Builder.call b Ty.F64 "sqrt" [ x ]) in
+  Builder.ret b (Some r);
+  let f = Builder.finish b in
+  let mem = Memory.create ~size:64 in
+  let m = { Ast.funcs = [ f ]; globals = [] } in
+  match Interp.run mem m ~entry:"root" ~args:[ Bits.Float 9.0 ] with
+  | Some (Bits.Float r) -> check (Alcotest.float 1e-12) "sqrt 9" 3.0 r
+  | _ -> Alcotest.fail "expected a float"
+
+let test_interp_globals () =
+  let src =
+    "@tab = global i32 x 4 [ 10, 20, 30, 40 ]\n\
+     define i32 @sum(ptr %p.0) {\n\
+     entry:\n\
+     \  %a.1 = load i32, ptr %p.0\n\
+     \  %q.2 = gep ptr %p.0, 4 x i32 3\n\
+     \  %b.3 = load i32, ptr %q.2\n\
+     \  %r.4 = add i32 %a.1, %b.3\n\
+     \  ret i32 %r.4\n\
+     }"
+  in
+  let m = Parser.parse_modul src in
+  Verify.check_exn m;
+  (* the interpreter materialises globals at deterministic addresses; we
+     reach the table through a pointer parameter set to its address by
+     allocating in the same order *)
+  let mem = Memory.create ~size:4096 in
+  let expected_base = Memory.alloc (Memory.create ~size:4096) ~bytes:16 ~align:8 in
+  match Interp.run mem m ~entry:"sum" ~args:[ Bits.Int expected_base ] with
+  | Some (Bits.Int r) -> check Alcotest.int64 "tab[0] + tab[3]" 50L r
+  | _ -> Alcotest.fail "expected integer"
+
+let suite =
+  [
+    Alcotest.test_case "ty roundtrip" `Quick test_ty_roundtrip;
+    Alcotest.test_case "ty sizes" `Quick test_ty_sizes;
+    Alcotest.test_case "bits masking" `Quick test_bits_masking;
+    Alcotest.test_case "bits signed/unsigned" `Quick test_bits_signed_unsigned_compare;
+    Alcotest.test_case "bits f32 rounding" `Quick test_bits_f32_rounding;
+    Alcotest.test_case "bits div by zero" `Quick test_bits_division_by_zero;
+    Alcotest.test_case "bits casts" `Quick test_bits_casts;
+    QCheck_alcotest.to_alcotest qcheck_bits_add_commutes;
+    QCheck_alcotest.to_alcotest qcheck_bits_trunc_idempotent;
+    Alcotest.test_case "builder output verifies" `Quick test_builder_verifies;
+    Alcotest.test_case "verify missing terminator" `Quick test_verify_catches_missing_terminator;
+    Alcotest.test_case "verify type mismatch" `Quick test_verify_catches_type_mismatch;
+    Alcotest.test_case "verify use before def" `Quick test_verify_catches_use_before_def;
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip workloads" `Quick test_roundtrip_workloads;
+    Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;
+    Alcotest.test_case "parse globals" `Quick test_parse_globals;
+    Alcotest.test_case "cfg dominators" `Quick test_cfg_dominators;
+    Alcotest.test_case "cfg frontier/back edges" `Quick test_cfg_frontier_and_back_edges;
+    Alcotest.test_case "memory typed access" `Quick test_memory_types_roundtrip;
+    Alcotest.test_case "memory endianness" `Quick test_memory_little_endian;
+    Alcotest.test_case "memory bounds" `Quick test_memory_bounds;
+    Alcotest.test_case "memory alloc" `Quick test_memory_alloc;
+    Alcotest.test_case "interp factorial" `Quick test_interp_factorial;
+    Alcotest.test_case "interp out of fuel" `Quick test_interp_out_of_fuel;
+    Alcotest.test_case "interp division trap" `Quick test_interp_division_trap;
+    Alcotest.test_case "interp intrinsics" `Quick test_interp_intrinsics;
+    Alcotest.test_case "interp globals" `Quick test_interp_globals;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "salam"
+    [
+      ("sim", Test_sim.suite);
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("hw", Test_hw.suite);
+      ("cdfg", Test_cdfg.suite);
+      ("mem", Test_mem.suite);
+      ("engine", Test_engine.suite);
+      ("soc", Test_soc.suite);
+      ("aladdin", Test_aladdin.suite);
+      ("reference", Test_reference.suite);
+      ("workloads", Test_workloads.suite);
+      ("scenarios", Test_scenarios.suite);
+    ]

@@ -1,0 +1,286 @@
+(* Tests for the memory system: scratchpads, caches, crossbars, DRAM,
+   DMA engines and stream buffers. *)
+
+open Salam_sim
+open Salam_mem
+
+let check = Alcotest.check
+
+let fresh () =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~freq_mhz:1000.0 in
+  let stats = Stats.group "test" in
+  (kernel, clock, stats)
+
+let send port pkt done_ = Port.send port pkt ~on_complete:done_
+
+(* --- SPM -------------------------------------------------------------- *)
+
+let test_spm_latency () =
+  let kernel, clock, stats = fresh () in
+  let spm =
+    Spm.create kernel clock stats
+      { (Spm.default_config ~name:"spm" ~base:0L ~size:1024) with Spm.latency = 3 }
+  in
+  let done_cycle = ref (-1L) in
+  send (Spm.port spm)
+    (Packet.make Packet.Read ~addr:64L ~size:8)
+    (fun () -> done_cycle := Clock.current_cycle clock);
+  ignore (Kernel.run kernel);
+  check Alcotest.int64 "service next edge + 3 cycles" 3L !done_cycle;
+  check Alcotest.int "one read counted" 1 (Spm.reads spm)
+
+let test_spm_port_throughput () =
+  let kernel, clock, stats = fresh () in
+  let spm =
+    Spm.create kernel clock stats
+      {
+        (Spm.default_config ~name:"spm" ~base:0L ~size:4096) with
+        Spm.read_ports = 2;
+        banks = 8;
+        latency = 1;
+      }
+  in
+  let completions = ref [] in
+  for k = 0 to 7 do
+    send (Spm.port spm)
+      (Packet.make Packet.Read ~addr:(Int64.of_int (k * 8)) ~size:8)
+      (fun () -> completions := Clock.current_cycle clock :: !completions)
+  done;
+  ignore (Kernel.run kernel);
+  (* 8 reads over 2 ports: finishes 4 cycles after the first pair *)
+  let last = List.fold_left max 0L !completions in
+  let first = List.fold_left min Int64.max_int !completions in
+  check Alcotest.int64 "spread over 3 extra cycles" 3L (Int64.sub last first)
+
+let test_spm_bank_conflicts () =
+  let kernel, clock, stats = fresh () in
+  let spm =
+    Spm.create kernel clock stats
+      {
+        (Spm.default_config ~name:"spm" ~base:0L ~size:4096) with
+        Spm.read_ports = 4;
+        banks = 2;
+        partitioning = Spm.Cyclic;
+      }
+  in
+  (* four reads to the same bank (stride = banks * word) *)
+  for k = 0 to 3 do
+    send (Spm.port spm) (Packet.make Packet.Read ~addr:(Int64.of_int (k * 16)) ~size:8) ignore
+  done;
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "conflicts detected" true (Spm.bank_conflicts spm > 0)
+
+let test_spm_rejects_out_of_range () =
+  let kernel, clock, stats = fresh () in
+  let spm = Spm.create kernel clock stats (Spm.default_config ~name:"spm" ~base:4096L ~size:64) in
+  Alcotest.check_raises "outside window"
+    (Invalid_argument "spm: access 0+8 outside [4096, 4160)") (fun () ->
+      send (Spm.port spm) (Packet.make Packet.Read ~addr:0L ~size:8) ignore)
+
+(* --- DRAM ------------------------------------------------------------- *)
+
+let test_dram_bandwidth_serialises () =
+  let kernel, clock, stats = fresh () in
+  let dram =
+    Dram.create kernel clock stats
+      { Dram.name = "dram"; base = 0L; size = 1 lsl 20; access_latency = 10; bus_bytes = 8 }
+  in
+  let finishes = ref [] in
+  for k = 0 to 3 do
+    send (Dram.port dram)
+      (Packet.make Packet.Read ~addr:(Int64.of_int (k * 64)) ~size:64)
+      (fun () -> finishes := Clock.current_cycle clock :: !finishes)
+  done;
+  ignore (Kernel.run kernel);
+  let sorted = List.sort compare !finishes in
+  (* each 64B burst holds the channel 8 cycles *)
+  (match sorted with
+  | a :: b :: _ -> check Alcotest.int64 "8-cycle channel occupancy" 8L (Int64.sub b a)
+  | _ -> Alcotest.fail "expected completions");
+  check Alcotest.int "bytes accounted" 256 (Dram.bytes_read dram)
+
+(* --- cache ------------------------------------------------------------ *)
+
+let make_cache ?(size = 1024) ?(ways = 2) kernel clock stats =
+  let dram =
+    Dram.create kernel clock stats
+      { Dram.name = "dram"; base = 0L; size = 1 lsl 20; access_latency = 20; bus_bytes = 8 }
+  in
+  Cache.create kernel clock stats
+    { (Cache.default_config ~name:"l1" ~size) with Cache.ways; hit_latency = 1 }
+    ~lower:(Dram.port dram)
+
+let test_cache_miss_then_hit () =
+  let kernel, clock, stats = fresh () in
+  let cache = make_cache kernel clock stats in
+  let t_miss = ref 0L and t_hit = ref 0L in
+  send (Cache.port cache)
+    (Packet.make Packet.Read ~addr:256L ~size:8)
+    (fun () ->
+      t_miss := Clock.current_cycle clock;
+      send (Cache.port cache)
+        (Packet.make Packet.Read ~addr:260L ~size:4)
+        (fun () -> t_hit := Clock.current_cycle clock));
+  ignore (Kernel.run kernel);
+  check Alcotest.int "one miss" 1 (Cache.misses cache);
+  check Alcotest.int "one hit" 1 (Cache.hits cache);
+  check Alcotest.bool "hit much faster than miss" true
+    (Int64.compare (Int64.sub !t_hit !t_miss) (Int64.div !t_miss 2L) < 0)
+
+let test_cache_eviction_and_writeback () =
+  let kernel, clock, stats = fresh () in
+  (* 2 sets x 2 ways x 64B lines = 256 B; touching 5 lines of one set
+     evicts *)
+  let cache = make_cache ~size:256 ~ways:2 kernel clock stats in
+  let line k = Int64.of_int (k * 128) (* same set every time *) in
+  let rec touch k done_ =
+    if k >= 5 then done_ ()
+    else
+      send (Cache.port cache)
+        (Packet.make Packet.Write ~addr:(line k) ~size:8)
+        (fun () -> touch (k + 1) done_)
+  in
+  let finished = ref false in
+  touch 0 (fun () -> finished := true);
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "completed" true !finished;
+  check Alcotest.bool "dirty lines written back" true (Cache.writebacks cache > 0);
+  Cache.flush cache;
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:(line 4) ~size:8) ignore;
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "flush empties the cache" true (Cache.misses cache > 4)
+
+let test_cache_line_split () =
+  let kernel, clock, stats = fresh () in
+  let cache = make_cache kernel clock stats in
+  let finished = ref false in
+  (* crosses a 64-byte boundary -> two fragments, one completion *)
+  send (Cache.port cache)
+    (Packet.make Packet.Read ~addr:60L ~size:8)
+    (fun () -> finished := true);
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "completed once" true !finished;
+  check Alcotest.int "two line fills" 2 (Cache.misses cache)
+
+(* --- crossbar ---------------------------------------------------------- *)
+
+let test_xbar_routing_and_default () =
+  let kernel, clock, stats = fresh () in
+  let hits_a = ref 0 and hits_d = ref 0 in
+  let target_a =
+    Port.make ~name:"a" (fun _ ~on_complete ->
+        incr hits_a;
+        on_complete ())
+  in
+  let default =
+    Port.make ~name:"d" (fun _ ~on_complete ->
+        incr hits_d;
+        on_complete ())
+  in
+  let xbar = Xbar.create kernel clock stats { Xbar.name = "x"; latency = 1; width = 4 } in
+  Xbar.add_range xbar ~base:0L ~size:256 target_a;
+  Xbar.set_default xbar default;
+  send (Xbar.port xbar) (Packet.make Packet.Read ~addr:10L ~size:4) ignore;
+  send (Xbar.port xbar) (Packet.make Packet.Read ~addr:1000L ~size:4) ignore;
+  ignore (Kernel.run kernel);
+  check Alcotest.int "ranged" 1 !hits_a;
+  check Alcotest.int "default" 1 !hits_d;
+  check Alcotest.int "both routed" 2 (Xbar.packets_routed xbar)
+
+let test_xbar_rejects_overlap () =
+  let kernel, clock, stats = fresh () in
+  let p = Port.make ~name:"p" (fun _ ~on_complete -> on_complete ()) in
+  let xbar = Xbar.create kernel clock stats { Xbar.name = "x"; latency = 0; width = 1 } in
+  Xbar.add_range xbar ~base:0L ~size:256 p;
+  Alcotest.check_raises "overlap" (Invalid_argument "x: range 128+256 overlaps 0+256")
+    (fun () -> Xbar.add_range xbar ~base:128L ~size:256 p)
+
+(* --- DMA --------------------------------------------------------------- *)
+
+let test_block_dma_copies () =
+  let kernel, clock, stats = fresh () in
+  let backing = Salam_ir.Memory.create ~size:(1 lsl 16) in
+  let dram =
+    Dram.create kernel clock stats
+      { Dram.name = "dram"; base = 0L; size = 1 lsl 16; access_latency = 5; bus_bytes = 8 }
+  in
+  let dma =
+    Dma.Block.create kernel clock stats
+      { Dma.Block.name = "dma"; burst_bytes = 64; max_in_flight = 2 }
+      ~backing ~port:(Dram.port dram)
+  in
+  let payload = Bytes.init 200 (fun k -> Char.chr (k mod 256)) in
+  Salam_ir.Memory.store_bytes backing 1024L payload;
+  let finished = ref false in
+  Dma.Block.start dma ~src:1024L ~dst:8192L ~len:200 ~on_done:(fun () -> finished := true);
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "done" true !finished;
+  check Alcotest.bool "data copied" true
+    (Bytes.equal payload (Salam_ir.Memory.load_bytes backing 8192L 200));
+  check Alcotest.int "bytes moved" 200 (Dma.Block.bytes_moved dma);
+  Alcotest.check_raises "second transfer while busy is the caller's bug"
+    (Invalid_argument "dma: transfer length must be positive") (fun () ->
+      Dma.Block.start dma ~src:0L ~dst:0L ~len:0 ~on_done:ignore)
+
+(* --- stream buffer ------------------------------------------------------ *)
+
+let test_stream_fifo_order () =
+  let kernel, clock, stats = fresh () in
+  let sb = Stream_buffer.create kernel clock stats ~name:"fifo" ~capacity_bytes:64 in
+  let received = ref [] in
+  Stream_buffer.push sb (Bytes.of_string "ab") ~on_accepted:ignore;
+  Stream_buffer.push sb (Bytes.of_string "cd") ~on_accepted:ignore;
+  Stream_buffer.pop sb ~size:3 ~on_data:(fun d -> received := Bytes.to_string d :: !received);
+  Stream_buffer.pop sb ~size:1 ~on_data:(fun d -> received := Bytes.to_string d :: !received);
+  ignore (Kernel.run kernel);
+  check (Alcotest.list Alcotest.string) "byte order preserved" [ "abc"; "d" ]
+    (List.rev !received)
+
+let test_stream_blocking_full_and_empty () =
+  let kernel, clock, stats = fresh () in
+  let sb = Stream_buffer.create kernel clock stats ~name:"fifo" ~capacity_bytes:4 in
+  let accepted = ref 0 in
+  Stream_buffer.push sb (Bytes.make 4 'x') ~on_accepted:(fun () -> incr accepted);
+  Stream_buffer.push sb (Bytes.make 4 'y') ~on_accepted:(fun () -> incr accepted);
+  ignore (Kernel.run kernel);
+  check Alcotest.int "second push blocked while full" 1 !accepted;
+  check Alcotest.bool "full stall counted" true (Stream_buffer.full_stalls sb > 0);
+  (* draining unblocks the producer *)
+  Stream_buffer.pop sb ~size:4 ~on_data:(fun _ -> ());
+  ignore (Kernel.run kernel);
+  check Alcotest.int "push completed after drain" 2 !accepted
+
+let qcheck_stream_content_preserved =
+  QCheck.Test.make ~name:"stream buffer preserves content" ~count:100
+    QCheck.(list (string_of_size (QCheck.Gen.int_range 1 8)))
+    (fun chunks ->
+      QCheck.assume (chunks <> []);
+      let kernel, clock, stats = fresh () in
+      let sb = Stream_buffer.create kernel clock stats ~name:"fifo" ~capacity_bytes:1024 in
+      let total = String.concat "" chunks in
+      QCheck.assume (String.length total <= 1024);
+      List.iter (fun c -> Stream_buffer.push sb (Bytes.of_string c) ~on_accepted:ignore) chunks;
+      let out = Buffer.create 64 in
+      Stream_buffer.pop sb ~size:(String.length total) ~on_data:(fun d ->
+          Buffer.add_bytes out d);
+      ignore (Kernel.run kernel);
+      Buffer.contents out = total)
+
+let suite =
+  [
+    Alcotest.test_case "spm latency" `Quick test_spm_latency;
+    Alcotest.test_case "spm port throughput" `Quick test_spm_port_throughput;
+    Alcotest.test_case "spm bank conflicts" `Quick test_spm_bank_conflicts;
+    Alcotest.test_case "spm bounds" `Quick test_spm_rejects_out_of_range;
+    Alcotest.test_case "dram bandwidth" `Quick test_dram_bandwidth_serialises;
+    Alcotest.test_case "cache miss then hit" `Quick test_cache_miss_then_hit;
+    Alcotest.test_case "cache eviction/writeback/flush" `Quick test_cache_eviction_and_writeback;
+    Alcotest.test_case "cache line split" `Quick test_cache_line_split;
+    Alcotest.test_case "xbar routing" `Quick test_xbar_routing_and_default;
+    Alcotest.test_case "xbar overlap rejected" `Quick test_xbar_rejects_overlap;
+    Alcotest.test_case "block dma copies" `Quick test_block_dma_copies;
+    Alcotest.test_case "stream fifo order" `Quick test_stream_fifo_order;
+    Alcotest.test_case "stream blocking" `Quick test_stream_blocking_full_and_empty;
+    QCheck_alcotest.to_alcotest qcheck_stream_content_preserved;
+  ]

@@ -1,0 +1,78 @@
+(* Tests for the validation reference models (HLS / ASIC / FPGA). *)
+
+open Salam_ir
+module W = Salam_workloads.Workload
+module Hls = Salam_reference.Hls_model
+
+let check = Alcotest.check
+
+let counts_for w =
+  let mem = Memory.create ~size:(1 lsl 22) in
+  let bases = W.alloc_buffers w mem in
+  w.W.init (Salam_sim.Rng.create 42L) mem bases;
+  Hls.block_counts mem (W.modul w) ~entry:w.W.kernel.Salam_frontend.Lang.kname
+    ~args:(W.args w ~bases)
+
+let test_block_counts () =
+  let w = Salam_workloads.Gemm.workload ~n:4 () in
+  let counts = counts_for w in
+  let f = W.compile w in
+  let entry = (Ast.entry_block f).Ast.label in
+  check Alcotest.int "entry runs once" 1 (counts entry);
+  check Alcotest.int "unknown label runs zero times" 0 (counts "no_such_block")
+
+let test_hls_estimate_positive_and_scales () =
+  let est n =
+    let w = Salam_workloads.Gemm.workload ~n () in
+    Hls.estimate_cycles (W.compile w) ~counts:(counts_for w)
+  in
+  let small = est 4 and big = est 8 in
+  check Alcotest.bool "positive" true (small > 0);
+  check Alcotest.bool "8x work costs more" true (big > 4 * small)
+
+let test_hls_tracks_engine () =
+  (* the validation claim: static estimate and dynamic engine agree
+     within a modest band on regular kernels *)
+  List.iter
+    (fun w ->
+      let hls = Hls.estimate_cycles (W.compile w) ~counts:(counts_for w) in
+      let engine = Int64.to_float (Salam.simulate w).Salam.cycles in
+      let err = abs_float (float_of_int hls -. engine) /. engine in
+      check Alcotest.bool
+        (Printf.sprintf "%s within 70%% (got %.1f%%)" w.W.name (err *. 100.0))
+        true (err < 0.7))
+    [ Salam_workloads.Gemm.workload ~n:8 (); Salam_workloads.Stencil2d.workload ~rows:12 ~cols:12 () ]
+
+let test_asic_model_close_to_profile () =
+  let dp = Salam_cdfg.Datapath.build (W.compile (Salam_workloads.Gemm.workload ~n:8 ())) in
+  let salam_area = Salam_cdfg.Datapath.static_area_um2 dp in
+  let asic_area = Salam_reference.Asic_model.area_um2 dp in
+  let err = abs_float (salam_area -. asic_area) /. asic_area in
+  check Alcotest.bool (Printf.sprintf "area within 10%% (got %.1f%%)" (err *. 100.0)) true
+    (err < 0.10)
+
+let test_asic_power_positive () =
+  let w = Salam_workloads.Gemm.workload ~n:8 () in
+  let r = Salam.simulate w in
+  let dp = Salam_cdfg.Datapath.build (W.compile w) in
+  let p = Salam_reference.Asic_model.power_mw dp ~stats:r.Salam.stats ~seconds:r.Salam.seconds in
+  check Alcotest.bool "positive power" true (p > 0.0)
+
+let test_fpga_model_shapes () =
+  let m = Salam_reference.Fpga_model.zcu102 in
+  let c1 = Salam_reference.Fpga_model.compute_time_us m ~hls_cycles:1000 in
+  let c2 = Salam_reference.Fpga_model.compute_time_us m ~hls_cycles:2000 in
+  check (Alcotest.float 1e-9) "compute scales linearly" (2.0 *. c1) c2;
+  let b1 = Salam_reference.Fpga_model.bulk_transfer_us m ~bytes:4096 ~transfers:1 in
+  let b2 = Salam_reference.Fpga_model.bulk_transfer_us m ~bytes:4096 ~transfers:2 in
+  check Alcotest.bool "extra transfer costs setup" true (b2 > b1)
+
+let suite =
+  [
+    Alcotest.test_case "block counts" `Quick test_block_counts;
+    Alcotest.test_case "hls estimate scaling" `Quick test_hls_estimate_positive_and_scales;
+    Alcotest.test_case "hls tracks engine" `Quick test_hls_tracks_engine;
+    Alcotest.test_case "asic area near profile" `Quick test_asic_model_close_to_profile;
+    Alcotest.test_case "asic power positive" `Quick test_asic_power_positive;
+    Alcotest.test_case "fpga model shapes" `Quick test_fpga_model_shapes;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for the simulation kernel substrate: event queue, kernel,
+   clocks, statistics and deterministic RNG. *)
+
+open Salam_sim
+
+let check = Alcotest.check
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  Event_queue.schedule q ~tick:30L (record "c");
+  Event_queue.schedule q ~tick:10L (record "a");
+  Event_queue.schedule q ~tick:20L (record "b");
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some ev ->
+        ev.Event_queue.action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "tick order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_event_queue_priority_and_seq () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  Event_queue.schedule q ~tick:5L ~priority:1 (record "low");
+  Event_queue.schedule q ~tick:5L ~priority:0 (record "hi1");
+  Event_queue.schedule q ~tick:5L ~priority:0 (record "hi2");
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some ev ->
+        ev.Event_queue.action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "priority then insertion order" [ "hi1"; "hi2"; "low" ]
+    (List.rev !log)
+
+let test_event_queue_past_rejected () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~tick:100L ignore;
+  ignore (Event_queue.pop q);
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Event_queue.schedule: tick 50 is before now 100") (fun () ->
+      Event_queue.schedule q ~tick:50L ignore)
+
+let qcheck_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun ticks ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.schedule q ~tick:(Int64.of_int t) ignore) ticks;
+      let rec drain last =
+        match Event_queue.pop q with
+        | Some ev ->
+            if Int64.compare ev.Event_queue.tick last < 0 then false else drain ev.Event_queue.tick
+        | None -> true
+      in
+      drain Int64.min_int)
+
+let test_kernel_schedule_after () =
+  let k = Kernel.create () in
+  let order = ref [] in
+  Kernel.schedule_at k ~tick:10L (fun () ->
+      order := "first" :: !order;
+      Kernel.schedule_after k ~delay:5L (fun () -> order := "second" :: !order));
+  let final = Kernel.run k in
+  check Alcotest.int64 "final tick" 15L final;
+  check (Alcotest.list Alcotest.string) "order" [ "first"; "second" ] (List.rev !order)
+
+let test_kernel_max_ticks () =
+  let k = Kernel.create () in
+  let ran = ref false in
+  Kernel.schedule_at k ~tick:1000L (fun () -> ran := true);
+  ignore (Kernel.run ~max_ticks:500L k);
+  check Alcotest.bool "event beyond horizon not run" false !ran;
+  ignore (Kernel.run k);
+  check Alcotest.bool "event runs after horizon lifted" true !ran
+
+let test_clock_alignment () =
+  let k = Kernel.create () in
+  let clk = Clock.create k ~freq_mhz:500.0 in
+  check Alcotest.int64 "500 MHz period is 2000 ps" 2000L (Clock.period_ticks clk);
+  let observed = ref (-1L) in
+  Kernel.schedule_at k ~tick:4100L (fun () ->
+      (* now = 4100, not on an edge; next edge is 6000 *)
+      Clock.schedule_cycles clk ~cycles:2 (fun () -> observed := Kernel.now k));
+  ignore (Kernel.run k);
+  check Alcotest.int64 "aligned two cycles later" 10000L !observed
+
+let test_clock_cycle_of_tick () =
+  let k = Kernel.create () in
+  let clk = Clock.create k ~freq_mhz:1000.0 in
+  check Alcotest.int64 "cycle 0" 0L (Clock.cycle_of_tick clk 999L);
+  check Alcotest.int64 "cycle 1" 1L (Clock.cycle_of_tick clk 1000L)
+
+let test_stats_tree () =
+  let root = Stats.group "root" in
+  let child = Stats.group ~parent:root "child" in
+  let s = Stats.scalar child "counter" in
+  Stats.incr s;
+  Stats.add s 2.5;
+  check (Alcotest.float 1e-9) "value" 3.5 (Stats.value s);
+  check (Alcotest.option (Alcotest.float 1e-9)) "find by path" (Some 3.5)
+    (Stats.find root "child.counter");
+  let total = Stats.fold root ~init:0.0 ~f:(fun acc ~path:_ v -> acc +. v) in
+  check (Alcotest.float 1e-9) "fold" 3.5 total;
+  Stats.reset_group root;
+  check (Alcotest.float 1e-9) "reset" 0.0 (Stats.value s)
+
+let test_stats_distribution () =
+  let g = Stats.group "g" in
+  let d = Stats.distribution g "lat" in
+  List.iter (fun x -> Stats.sample d x) [ 1.0; 2.0; 3.0 ];
+  check Alcotest.int "count" 3 (Stats.dist_count d);
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.dist_mean d);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.dist_min d);
+  check (Alcotest.float 1e-9) "max" 3.0 (Stats.dist_max d)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let qcheck_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 99L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "event queue tick order" `Quick test_event_queue_order;
+    Alcotest.test_case "event queue priority/seq" `Quick test_event_queue_priority_and_seq;
+    Alcotest.test_case "event queue rejects past" `Quick test_event_queue_past_rejected;
+    QCheck_alcotest.to_alcotest qcheck_event_queue_sorted;
+    Alcotest.test_case "kernel schedule_after" `Quick test_kernel_schedule_after;
+    Alcotest.test_case "kernel max_ticks" `Quick test_kernel_max_ticks;
+    Alcotest.test_case "clock edge alignment" `Quick test_clock_alignment;
+    Alcotest.test_case "clock cycle_of_tick" `Quick test_clock_cycle_of_tick;
+    Alcotest.test_case "stats tree" `Quick test_stats_tree;
+    Alcotest.test_case "stats distribution" `Quick test_stats_distribution;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    QCheck_alcotest.to_alcotest qcheck_rng_int_bounds;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutation;
+  ]

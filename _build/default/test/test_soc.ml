@@ -1,0 +1,200 @@
+(* Tests for the SoC layer: full-system simulation through the public
+   Salam API, MMR-triggered starts over the interconnect, host drivers
+   and DMA integration. *)
+
+open Salam_ir
+open Salam_soc
+module Engine = Salam_engine.Engine
+module W = Salam_workloads.Workload
+
+let check = Alcotest.check
+
+let test_simulate_spm_configs () =
+  List.iter
+    (fun w ->
+      let r = Salam.simulate w in
+      check Alcotest.bool ("correct " ^ r.Salam.name) true r.Salam.correct;
+      check Alcotest.bool "cycles positive" true (Int64.compare r.Salam.cycles 0L > 0))
+    (Salam_workloads.Suite.quick ())
+
+let test_simulate_cache_config () =
+  let config =
+    {
+      Salam.Config.default with
+      Salam.Config.memory =
+        Salam.Config.Cache { size = 4096; line_bytes = 64; ways = 4; hit_latency = 2 };
+    }
+  in
+  let r = Salam.simulate ~config (Salam_workloads.Gemm.workload ~n:8 ()) in
+  check Alcotest.bool "correct with cache" true r.Salam.correct;
+  match r.Salam.cache_hits_misses with
+  | Some (hits, misses) ->
+      check Alcotest.bool "cache exercised" true (hits > 0 && misses > 0)
+  | None -> Alcotest.fail "expected cache statistics"
+
+let test_simulate_spm_access_conservation () =
+  let r = Salam.simulate (Salam_workloads.Gemm.workload ~n:8 ()) in
+  match r.Salam.spm_accesses with
+  | Some (reads, writes) ->
+      check Alcotest.int "spm reads = engine loads" r.Salam.stats.Engine.loads_issued reads;
+      check Alcotest.int "spm writes = engine stores" r.Salam.stats.Engine.stores_issued writes
+  | None -> Alcotest.fail "expected SPM statistics"
+
+let test_simulate_ports_affect_cycles () =
+  let w = Salam_workloads.Gemm.workload ~n:8 ~unroll:4 () in
+  let at ports =
+    (Salam.simulate ~config:(Salam.Config.with_spm_ports Salam.Config.default ~read:ports ~write:2) w).Salam.cycles
+  in
+  check Alcotest.bool "more ports, no slower" true (Int64.compare (at 8) (at 1) <= 0)
+
+let test_power_breakdown_positive () =
+  let r = Salam.simulate (Salam_workloads.Stencil2d.workload ~rows:12 ~cols:12 ()) in
+  let p = r.Salam.power in
+  check Alcotest.bool "all seven components positive" true
+    (p.Salam.dynamic_fu_mw > 0.0 && p.Salam.dynamic_reg_mw > 0.0
+    && p.Salam.dynamic_spm_read_mw > 0.0
+    && p.Salam.dynamic_spm_write_mw > 0.0
+    && p.Salam.static_fu_mw > 0.0 && p.Salam.static_reg_mw > 0.0
+    && p.Salam.static_spm_mw > 0.0);
+  check (Alcotest.float 1e-9) "total is the sum"
+    (p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.dynamic_spm_read_mw
+    +. p.Salam.dynamic_spm_write_mw +. p.Salam.static_fu_mw +. p.Salam.static_reg_mw
+    +. p.Salam.static_spm_mw)
+    (Salam.total_mw p)
+
+(* the full bare-metal flow: host writes argument MMRs and the control
+   register over the fabric; the accelerator decodes them, runs, and
+   interrupts *)
+let test_mmr_start_flow () =
+  let w = Salam_workloads.Nw.workload ~len:8 () in
+  let func = W.compile w in
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let cluster = Cluster.create sys fabric ~name:"c" ~clock_mhz:500.0 () in
+  let acc = Accelerator.create sys ~name:"nw" ~clock_mhz:500.0 func in
+  Cluster.add_accelerator cluster acc;
+  let base, _ = Cluster.add_private_spm cluster acc ~size:8192 () in
+  let bases =
+    let next = ref base in
+    Array.of_list
+      (List.map
+         (fun (_, bytes) ->
+           let b = !next in
+           next := Int64.add !next (Int64.of_int ((bytes + 63) / 64 * 64));
+           b)
+         w.W.buffers)
+  in
+  w.W.init (Salam_sim.Rng.create 42L) (System.backing sys) bases;
+  let host = Host.create sys ~clock_mhz:1200.0 ~port:(Fabric.port fabric) in
+  let irq_fired = ref false in
+  Host.run_kernel host (Accelerator.comm acc)
+    ~args:(Array.to_list (Array.map Fun.id bases))
+    ~k:(fun () -> irq_fired := true);
+  ignore (System.run sys);
+  check Alcotest.bool "interrupt received" true !irq_fired;
+  check Alcotest.bool "result correct" true (w.W.check (System.backing sys) bases);
+  check Alcotest.int64 "status MMR shows done" 2L
+    (Comm_interface.read_mmr (Accelerator.comm acc) Comm_interface.Layout.status)
+
+let test_host_memcpy () =
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let host = Host.create sys ~clock_mhz:1000.0 ~port:(Fabric.port fabric) in
+  let src = System.alloc_region sys ~bytes:256 in
+  let dst = System.alloc_region sys ~bytes:256 in
+  let payload = Bytes.init 200 (fun k -> Char.chr ((k * 7) mod 256)) in
+  Memory.store_bytes (System.backing sys) src payload;
+  let done_ = ref false in
+  Host.memcpy host ~dst ~src ~len:200 ~k:(fun () -> done_ := true);
+  ignore (System.run sys);
+  check Alcotest.bool "done" true !done_;
+  check Alcotest.bool "copied" true
+    (Bytes.equal payload (Memory.load_bytes (System.backing sys) dst 200))
+
+let test_dma_feeds_accelerator () =
+  (* DRAM -> DMA -> private SPM -> kernel: the Table III data path *)
+  let w = Salam_workloads.Gemm.workload ~n:4 () in
+  let func = W.compile w in
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let cluster = Cluster.create sys fabric ~name:"c" ~clock_mhz:500.0 () in
+  let acc = Accelerator.create sys ~name:"gemm" ~clock_mhz:500.0 func in
+  Cluster.add_accelerator cluster acc;
+  let spm_base, _ = Cluster.add_private_spm cluster acc ~size:4096 () in
+  let dma = Cluster.add_dma cluster () in
+  let bytes = 4 * 4 * 8 in
+  let dram_a = System.alloc_region sys ~bytes in
+  let dram_b = System.alloc_region sys ~bytes in
+  let a = spm_base in
+  let b = Int64.add spm_base (Int64.of_int bytes) in
+  let c = Int64.add b (Int64.of_int bytes) in
+  let data_a = Array.init 16 (fun k -> float_of_int k) in
+  let data_b = Array.init 16 (fun k -> float_of_int (16 - k)) in
+  Memory.write_f64_array (System.backing sys) dram_a data_a;
+  Memory.write_f64_array (System.backing sys) dram_b data_b;
+  let finished = ref false in
+  Salam_mem.Dma.Block.start dma ~src:dram_a ~dst:a ~len:bytes ~on_done:(fun () ->
+      Salam_mem.Dma.Block.start dma ~src:dram_b ~dst:b ~len:bytes ~on_done:(fun () ->
+          Accelerator.launch acc
+            ~args:[ Bits.Int a; Bits.Int b; Bits.Int c ]
+            ~on_done:(fun _ -> finished := true)));
+  ignore (System.run sys);
+  check Alcotest.bool "pipeline completed" true !finished;
+  let result = Memory.read_f64_array (System.backing sys) c 16 in
+  let expect = Salam_workloads.Gemm.golden data_a data_b 4 in
+  check Alcotest.bool "dma-fed result correct" true
+    (Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-9) result expect)
+
+let test_accelerator_power_report () =
+  let r = Salam.simulate (Salam_workloads.Gemm.workload ~n:8 ()) in
+  check Alcotest.bool "area includes datapath and memory" true (r.Salam.area_um2 > 0.0);
+  check Alcotest.bool "wall time measured" true (r.Salam.wall_seconds > 0.0)
+
+(* scalar arguments and return values travel through the MMR encode /
+   decode path *)
+let test_scalar_args_and_return () =
+  let open Salam_frontend.Lang in
+  let kern =
+    kernel "axpy_scalar" ~ret:Ty.F64
+      ~params:[ array "x" Ty.F64 [ 8 ]; scalar "a" Ty.F64; scalar "n" Ty.I32 ]
+      [
+        decl Ty.F64 "acc" (f 0.0);
+        for_ "k" (i 0) (v "n") [ assign "acc" (v "acc" +: (v "a" *: idx "x" [ v "k" ])) ];
+        Return (Some (v "acc"));
+      ]
+  in
+  let func = Salam_frontend.Compile.kernel kern in
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let cluster = Cluster.create sys fabric ~name:"c" ~clock_mhz:500.0 () in
+  let acc = Accelerator.create sys ~name:"axpy" ~clock_mhz:500.0 func in
+  Cluster.add_accelerator cluster acc;
+  let base, _ = Cluster.add_private_spm cluster acc ~size:1024 () in
+  let xs = Array.init 8 float_of_int in
+  Memory.write_f64_array (System.backing sys) base xs;
+  let host = Host.create sys ~clock_mhz:1000.0 ~port:(Fabric.port fabric) in
+  let irq = ref false in
+  Host.run_kernel host (Accelerator.comm acc)
+    ~args:[ base; Int64.bits_of_float 0.5; 8L ]
+    ~k:(fun () -> irq := true);
+  ignore (System.run sys);
+  check Alcotest.bool "irq" true !irq;
+  let ret =
+    Int64.float_of_bits
+      (Comm_interface.read_mmr (Accelerator.comm acc) Comm_interface.Layout.ret_value)
+  in
+  check (Alcotest.float 1e-9) "0.5 * sum(0..7)" (0.5 *. 28.0) ret
+
+let suite =
+  [
+    Alcotest.test_case "simulate quick suite (SPM)" `Quick test_simulate_spm_configs;
+    Alcotest.test_case "simulate with cache" `Quick test_simulate_cache_config;
+    Alcotest.test_case "SPM access conservation" `Quick test_simulate_spm_access_conservation;
+    Alcotest.test_case "ports affect cycles" `Quick test_simulate_ports_affect_cycles;
+    Alcotest.test_case "power breakdown" `Quick test_power_breakdown_positive;
+    Alcotest.test_case "MMR start flow" `Quick test_mmr_start_flow;
+    Alcotest.test_case "host memcpy" `Quick test_host_memcpy;
+    Alcotest.test_case "dma feeds accelerator" `Quick test_dma_feeds_accelerator;
+    Alcotest.test_case "power/area report" `Quick test_accelerator_power_report;
+    Alcotest.test_case "scalar args and return via MMRs" `Quick test_scalar_args_and_return;
+  ]

@@ -1,0 +1,102 @@
+(* Tests for the workload suite: every kernel's interpreter result must
+   match its OCaml golden model, deterministically. *)
+
+module W = Salam_workloads.Workload
+
+let check = Alcotest.check
+
+let test_standard_suite_functional () =
+  List.iter
+    (fun w -> check Alcotest.bool ("golden " ^ w.W.name) true (W.run_functional w))
+    (Salam_workloads.Suite.standard ())
+
+let test_quick_suite_functional () =
+  List.iter
+    (fun w -> check Alcotest.bool ("golden " ^ w.W.name) true (W.run_functional w))
+    (Salam_workloads.Suite.quick ())
+
+let test_extra_kernels_functional () =
+  List.iter
+    (fun w -> check Alcotest.bool ("golden " ^ w.W.name) true (W.run_functional w))
+    [
+      Salam_workloads.Kmp.workload ();
+      Salam_workloads.Kmp.workload ~text_len:64 ~pattern_len:3 ();
+      Salam_workloads.Sort_merge.workload ();
+      Salam_workloads.Sort_merge.workload ~n:32 ();
+    ]
+
+let test_extra_kernels_on_engine () =
+  List.iter
+    (fun w ->
+      let r = Salam.simulate w in
+      check Alcotest.bool ("engine " ^ w.W.name) true r.Salam.correct)
+    [ Salam_workloads.Kmp.workload ~text_len:64 (); Salam_workloads.Sort_merge.workload ~n:64 () ]
+
+let test_cnn_kernels_functional () =
+  List.iter
+    (fun w -> check Alcotest.bool ("golden " ^ w.W.name) true (W.run_functional w))
+    [
+      Salam_workloads.Cnn.conv ();
+      Salam_workloads.Cnn.conv ~unroll:3 ~pixel_unroll:4 ();
+      Salam_workloads.Cnn.relu ();
+      Salam_workloads.Cnn.pool ();
+    ]
+
+let test_spmv_datasets_differ () =
+  (* the data-dependence quirk must actually fire in dataset 2 *)
+  let count_quirks dataset =
+    let w = Salam_workloads.Spmv.workload ~n:32 ~nnz_per_row:4 ~dataset () in
+    let mem = Salam_ir.Memory.create ~size:(1 lsl 20) in
+    let bases = W.alloc_buffers w mem in
+    w.W.init (Salam_sim.Rng.create 42L) mem bases;
+    let vals = Salam_ir.Memory.read_f64_array mem bases.(0) (32 * 4) in
+    Array.fold_left (fun acc v -> if v > 0.90 && v < 0.95 then acc + 1 else acc) 0 vals
+  in
+  check Alcotest.int "dataset 1 triggers nothing" 0 (count_quirks 1);
+  check Alcotest.bool "dataset 2 triggers the shift" true (count_quirks 2 > 0)
+
+let test_determinism () =
+  List.iter
+    (fun make ->
+      let w1 = make () and w2 = make () in
+      let run w =
+        let mem = Salam_ir.Memory.create ~size:(1 lsl 20) in
+        let bases = W.alloc_buffers w mem in
+        w.W.init (Salam_sim.Rng.create 9L) mem bases;
+        ignore
+          (Salam_ir.Interp.run mem (W.modul w)
+             ~entry:w.W.kernel.Salam_frontend.Lang.kname ~args:(W.args w ~bases));
+        Salam_ir.Memory.load_bytes mem bases.(Array.length bases - 1) 64
+      in
+      check Alcotest.bool "same seed, same result" true (Bytes.equal (run w1) (run w2)))
+    [
+      (fun () -> Salam_workloads.Gemm.workload ~n:4 ());
+      (fun () -> Salam_workloads.Bfs.workload ~nodes:32 ());
+      (fun () -> Salam_workloads.Fft.workload ~size:64 ());
+    ]
+
+let test_buffer_accounting () =
+  List.iter
+    (fun w ->
+      check Alcotest.int
+        ("buffer count matches params " ^ w.W.name)
+        (List.length w.W.kernel.Salam_frontend.Lang.params)
+        (List.length w.W.buffers + List.length w.W.scalar_args))
+    (Salam_workloads.Suite.standard ())
+
+let test_by_name_lookup () =
+  check Alcotest.bool "gemm found" true (Salam_workloads.Suite.by_name "gemm" <> None);
+  check Alcotest.bool "unknown absent" true (Salam_workloads.Suite.by_name "nonesuch" = None)
+
+let suite =
+  [
+    Alcotest.test_case "standard suite vs goldens" `Quick test_standard_suite_functional;
+    Alcotest.test_case "quick suite vs goldens" `Quick test_quick_suite_functional;
+    Alcotest.test_case "cnn kernels vs goldens" `Quick test_cnn_kernels_functional;
+    Alcotest.test_case "kmp/mergesort vs goldens" `Quick test_extra_kernels_functional;
+    Alcotest.test_case "kmp/mergesort on engine" `Quick test_extra_kernels_on_engine;
+    Alcotest.test_case "spmv datasets differ" `Quick test_spmv_datasets_differ;
+    Alcotest.test_case "dataset determinism" `Quick test_determinism;
+    Alcotest.test_case "buffer accounting" `Quick test_buffer_accounting;
+    Alcotest.test_case "suite lookup" `Quick test_by_name_lookup;
+  ]

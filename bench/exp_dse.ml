@@ -11,9 +11,12 @@ let fig4 () =
   section "FIG 4 — Total power breakdown with private SPM (% of total)";
   Printf.printf "%-24s %7s %7s %7s %7s %7s %7s %7s %9s\n" "benchmark" "dynFU" "dynREG"
     "dynSPMr" "dynSPMw" "statFU" "statREG" "statSPM" "total mW";
-  List.iter
-    (fun w ->
-      let r = Salam.simulate w in
+  let suite = Salam_workloads.Suite.standard () in
+  let results =
+    Salam.simulate_batch (List.map (fun w -> (Salam.Config.default, w)) suite)
+  in
+  List.iter2
+    (fun w r ->
       let p = r.Salam.power in
       let total = Salam.total_mw p in
       let f x = pct (x /. total) in
@@ -21,12 +24,12 @@ let fig4 () =
         (short_name w) (f p.Salam.dynamic_fu_mw) (f p.Salam.dynamic_reg_mw)
         (f p.Salam.dynamic_spm_read_mw) (f p.Salam.dynamic_spm_write_mw)
         (f p.Salam.static_fu_mw) (f p.Salam.static_reg_mw) (f p.Salam.static_spm_mw) total)
-    (Salam_workloads.Suite.standard ());
+    suite results;
   print_newline ()
 
 let gemm_dse_workload () = Salam_workloads.Gemm.workload ~n:16 ~unroll:16 ~junroll:8 ()
 
-let simulate_gemm ?(fu_limit = 0) ?(ports = 2) ?(memory = `Spm) () =
+let gemm_job ?(fu_limit = 0) ?(ports = 2) ?(memory = `Spm) () =
   let w = gemm_dse_workload () in
   let fu_limits =
     if fu_limit > 0 then [ (Fu.Fp_add_dp, fu_limit); (Fu.Fp_mul_dp, fu_limit) ] else []
@@ -44,49 +47,61 @@ let simulate_gemm ?(fu_limit = 0) ?(ports = 2) ?(memory = `Spm) () =
       engine = { Engine.default_config with Engine.fu_limits };
     }
   in
+  (config, w)
+
+let simulate_gemm ?fu_limit ?ports ?memory () =
+  let config, w = gemm_job ?fu_limit ?ports ?memory () in
   Salam.simulate ~config w
+
+let port_sweep = [ 64; 32; 16; 8; 4; 2 ]
+
+(* run the whole port sweep as one domain-parallel batch *)
+let sweep_ports ?fu_limit () =
+  List.combine port_sweep
+    (Salam.simulate_batch (List.map (fun ports -> gemm_job ?fu_limit ~ports ()) port_sweep))
 
 (* Fig 13: power/performance Pareto across FU counts and bandwidth. *)
 let fig13 () =
   section "FIG 13 — GEMM design-space Pareto (execution time vs power)";
   Printf.printf "%-34s %12s %14s %14s\n" "configuration" "time (us)" "datapath mW"
     "datapath+mem mW";
-  List.iter
-    (fun (fu_limit, ports) ->
-      let r = simulate_gemm ~fu_limit ~ports () in
+  let spm_points =
+    List.concat_map
+      (fun fu -> List.map (fun ports -> (fu, ports)) [ 1; 2; 4; 8; 16 ])
+      [ 2; 4; 8; 0 ]
+  in
+  let cache_sizes = [ 512; 2048; 8192 ] in
+  (* all 23 design points go out as one batch *)
+  let labels =
+    List.map
+      (fun (fu_limit, ports) ->
+        Printf.sprintf "SPM, %s FADD/FMUL, %d rd ports"
+          (if fu_limit = 0 then "1:1" else string_of_int fu_limit)
+          ports)
+      spm_points
+    @ List.map (fun size -> Printf.sprintf "cache %dB" size) cache_sizes
+  in
+  let jobs =
+    List.map (fun (fu_limit, ports) -> gemm_job ~fu_limit ~ports ()) spm_points
+    @ List.map (fun size -> gemm_job ~memory:(`Cache size) ()) cache_sizes
+  in
+  List.iter2
+    (fun label r ->
       let p = r.Salam.power in
       let datapath_mw =
         p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
         +. p.Salam.static_reg_mw
       in
-      Printf.printf "%-34s %12.2f %14.2f %14.2f\n"
-        (Printf.sprintf "SPM, %s FADD/FMUL, %d rd ports"
-           (if fu_limit = 0 then "1:1" else string_of_int fu_limit)
-           ports)
-        (r.Salam.seconds *. 1e6) datapath_mw (Salam.total_mw p))
-    (List.concat_map
-       (fun fu -> List.map (fun ports -> (fu, ports)) [ 1; 2; 4; 8; 16 ])
-       [ 2; 4; 8; 0 ]);
-  List.iter
-    (fun size ->
-      let r = simulate_gemm ~memory:(`Cache size) () in
-      let p = r.Salam.power in
-      Printf.printf "%-34s %12.2f %14.2f %14.2f\n"
-        (Printf.sprintf "cache %dB" size)
-        (r.Salam.seconds *. 1e6)
-        (p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
-        +. p.Salam.static_reg_mw)
-        (Salam.total_mw p))
-    [ 512; 2048; 8192 ];
+      Printf.printf "%-34s %12.2f %14.2f %14.2f\n" label (r.Salam.seconds *. 1e6)
+        datapath_mw (Salam.total_mw p))
+    labels (Salam.simulate_batch jobs);
   print_newline ()
-
-let port_sweep = [ 64; 32; 16; 8; 4; 2 ]
 
 (* Fig 14: stall behaviour across read/write port counts. *)
 let fig14 () =
   section "FIG 14(a) — Stalled vs new-execution cycles per R/W port count (GEMM)";
   Printf.printf "%-10s %12s %12s %12s\n" "ports" "stall %" "issue %" "cycles";
-  let runs = List.map (fun ports -> (ports, simulate_gemm ~ports ())) port_sweep in
+  let runs = sweep_ports () in
   List.iter
     (fun (ports, r) ->
       let s = r.Salam.stats in
@@ -116,7 +131,7 @@ let fig15 () =
   section
     (Printf.sprintf
        "FIG 15 — Co-design sweeps (GEMM, %d FADD/FMUL units held constant)" fu_limit);
-  let runs = List.map (fun ports -> (ports, simulate_gemm ~fu_limit ~ports ())) port_sweep in
+  let runs = sweep_ports ~fu_limit () in
   Printf.printf "(a) %-6s %10s %10s\n" "ports" "stall %" "issue %";
   List.iter
     (fun (ports, r) ->
@@ -181,21 +196,38 @@ let ablation () =
   section "ABLATION — engine design choices (cycles)";
   Printf.printf "%-24s %12s %12s %12s %12s\n" "benchmark" "full" "no WAR" "no WAW"
     "no disambig";
-  List.iter
-    (fun w ->
-      let run config =
-        (Salam.simulate ~config:{ Salam.Config.default with Salam.Config.engine = config } w)
-          .Salam.cycles
-      in
-      let base = Engine.default_config in
-      Printf.printf "%-24s %12Ld %12Ld %12Ld %12Ld\n" (short_name w) (run base)
-        (run { base with Engine.enforce_war = false })
-        (run { base with Engine.enforce_waw = false })
-        (run { base with Engine.disambiguate_memory = false }))
+  let workloads =
     [
       Salam_workloads.Gemm.workload ~n:16 ~unroll:2 ();
       Salam_workloads.Md_knn.workload ~atoms:64 ~neighbours:16 ();
       Salam_workloads.Stencil2d.workload ~rows:32 ~cols:32 ();
-    ];
+    ]
+  in
+  let base = Engine.default_config in
+  let variants =
+    [
+      base;
+      { base with Engine.enforce_war = false };
+      { base with Engine.enforce_waw = false };
+      { base with Engine.disambiguate_memory = false };
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun e -> ({ Salam.Config.default with Salam.Config.engine = e }, w))
+          variants)
+      workloads
+  in
+  let cycles = List.map (fun r -> r.Salam.cycles) (Salam.simulate_batch jobs) in
+  List.iteri
+    (fun i w ->
+      match List.filteri (fun j _ -> j / 4 = i) cycles with
+      | [ full; no_war; no_waw; no_dis ] ->
+          Printf.printf "%-24s %12Ld %12Ld %12Ld %12Ld\n" (short_name w) full no_war
+            no_waw no_dis
+      | _ -> assert false)
+    workloads;
   Printf.printf
     "(the WAR rule is the paper's Sec III-B reader check; disabling rules is diagnostic only)\n%!"

@@ -6,7 +6,17 @@ open Salam_scenarios
 
 let fig16 () =
   section "FIG 16 — Multi-accelerator CNN scenarios (end-to-end)";
-  let outcomes = Cnn_pipeline.run_all () in
+  (* the three scenarios build independent systems, so they can run on
+     separate domains; order is preserved (private SPM is the baseline) *)
+  let outcomes =
+    Salam.parallel_map
+      (fun run -> run ())
+      [
+        (fun () -> Cnn_pipeline.run_private_spm ());
+        (fun () -> Cnn_pipeline.run_shared_spm ());
+        (fun () -> Cnn_pipeline.run_streams ());
+      ]
+  in
   let baseline =
     match outcomes with o :: _ -> o.Cnn_pipeline.total_us | [] -> assert false
   in

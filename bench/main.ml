@@ -8,15 +8,37 @@
    Experiment names: table1 table2 table3 table4 fig4 fig10 fig11 fig12
    fig13 fig14 fig15 fig16 ablation micro *)
 
+(* Machine-readable mirror of the micro results, for tracking simulator
+   throughput across commits. *)
+let bench_json_path = "BENCH_engine.json"
+
+let emit_bench_json entries =
+  let oc = open_out bench_json_path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.0f%s\n" name ns
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "[micro results written to %s]\n" bench_json_path
+
 let micro () =
   Bench_util.section "MICRO — simulator throughput (Bechamel)";
   let open Bechamel in
   let gemm = Salam_workloads.Gemm.workload ~n:8 () in
+  let gemm16 = Exp_dse.gemm_dse_workload () in
   let nw = Salam_workloads.Nw.workload ~len:16 () in
   let tests =
     Test.make_grouped ~name:"salam"
       [
         Test.make ~name:"engine_gemm8" (Staged.stage (fun () -> ignore (Salam.simulate gemm)));
+        (* the Fig 13 DSE point: a 16x16 GEMM unrolled 16x8, the largest
+           single-block workload — stresses the reservation and wake-up
+           structures hardest *)
+        Test.make ~name:"engine_gemm16"
+          (Staged.stage (fun () -> ignore (Salam.simulate gemm16)));
         Test.make ~name:"engine_nw16" (Staged.stage (fun () -> ignore (Salam.simulate nw)));
         Test.make ~name:"interp_gemm8"
           (Staged.stage (fun () -> ignore (Salam_workloads.Workload.run_functional gemm)));
@@ -32,12 +54,17 @@ let micro () =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   Printf.printf "%-28s %16s\n" "benchmark" "ns/run";
+  let entries = ref [] in
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Printf.printf "%-28s %16.0f\n" name ns
+      | Some [ ns ] ->
+          Printf.printf "%-28s %16.0f\n" name ns;
+          entries := (name, ns) :: !entries
       | _ -> Printf.printf "%-28s %16s\n" name "n/a")
     results;
+  emit_bench_json
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !entries);
   print_newline ()
 
 let experiments =

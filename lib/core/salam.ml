@@ -169,6 +169,55 @@ let simulate ?(config = Config.default) (w : W.t) =
     wall_seconds = Unix.gettimeofday () -. wall_start;
   }
 
+(* --- domain-parallel sweeps ------------------------------------------- *)
+
+let default_domains () =
+  match Sys.getenv_opt "SALAM_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> invalid_arg "SALAM_DOMAINS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+let parallel_map ?domains f xs =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let n = List.length xs in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* work-stealing by index: each worker claims the next unprocessed
+       element, so an expensive configuration does not serialise the
+       cheap ones behind it *)
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else
+          results.(i) <-
+            Some (match f input.(i) with v -> Ok v | exception e -> Error e)
+      done
+    in
+    let helpers =
+      List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let simulate_batch ?domains jobs =
+  (* compile every kernel up front: compilation is memoised in a shared
+     cache, and doing it here keeps the parallel phase contention-free *)
+  List.iter (fun (_, w) -> ignore (W.compile w)) jobs;
+  parallel_map ?domains (fun (config, w) -> simulate ~config w) jobs
+
 let fu_occupancy result cls ~allocated =
   if allocated <= 0 then 0.0
   else

@@ -64,5 +64,27 @@ type result = {
 
 val simulate : ?config:Config.t -> Salam_workloads.Workload.t -> result
 
+val default_domains : unit -> int
+(** Worker count used by {!parallel_map} and {!simulate_batch} when
+    [?domains] is omitted: the [SALAM_DOMAINS] environment variable if
+    set (must be >= 1), otherwise [Domain.recommended_domain_count ()]. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] evaluates [f] on every element using a pool of
+    OCaml 5 domains, preserving input order in the result. Elements are
+    claimed dynamically, so uneven work does not idle the pool. With
+    [domains <= 1] (or fewer than two elements) it degenerates to
+    [List.map]. If any application raises, the first such exception (in
+    input order) is re-raised after all workers finish. *)
+
+val simulate_batch :
+  ?domains:int -> (Config.t * Salam_workloads.Workload.t) list -> result list
+(** Run independent simulations across domains — the design-space-sweep
+    fast path. Kernels are compiled (and memoised) sequentially up
+    front; each simulation then builds its own private system, so jobs
+    share no mutable state. Results come back in job order and are
+    deterministic: per-job cycle counts and statistics are identical to
+    calling {!simulate} sequentially. *)
+
 val fu_occupancy : result -> Salam_hw.Fu.cls -> allocated:int -> float
 (** Mean fraction of the class's units busy per active cycle. *)

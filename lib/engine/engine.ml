@@ -57,15 +57,22 @@ type run_stats = {
 
 type dstate = Waiting | Issued | Done
 
+(* A dynamic instruction. Scheduling is wake-up driven: [missing] counts
+   value operands still in flight and [hazards] counts pending WAW/WAR
+   predecessors; when both reach zero the instruction enters the engine's
+   ready queue and is never re-examined while blocked. The reverse edges
+   ([dependents] for values delivered at commit, [issue_dependents] for
+   hazards released at issue) are what deliver the wake-ups. *)
 type dyn = {
   seq : int;
   node : Datapath.node;
   operands : Bits.t option array;
   producers : dyn option array;
   mutable missing : int;
-  mutable issue_after : dyn list;
+  mutable hazards : int;  (** WAW/WAR predecessors that have not issued *)
   mutable st : dstate;
   mutable dependents : (dyn * int) list;
+  mutable issue_dependents : dyn list;  (** woken when this op issues *)
   mutable result : Bits.t option;
   mutable mem_addr : int64 option;
   mem_size : int;
@@ -74,6 +81,20 @@ type dyn = {
   is_store : bool;
   mutable is_device : bool;  (** lies in an ordered (stream) range *)
   mutable branch_target : string option;
+  mutable mem_node : dyn Ilist.node option;  (** membership in live_mem *)
+  mutable ready_node : dyn Ilist.node option;  (** membership in ready *)
+}
+
+(* Static per-node facts, precomputed once at [create] and indexed by the
+   dense [n_id]: importing a block re-derives none of this per dynamic
+   instance. *)
+type sinfo = {
+  si_sources : Ast.value array;  (** operand sources (phis resolve per-pred) *)
+  si_def : Ast.var option;
+  si_mem_size : int;
+  si_mem_ty : Ty.t;
+  si_is_load : bool;
+  si_is_store : bool;
 }
 
 type t = {
@@ -83,18 +104,36 @@ type t = {
   cfg : config;
   mem : mem_iface;
   intrinsics : (string * (Bits.t list -> Bits.t)) list;
-  block_nodes : (string, Datapath.node list) Hashtbl.t;
-  fu_units : int Fu.Map.t;
-  regfile : (int, Bits.t) Hashtbl.t;
-  mutable reservation : dyn list;  (** program order *)
-  mutable live_mem : dyn list;  (** imported memory ops not yet committed, program order *)
-  last_writer : (int, dyn) Hashtbl.t;
-  last_instance : (int, dyn) Hashtbl.t;  (** per static node id *)
-  readers : (int, dyn list) Hashtbl.t;  (** live readers per register id *)
-  param_ids : (int, unit) Hashtbl.t;
+  block_nodes : (string, Datapath.node array) Hashtbl.t;
+  infos : sinfo array;  (** indexed by [Datapath.n_id] *)
+  specs : Profile.fu_spec array;  (** indexed by [Fu.index] *)
+  fu_units : int array;  (** indexed by [Fu.index] *)
+  regfile : Bits.t option array;  (** indexed by register id *)
+  reservation : dyn Deque.t;
+      (** program order; holds every imported-not-yet-retired dyn. Issued
+          entries are skipped during walks and retired lazily from the
+          front. *)
+  mutable waiting_count : int;  (** reservation entries still Waiting *)
+  ready : dyn Ilist.t;
+      (** seq-ordered wake-up queue: Waiting dyns with no pending value or
+          hazard dependencies. Only these are scanned by [tick]. *)
+  live_mem : dyn Ilist.t;
+      (** Waiting (imported, not yet issued) memory ops in program order.
+          Issued ops can never conflict, so they leave at issue time —
+          ordering walks only ever traverse genuine candidates. *)
+  mutable ready_finger : dyn Ilist.node option;
+      (** last node inserted into [ready]; wake-ups arrive in nearly
+          sorted bursts, so starting the placement walk here makes the
+          sorted insert O(1) amortised *)
+  last_writer : dyn option array;  (** indexed by register id *)
+  last_instance : dyn option array;  (** indexed by static node id *)
+  readers : dyn list array;  (** live readers, indexed by register id *)
+  is_param : bool array;  (** indexed by register id *)
   mutable ordered_ranges : (int64 * int) list;
-  mutable fu_held : int Fu.Map.t;  (** unpipelined units held until commit *)
-  mutable in_flight : int Fu.Map.t;  (** issued-not-committed compute per class *)
+  fu_held : int array;  (** unpipelined units held until commit, by [Fu.index] *)
+  in_flight : int array;  (** issued-not-committed compute, by [Fu.index] *)
+  scratch_issued : int array;
+      (** per-tick issue counts by [Fu.index]; cleared at each scan *)
   mutable reads_outstanding : int;
   mutable writes_outstanding : int;
   mutable inflight_total : int;
@@ -137,36 +176,80 @@ type t = {
   mutable s_issued_int : int;
   mutable s_issued_mem : int;
   mutable s_issued_other : int;
-  mutable s_busy_integral : float Fu.Map.t;
-  mutable s_issued_by_class : int Fu.Map.t;
+  s_busy_integral : float array;  (** by [Fu.index] *)
+  s_issued_by_class : int array;  (** by [Fu.index] *)
   mutable s_fu_energy : float;
   mutable s_reg_energy : float;
 }
 
-let map_get m cls = Option.value ~default:0 (Fu.Map.find_opt cls m)
-
-let map_add m cls d = Fu.Map.add cls (map_get m cls + d) m
-
 let create kernel clock stats_group ?(config = default_config) ~datapath ~mem () =
   ignore stats_group;
-  let block_nodes = Hashtbl.create 16 in
+  let block_lists = Hashtbl.create 16 in
   Array.iter
     (fun (n : Datapath.node) ->
-      let existing = Option.value ~default:[] (Hashtbl.find_opt block_nodes n.block) in
-      Hashtbl.replace block_nodes n.block (n :: existing))
+      let existing = Option.value ~default:[] (Hashtbl.find_opt block_lists n.block) in
+      Hashtbl.replace block_lists n.block (n :: existing))
     datapath.Datapath.nodes;
-  Hashtbl.iter (fun k v -> Hashtbl.replace block_nodes k (List.rev v)) block_nodes;
-  let fu_units =
-    Fu.Map.mapi
-      (fun cls count ->
+  (* arrays, so [import_block]'s room check is O(1) — it re-runs every
+     tick while an import waits for reservation slots *)
+  let block_nodes = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace block_nodes k (Array.of_list (List.rev v)))
+    block_lists;
+  let infos =
+    Array.map
+      (fun (n : Datapath.node) ->
+        let instr = n.Datapath.instr in
+        {
+          si_sources =
+            (match instr with
+            | Ast.Phi _ -> [||]
+            | _ -> Array.of_list (Ast.used_values instr));
+          si_def = Ast.defined_var instr;
+          si_mem_size =
+            (match instr with
+            | Ast.Load { dst; _ } -> Ty.size_bytes dst.ty
+            | Ast.Store { src; _ } -> Ty.size_bytes (Ast.value_ty src)
+            | _ -> 0);
+          si_mem_ty =
+            (match instr with
+            | Ast.Load { dst; _ } -> dst.ty
+            | Ast.Store { src; _ } -> Ast.value_ty src
+            | _ -> Ty.Void);
+          si_is_load = (match instr with Ast.Load _ -> true | _ -> false);
+          si_is_store = (match instr with Ast.Store _ -> true | _ -> false);
+        })
+      datapath.Datapath.nodes
+  in
+  (* register ids are dense per function (builder + mem2reg counters), so
+     the register file and dependency tables are flat arrays *)
+  let nregs =
+    let m = ref 0 in
+    let see (v : Ast.var) = if v.id >= !m then m := v.id + 1 in
+    List.iter see datapath.Datapath.func.Ast.params;
+    Array.iter
+      (fun (n : Datapath.node) ->
+        (match Ast.defined_var n.Datapath.instr with Some v -> see v | None -> ());
+        List.iter see (Ast.used_vars n.Datapath.instr))
+      datapath.Datapath.nodes;
+    !m
+  in
+  let specs =
+    Array.of_list (List.map (Profile.spec datapath.Datapath.profile) Fu.all)
+  in
+  let fu_units = Array.make Fu.count 0 in
+  Fu.Map.iter
+    (fun cls count ->
+      let capped =
         match List.assoc_opt cls config.fu_limits with
         | Some limit when limit > 0 -> min limit count
-        | Some _ | None -> count)
-      datapath.Datapath.fu_alloc
-  in
+        | Some _ | None -> count
+      in
+      fu_units.(Fu.index cls) <- capped)
+    datapath.Datapath.fu_alloc;
   (* a block larger than the reservation queue could never be imported *)
   let largest_block =
-    Hashtbl.fold (fun _ nodes acc -> max acc (List.length nodes)) block_nodes 0
+    Hashtbl.fold (fun _ nodes acc -> max acc (Array.length nodes)) block_nodes 0
   in
   let config =
     if config.reservation_slots < largest_block + 8 then
@@ -181,22 +264,28 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     mem;
     intrinsics = Interp.default_intrinsics;
     block_nodes;
+    infos;
+    specs;
     fu_units;
-    regfile = Hashtbl.create 64;
-    reservation = [];
-    live_mem = [];
-    last_writer = Hashtbl.create 64;
-    last_instance = Hashtbl.create 64;
-    readers = Hashtbl.create 64;
-    param_ids =
-      (let h = Hashtbl.create 8 in
+    regfile = Array.make nregs None;
+    reservation = Deque.create ~capacity:(config.reservation_slots + 8) ();
+    waiting_count = 0;
+    ready = Ilist.create ();
+    live_mem = Ilist.create ();
+    ready_finger = None;
+    last_writer = Array.make nregs None;
+    last_instance = Array.make (Array.length datapath.Datapath.nodes) None;
+    readers = Array.make nregs [];
+    is_param =
+      (let a = Array.make nregs false in
        List.iter
-         (fun (p : Ast.var) -> Hashtbl.replace h p.id ())
+         (fun (p : Ast.var) -> a.(p.id) <- true)
          datapath.Datapath.func.Ast.params;
-       h);
+       a);
     ordered_ranges = [];
-    fu_held = Fu.Map.empty;
-    in_flight = Fu.Map.empty;
+    fu_held = Array.make Fu.count 0;
+    in_flight = Array.make Fu.count 0;
+    scratch_issued = Array.make Fu.count 0;
     reads_outstanding = 0;
     writes_outstanding = 0;
     inflight_total = 0;
@@ -236,13 +325,13 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     s_issued_int = 0;
     s_issued_mem = 0;
     s_issued_other = 0;
-    s_busy_integral = Fu.Map.empty;
-    s_issued_by_class = Fu.Map.empty;
+    s_busy_integral = Array.make Fu.count 0.0;
+    s_issued_by_class = Array.make Fu.count 0;
     s_fu_energy = 0.0;
     s_reg_energy = 0.0;
   }
 
-let fu_allocated t cls = map_get t.fu_units cls
+let fu_allocated t cls = t.fu_units.(Fu.index cls)
 
 let running t = t.is_running
 
@@ -257,7 +346,7 @@ let reg_write_energy t (ty : Ty.t) =
   float_of_int (Ty.bits ty) *. (profile t).Profile.reg_write_pj_per_bit
 
 let regfile_value t (v : Ast.var) =
-  match Hashtbl.find_opt t.regfile v.id with
+  match t.regfile.(v.id) with
   | Some x -> x
   | None -> Bits.zero v.ty (* undef read; verified IR only hits this for undominated paths *)
 
@@ -283,6 +372,42 @@ let resolve_addr t dyn =
 
 let add_ordered_range t ~base ~size = t.ordered_ranges <- (base, size) :: t.ordered_ranges
 
+(* An instruction with no pending value or hazard dependency enters the
+   ready queue, kept sorted by seq so the issue scan preserves program
+   order. Each dyn enters at most once (readiness is monotonic: counters
+   only decrease, and it leaves the queue only by issuing), so insertion
+   scans from the tail, where fresh wake-ups — always the youngest ready
+   instructions — land immediately. *)
+let try_wake t dyn =
+  if
+    dyn.st = Waiting && dyn.missing = 0 && dyn.hazards = 0 && dyn.ready_node = None
+  then begin
+    let n = Ilist.node dyn in
+    dyn.ready_node <- Some n;
+    (* find the rightmost node with a smaller seq, starting from the
+       last insertion point (wake-ups arrive in nearly sorted bursts) *)
+    let start =
+      match t.ready_finger with
+      | Some f when Ilist.linked f -> Some f
+      | Some _ | None -> Ilist.tail t.ready
+    in
+    let rec back = function
+      | None -> None
+      | Some a ->
+          if (Ilist.value a).seq < dyn.seq then Some a else back (Ilist.prev a)
+    in
+    let rec fwd a =
+      match Ilist.next a with
+      | Some nx when (Ilist.value nx).seq < dyn.seq ->
+          fwd nx
+      | _ -> a
+    in
+    (match back start with
+    | None -> Ilist.push_front t.ready n
+    | Some a -> Ilist.insert_after t.ready ~anchor:(fwd a) n);
+    t.ready_finger <- Some n
+  end
+
 let rec schedule_tick t ~cycles =
   if not t.tick_scheduled then begin
     t.tick_scheduled <- true;
@@ -295,13 +420,13 @@ and import_block t ~label ~pred =
     | Some ns -> ns
     | None -> invalid_arg ("Engine: unknown block " ^ label)
   in
-  let room = t.cfg.reservation_slots - List.length t.reservation in
-  if room < List.length nodes then t.pending_import <- Some (label, pred)
+  let room = t.cfg.reservation_slots - t.waiting_count in
+  if room < Array.length nodes then t.pending_import <- Some (label, pred)
   else begin
     t.pending_import <- None;
-    let created =
-      List.filter_map
-        (fun (node : Datapath.node) ->
+    Array.iter
+      (fun (node : Datapath.node) ->
+        let dyn =
           match node.Datapath.instr with
           | Ast.Phi { dst = _; incoming } ->
               (* resolve against the edge taken; a phi is pure wiring *)
@@ -312,15 +437,17 @@ and import_block t ~label ~pred =
                     invalid_arg
                       (Printf.sprintf "Engine: phi in %s lacks incoming for %s" label pred)
               in
-              Some (make_dyn t node [| value |])
-          | instr -> Some (make_dyn t node (Array.of_list (Ast.used_values instr))))
-        nodes
-    in
-    t.reservation <- t.reservation @ created;
+              make_dyn t node [| value |]
+          | _ -> make_dyn t node t.infos.(node.Datapath.n_id).si_sources
+        in
+        Deque.push_back t.reservation dyn;
+        t.waiting_count <- t.waiting_count + 1)
+      nodes;
     schedule_tick t ~cycles:0
   end
 
 and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
+  let info = t.infos.(node.Datapath.n_id) in
   let n_ops = Array.length sources in
   let dyn =
     {
@@ -329,25 +456,20 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
       operands = Array.make n_ops None;
       producers = Array.make n_ops None;
       missing = 0;
-      issue_after = [];
+      hazards = 0;
       st = Waiting;
       dependents = [];
+      issue_dependents = [];
       result = None;
       mem_addr = None;
-      mem_size =
-        (match node.Datapath.instr with
-        | Ast.Load { dst; _ } -> Ty.size_bytes dst.ty
-        | Ast.Store { src; _ } -> Ty.size_bytes (Ast.value_ty src)
-        | _ -> 0);
-      mem_ty =
-        (match node.Datapath.instr with
-        | Ast.Load { dst; _ } -> dst.ty
-        | Ast.Store { src; _ } -> Ast.value_ty src
-        | _ -> Ty.Void);
-      is_load = (match node.Datapath.instr with Ast.Load _ -> true | _ -> false);
-      is_store = (match node.Datapath.instr with Ast.Store _ -> true | _ -> false);
+      mem_size = info.si_mem_size;
+      mem_ty = info.si_mem_ty;
+      is_load = info.si_is_load;
+      is_store = info.si_is_store;
       is_device = false;
       branch_target = None;
+      mem_node = None;
+      ready_node = None;
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -362,7 +484,7 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
           dyn.operands.(i) <- Some (Bits.truncate ty (Bits.Float x))
       | Ast.Const Ast.Cnull -> dyn.operands.(i) <- Some (Bits.Int 0L)
       | Ast.Var v -> (
-          match Hashtbl.find_opt t.last_writer v.id with
+          match t.last_writer.(v.id) with
           | Some producer when producer.st <> Done ->
               dyn.producers.(i) <- Some producer;
               dyn.missing <- dyn.missing + 1;
@@ -374,25 +496,29 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
   resolve_addr t dyn;
   (* hazards: previous instance of the same static instruction must have
      issued (WAW) and older readers of the destination must have issued
-     (WAR) before this instance may issue *)
+     (WAR) before this instance may issue. Both are recorded as a pending
+     count here plus a reverse edge on the blocker, decremented when the
+     blocker issues. *)
+  let add_hazard blocker =
+    dyn.hazards <- dyn.hazards + 1;
+    blocker.issue_dependents <- dyn :: blocker.issue_dependents
+  in
   (if t.cfg.enforce_waw then
-     match Hashtbl.find_opt t.last_instance node.Datapath.n_id with
-     | Some prev when prev.st = Waiting -> dyn.issue_after <- prev :: dyn.issue_after
+     match t.last_instance.(node.Datapath.n_id) with
+     | Some prev when prev.st = Waiting -> add_hazard prev
      | Some _ | None -> ());
-  Hashtbl.replace t.last_instance node.Datapath.n_id dyn;
-  (match Ast.defined_var node.Datapath.instr with
+  t.last_instance.(node.Datapath.n_id) <- Some dyn;
+  (match info.si_def with
   | Some dst ->
       let waiting_readers =
         if not t.cfg.enforce_war then []
-        else
-          List.filter (fun r -> r.st = Waiting)
-            (Option.value ~default:[] (Hashtbl.find_opt t.readers dst.id))
+        else List.filter (fun r -> r.st = Waiting) t.readers.(dst.id)
       in
-      dyn.issue_after <- waiting_readers @ dyn.issue_after;
+      List.iter add_hazard waiting_readers;
       (* prune: issued/committed readers can never constrain a later
          writer, and the remaining ones are now carried by [dyn] *)
-      Hashtbl.replace t.readers dst.id waiting_readers;
-      Hashtbl.replace t.last_writer dst.id dyn
+      t.readers.(dst.id) <- waiting_readers;
+      t.last_writer.(dst.id) <- Some dyn
   | None -> ());
   (* register this instruction as a reader of its register operands;
      parameters are never redefined (SSA), so they cannot be WAR
@@ -400,12 +526,16 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
   Array.iter
     (fun src ->
       match src with
-      | Ast.Var v when not (Hashtbl.mem t.param_ids v.id) ->
-          let existing = Option.value ~default:[] (Hashtbl.find_opt t.readers v.id) in
-          Hashtbl.replace t.readers v.id (dyn :: existing)
+      | Ast.Var v when not t.is_param.(v.id) ->
+          t.readers.(v.id) <- dyn :: t.readers.(v.id)
       | Ast.Var _ | Ast.Const _ -> ())
     sources;
-  if dyn.is_load || dyn.is_store then t.live_mem <- t.live_mem @ [ dyn ];
+  if dyn.is_load || dyn.is_store then begin
+    let n = Ilist.node dyn in
+    dyn.mem_node <- Some n;
+    Ilist.push_back t.live_mem n
+  end;
+  try_wake t dyn;
   dyn
 
 and operand dyn i =
@@ -452,14 +582,14 @@ and eval_compute t dyn : Bits.t option =
 
 and commit t dyn =
   dyn.st <- Done;
-  (match Ast.defined_var dyn.node.Datapath.instr with
+  (match t.infos.(dyn.node.Datapath.n_id).si_def with
   | Some dst ->
       let v =
         match dyn.result with
         | Some v -> Bits.truncate dst.ty v
         | None -> invalid_arg "Engine: commit without result"
       in
-      Hashtbl.replace t.regfile dst.id v;
+      t.regfile.(dst.id) <- Some v;
       t.s_reg_energy <- t.s_reg_energy +. reg_write_energy t dst.ty;
       dyn.result <- Some v;
       (* wake value dependents *)
@@ -467,26 +597,23 @@ and commit t dyn =
         (fun (consumer, i) ->
           consumer.operands.(i) <- Some v;
           consumer.missing <- consumer.missing - 1;
-          if consumer.is_load || consumer.is_store then resolve_addr t consumer)
+          if consumer.is_load || consumer.is_store then resolve_addr t consumer;
+          try_wake t consumer)
         dyn.dependents;
-      if
-        match Hashtbl.find_opt t.last_writer dst.id with
-        | Some w -> w == dyn
-        | None -> false
-      then Hashtbl.remove t.last_writer dst.id
+      (match t.last_writer.(dst.id) with
+      | Some w when w == dyn -> t.last_writer.(dst.id) <- None
+      | Some _ | None -> ())
   | None -> ());
   (* release functional unit state *)
   (match dyn.node.Datapath.fu with
   | Some cls ->
-      t.in_flight <- map_add t.in_flight cls (-1);
-      if not (Profile.spec (profile t) cls).Profile.pipelined then
-        t.fu_held <- map_add t.fu_held cls (-1)
+      let i = Fu.index cls in
+      t.in_flight.(i) <- t.in_flight.(i) - 1;
+      if not t.specs.(i).Profile.pipelined then t.fu_held.(i) <- t.fu_held.(i) - 1
   | None -> ());
-  if dyn.is_load || dyn.is_store then begin
-    t.live_mem <- List.filter (fun d -> d != dyn) t.live_mem;
+  if dyn.is_load || dyn.is_store then
     if dyn.is_load then t.reads_outstanding <- t.reads_outstanding - 1
-    else t.writes_outstanding <- t.writes_outstanding - 1
-  end;
+    else t.writes_outstanding <- t.writes_outstanding - 1;
   t.inflight_total <- t.inflight_total - 1;
   (* control flow *)
   (match dyn.node.Datapath.instr with
@@ -502,8 +629,8 @@ and commit t dyn =
    operation either has issued or provably does not conflict *)
 and memory_ordering_ok t dyn =
   let conflict older =
-    if older.st <> Waiting then false
-    else if dyn.is_device then
+    (* live_mem only holds Waiting ops *)
+    if dyn.is_device then
       (* stream/device accesses issue in program order relative to every
          older device access (and to accesses whose target is unknown) *)
       older.is_device || older.mem_addr = None
@@ -520,17 +647,17 @@ and memory_ordering_ok t dyn =
   (* live_mem is kept in program (seq) order: stop at the first entry
      that is not older than [dyn] *)
   let rec check = function
-    | [] -> true
-    | older :: rest ->
+    | None -> true
+    | Some n ->
+        let older = Ilist.value n in
         if older.seq >= dyn.seq then true
         else if conflict older then false
-        else check rest
+        else check (Ilist.next n)
   in
-  check t.live_mem
+  check (Ilist.head t.live_mem)
 
-and can_issue t dyn ~issued_per_class =
-  dyn.missing = 0
-  && List.for_all (fun dep -> dep.st <> Waiting) dyn.issue_after
+and can_issue t dyn =
+  dyn.missing = 0 && dyn.hazards = 0
   &&
   if dyn.is_load then
     t.reads_outstanding < t.cfg.read_queue_depth && memory_ordering_ok t dyn
@@ -540,17 +667,32 @@ and can_issue t dyn ~issued_per_class =
     match dyn.node.Datapath.fu with
     | None -> true
     | Some cls ->
-        let units = map_get t.fu_units cls in
-        let spec = Profile.spec (profile t) cls in
+        let i = Fu.index cls in
         let used =
-          if spec.Profile.pipelined then map_get !issued_per_class cls
-          else map_get t.fu_held cls + map_get !issued_per_class cls
+          if t.specs.(i).Profile.pipelined then t.scratch_issued.(i)
+          else t.fu_held.(i) + t.scratch_issued.(i)
         in
-        used < units
+        used < t.fu_units.(i)
 
-and issue t dyn ~issued_per_class =
+and issue t dyn =
   dyn.st <- Issued;
+  t.waiting_count <- t.waiting_count - 1;
   t.inflight_total <- t.inflight_total + 1;
+  (match dyn.mem_node with
+  | Some n ->
+      Ilist.remove t.live_mem n;
+      dyn.mem_node <- None
+  | None -> ());
+  (* release WAW/WAR hazards held on this instruction *)
+  (match dyn.issue_dependents with
+  | [] -> ()
+  | deps ->
+      dyn.issue_dependents <- [];
+      List.iter
+        (fun d ->
+          d.hazards <- d.hazards - 1;
+          try_wake t d)
+        deps);
   if dyn.is_load then begin
     t.reads_outstanding <- t.reads_outstanding + 1;
     t.s_loads <- t.s_loads + 1;
@@ -571,19 +713,15 @@ and issue t dyn ~issued_per_class =
   else begin
     (match dyn.node.Datapath.fu with
     | Some cls ->
-        issued_per_class := map_add !issued_per_class cls 1;
-        t.s_issued_by_class <- map_add t.s_issued_by_class cls 1;
-        t.in_flight <- map_add t.in_flight cls 1;
-        let spec = Profile.spec (profile t) cls in
-        if not spec.Profile.pipelined then t.fu_held <- map_add t.fu_held cls 1;
+        let i = Fu.index cls in
+        t.scratch_issued.(i) <- t.scratch_issued.(i) + 1;
+        t.s_issued_by_class.(i) <- t.s_issued_by_class.(i) + 1;
+        t.in_flight.(i) <- t.in_flight.(i) + 1;
+        let spec = t.specs.(i) in
+        if not spec.Profile.pipelined then t.fu_held.(i) <- t.fu_held.(i) + 1;
         t.s_fu_energy <- t.s_fu_energy +. spec.Profile.dynamic_pj;
-        (match cls with
-        | Fu.Fp_add_sp | Fu.Fp_add_dp | Fu.Fp_mul_sp | Fu.Fp_mul_dp | Fu.Fp_div_sp
-        | Fu.Fp_div_dp | Fu.Fp_special ->
-            t.s_issued_fp <- t.s_issued_fp + 1
-        | Fu.Int_adder | Fu.Int_multiplier | Fu.Int_divider | Fu.Shifter | Fu.Bitwise
-        | Fu.Mux | Fu.Converter ->
-            t.s_issued_int <- t.s_issued_int + 1)
+        if Fu.is_fp cls then t.s_issued_fp <- t.s_issued_fp + 1
+        else t.s_issued_int <- t.s_issued_int + 1
     | None -> t.s_issued_other <- t.s_issued_other + 1);
     dyn.result <- eval_compute t dyn;
     let latency = dyn.node.Datapath.latency in
@@ -610,16 +748,16 @@ and stall_sources t dyn (loads, stores, computes) =
       (* blocked by ordering or queue depth *)
       if dyn.is_load then loads := true else stores := true;
       let rec scan = function
-        | [] -> ()
-        | older :: rest ->
-            if older.seq >= dyn.seq then ()
+        | None -> ()
+        | Some n ->
+            let older = Ilist.value n in
+            if older.seq >= dyn.seq || (!loads && !stores) then ()
             else begin
-              if older.st = Waiting then
-                if older.is_load then loads := true else stores := true;
-              scan rest
+              if older.is_load then loads := true else stores := true;
+              scan (Ilist.next n)
             end
       in
-      scan t.live_mem
+      scan (Ilist.head t.live_mem)
     end
     else if dyn.node.Datapath.fu <> None then computes := true
   end;
@@ -641,15 +779,10 @@ and finalize_cycle t =
     if t.cyc_store then t.s_cyc_store <- t.s_cyc_store + 1;
     if t.cyc_load && t.cyc_store then t.s_cyc_both <- t.s_cyc_both + 1;
     if t.cyc_fp then t.s_cyc_fp <- t.s_cyc_fp + 1;
-    Fu.Map.iter
-      (fun cls n ->
-        if n > 0 then
-          t.s_busy_integral <-
-            Fu.Map.add cls
-              (Option.value ~default:0.0 (Fu.Map.find_opt cls t.s_busy_integral)
-              +. float_of_int n)
-              t.s_busy_integral)
-      t.in_flight
+    for i = 0 to Fu.count - 1 do
+      let n = t.in_flight.(i) in
+      if n > 0 then t.s_busy_integral.(i) <- t.s_busy_integral.(i) +. float_of_int n
+    done
   end;
   t.cyc_active <- false;
   t.cyc_issued <- false;
@@ -668,44 +801,68 @@ and tick t =
       finalize_cycle t;
       t.cur_cycle <- now_cycle
     end;
-    let issued_per_class = ref Fu.Map.empty in
+    (* retire issued/committed entries from the reservation head *)
+    while
+      (not (Deque.is_empty t.reservation))
+      && (Deque.peek_front t.reservation).st <> Waiting
+    do
+      ignore (Deque.pop_front t.reservation)
+    done;
+    Array.fill t.scratch_issued 0 Fu.count 0;
     let issued_any = ref false in
-    let remaining = ref [] in
-    List.iter
-      (fun dyn ->
-        if can_issue t dyn ~issued_per_class then begin
-          issue t dyn ~issued_per_class;
-          issued_any := true;
-          t.cyc_issued <- true;
-          if dyn.is_load then t.cyc_load <- true;
-          if dyn.is_store then t.cyc_store <- true;
-          match dyn.node.Datapath.fu with
-          | Some
-              ( Fu.Fp_add_sp | Fu.Fp_add_dp | Fu.Fp_mul_sp | Fu.Fp_mul_dp | Fu.Fp_div_sp
-              | Fu.Fp_div_dp | Fu.Fp_special ) ->
-              t.cyc_fp <- true
-          | Some _ | None -> ()
-        end
-        else remaining := dyn :: !remaining)
-      t.reservation;
-    t.reservation <- List.rev !remaining;
+    (* issue scan: walk only the ready queue, in program order. A
+       zero-latency issue can commit inline and wake dependents; their
+       nodes are spliced in seq order after the current one (dependents
+       are always younger), so the walk sees them in this same pass —
+       exactly the cascaded same-cycle issue the full rescan used to
+       produce. The node is unlinked only after [issue] returns so those
+       splices anchor correctly. *)
+    let cur = ref (Ilist.head t.ready) in
+    while !cur <> None do
+      let node = match !cur with Some n -> n | None -> assert false in
+      let dyn = Ilist.value node in
+      if can_issue t dyn then begin
+        issue t dyn;
+        issued_any := true;
+        t.cyc_issued <- true;
+        if dyn.is_load then t.cyc_load <- true;
+        if dyn.is_store then t.cyc_store <- true;
+        (match dyn.node.Datapath.fu with
+        | Some cls when Fu.is_fp cls -> t.cyc_fp <- true
+        | Some _ | None -> ());
+        cur := Ilist.next node;
+        Ilist.remove t.ready node;
+        dyn.ready_node <- None
+      end
+      else cur := Ilist.next node
+    done;
     (match t.pending_import with
     | Some (label, pred) -> import_block t ~label ~pred
     | None -> ());
-    let work_pending = t.reservation <> [] || t.inflight_total > 0 in
+    let work_pending = t.waiting_count > 0 || t.inflight_total > 0 in
     if work_pending || !issued_any then begin
       t.cyc_active <- true;
       if not !issued_any then begin
-        let l, s, c =
-          List.fold_left (fun acc dyn -> stall_sources t dyn acc) (false, false, false)
-            t.reservation
-        in
-        if l then t.cyc_wait_load <- true;
-        if s then t.cyc_wait_store <- true;
-        if c then t.cyc_wait_compute <- true
+        (* nothing issued: classify the stall over every waiting
+           instruction. Only three booleans are accumulated, so the walk
+           stops as soon as all are set. *)
+        let l = ref false and s = ref false and c = ref false in
+        Deque.iter_while
+          (fun dyn ->
+            if dyn.st = Waiting then begin
+              let l', s', c' = stall_sources t dyn (!l, !s, !c) in
+              l := l';
+              s := s';
+              c := c'
+            end;
+            not (!l && !s && !c))
+          t.reservation;
+        if !l then t.cyc_wait_load <- true;
+        if !s then t.cyc_wait_store <- true;
+        if !c then t.cyc_wait_compute <- true
       end
     end;
-    if t.reservation <> [] || t.inflight_total > 0 || t.pending_import <> None then
+    if t.waiting_count > 0 || t.inflight_total > 0 || t.pending_import <> None then
       schedule_tick t ~cycles:1
     else if t.ret_committed then begin
       finalize_cycle t;
@@ -727,7 +884,7 @@ let start t ~args ~on_finish =
   let params = t.dp.Datapath.func.Ast.params in
   (try
      List.iter2
-       (fun (p : Ast.var) v -> Hashtbl.replace t.regfile p.id (Bits.truncate p.ty v))
+       (fun (p : Ast.var) v -> t.regfile.(p.id) <- Some (Bits.truncate p.ty v))
        params args
    with Invalid_argument _ ->
      invalid_arg
@@ -738,9 +895,9 @@ let start t ~args ~on_finish =
   t.ret_value <- None;
   t.on_finish <- Some on_finish;
   t.start_cycle <- Clock.current_cycle t.clock;
-  Hashtbl.reset t.last_writer;
-  Hashtbl.reset t.last_instance;
-  Hashtbl.reset t.readers;
+  Array.fill t.last_writer 0 (Array.length t.last_writer) None;
+  Array.fill t.last_instance 0 (Array.length t.last_instance) None;
+  Array.fill t.readers 0 (Array.length t.readers) [];
   let entry = (Ast.entry_block t.dp.Datapath.func).Ast.label in
   import_block t ~label:entry ~pred:"<entry>"
 
@@ -765,8 +922,18 @@ let stats t =
     issued_int = t.s_issued_int;
     issued_mem = t.s_issued_mem;
     issued_other = t.s_issued_other;
-    fu_busy_integral = Fu.Map.bindings t.s_busy_integral;
-    issued_by_class = Fu.Map.bindings t.s_issued_by_class;
+    fu_busy_integral =
+      List.filter_map
+        (fun cls ->
+          let v = t.s_busy_integral.(Fu.index cls) in
+          if v > 0.0 then Some (cls, v) else None)
+        Fu.all;
+    issued_by_class =
+      List.filter_map
+        (fun cls ->
+          let v = t.s_issued_by_class.(Fu.index cls) in
+          if v > 0 then Some (cls, v) else None)
+        Fu.all;
     dynamic_fu_energy_pj = t.s_fu_energy;
     dynamic_reg_energy_pj = t.s_reg_energy;
   }

@@ -52,6 +52,33 @@ let to_string = function
 
 let compare = Stdlib.compare
 
+(* dense index for array-backed per-class state in hot loops *)
+let index = function
+  | Int_adder -> 0
+  | Int_multiplier -> 1
+  | Int_divider -> 2
+  | Shifter -> 3
+  | Bitwise -> 4
+  | Mux -> 5
+  | Converter -> 6
+  | Fp_add_sp -> 7
+  | Fp_add_dp -> 8
+  | Fp_mul_sp -> 9
+  | Fp_mul_dp -> 10
+  | Fp_div_sp -> 11
+  | Fp_div_dp -> 12
+  | Fp_special -> 13
+
+let count = 14
+
+let is_fp = function
+  | Fp_add_sp | Fp_add_dp | Fp_mul_sp | Fp_mul_dp | Fp_div_sp | Fp_div_dp
+  | Fp_special ->
+      true
+  | Int_adder | Int_multiplier | Int_divider | Shifter | Bitwise | Mux | Converter
+    ->
+      false
+
 let fp_variant ty single double =
   match (ty : Ty.t) with
   | Ty.F32 -> single

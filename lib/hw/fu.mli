@@ -27,6 +27,18 @@ val to_string : cls -> string
 
 val compare : cls -> cls -> int
 
+val index : cls -> int
+(** Dense index in [0, count): lets hot paths keep per-class state in
+    flat arrays instead of functional maps. Follows the order of
+    {!all}. *)
+
+val count : int
+(** Number of functional-unit classes ([List.length all]). *)
+
+val is_fp : cls -> bool
+(** Whether the class is a floating-point unit (for the FP/int issue
+    breakdown of the stats). *)
+
 val of_instr : Salam_ir.Ast.instr -> cls option
 (** Functional unit required by an instruction; [None] for control,
     phi, memory and zero-hardware operations (gep address adds are

@@ -34,6 +34,9 @@ let default_intrinsics =
     ("fmax", binary "fmax" Float.max);
   ]
 
+(* count of the most recently finished run, for reporting only. Each run
+   accumulates into its own local counter and publishes once on exit, so
+   concurrent runs in other domains never interleave increments. *)
 let last_count = ref 0
 
 let instructions_executed () = !last_count
@@ -43,7 +46,7 @@ type frame = { env : (int, Bits.t) Hashtbl.t }
 let run ?(fuel = 100_000_000) ?(intrinsics = default_intrinsics) ?on_exec mem (m : modul)
     ~entry ~args =
   let fuel_left = ref fuel in
-  last_count := 0;
+  let count = ref 0 in
   let globals = Hashtbl.create 8 in
   (* Materialise globals once, at deterministic addresses. *)
   List.iter
@@ -125,7 +128,7 @@ let run ?(fuel = 100_000_000) ?(intrinsics = default_intrinsics) ?on_exec mem (m
           assign dst v;
           if !fuel_left <= 0 then raise Out_of_fuel;
           decr fuel_left;
-          incr last_count;
+          incr count;
           (* only the selected incoming operand is observable: values
              from untaken edges may not exist yet *)
           notify ~operands:[ v ] b.label instr (Some v))
@@ -137,7 +140,7 @@ let run ?(fuel = 100_000_000) ?(intrinsics = default_intrinsics) ?on_exec mem (m
       | instr :: rest -> begin
           if !fuel_left <= 0 then raise Out_of_fuel;
           decr fuel_left;
-          incr last_count;
+          incr count;
           match instr with
           | Binop { dst; op; lhs; rhs } ->
               let r =
@@ -241,5 +244,8 @@ let run ?(fuel = 100_000_000) ?(intrinsics = default_intrinsics) ?on_exec mem (m
     run_block None (entry_block f)
   in
   match find_func m entry with
-  | Some f -> exec_function 0 f args
+  | Some f ->
+      let r = exec_function 0 f args in
+      last_count := !count;
+      r
   | None -> raise (Trap ("no such function @" ^ entry))

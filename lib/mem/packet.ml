@@ -2,11 +2,11 @@ type op = Read | Write
 
 type t = { id : int; op : op; addr : int64; size : int }
 
-let counter = ref 0
+(* process-global so packet ids stay unique across concurrent
+   simulations (domain-parallel sweeps); ids are only used for display *)
+let counter = Atomic.make 0
 
-let make op ~addr ~size =
-  incr counter;
-  { id = !counter; op; addr; size }
+let make op ~addr ~size = { id = Atomic.fetch_and_add counter 1 + 1; op; addr; size }
 
 let is_read t = t.op = Read
 

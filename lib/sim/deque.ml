@@ -1,0 +1,82 @@
+type 'a t = {
+  (* ring storage: element [i] of the deque lives at [(head + i) mod cap].
+     Slots outside [head, head+len) hold [None] so retired elements are
+     not kept alive by the buffer. *)
+  mutable buf : 'a option array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    bigger.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then invalid_arg "Deque.pop_front: empty";
+  let x = t.buf.(t.head) in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  match x with Some v -> v | None -> assert false
+
+let peek_front t =
+  if t.len = 0 then invalid_arg "Deque.peek_front: empty";
+  match t.buf.(t.head) with Some v -> v | None -> assert false
+
+let peek_back t =
+  if t.len = 0 then invalid_arg "Deque.peek_back: empty";
+  match t.buf.((t.head + t.len - 1) mod Array.length t.buf) with
+  | Some v -> v
+  | None -> assert false
+
+let iter f t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod cap) with Some v -> f v | None -> assert false
+  done
+
+let iter_while f t =
+  let cap = Array.length t.buf in
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !i < t.len do
+    (match t.buf.((t.head + !i) mod cap) with
+    | Some v -> continue_ := f v
+    | None -> assert false);
+    incr i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,45 @@
+(** Growable ring-buffer deque with O(1) push, pop and length.
+
+    The engine's reservation queue is the motivating user: blocks of
+    dynamic instructions are appended at the tail on import and retired
+    from the head, and the occupancy check needs a tracked count rather
+    than an O(n) [List.length]. The buffer doubles when full and never
+    shrinks; indices wrap, so long-running simulations reuse the same
+    storage. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty deque. [capacity] is the initial ring size (default 64);
+    it grows on demand. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val peek_front : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val peek_back : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration. The deque must not be mutated during
+    iteration. *)
+
+val iter_while : ('a -> bool) -> 'a t -> unit
+(** Front-to-back iteration that stops the first time the callback
+    returns [false] — the early exit the engine's stall classification
+    uses once every stall source has been seen. *)
+
+val to_list : 'a t -> 'a list
+(** Front-to-back, mainly for tests. *)
+
+val clear : 'a t -> unit

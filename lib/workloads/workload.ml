@@ -9,15 +9,23 @@ type t = {
   check : Memory.t -> int64 array -> bool;
 }
 
+(* The compile cache is shared by every simulation in the process,
+   including domain-parallel sweeps; guard it so concurrent [compile]
+   calls stay safe. Compilation is deterministic, so losing a race and
+   compiling the same kernel twice would only waste work — but we hold
+   the lock across the compile to keep it single-shot. *)
 let cache : (string, Ast.func) Hashtbl.t = Hashtbl.create 16
 
+let cache_lock = Mutex.create ()
+
 let compile t =
-  match Hashtbl.find_opt cache t.name with
-  | Some f -> f
-  | None ->
-      let f = Salam_frontend.Compile.kernel t.kernel in
-      Hashtbl.replace cache t.name f;
-      f
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache t.name with
+      | Some f -> f
+      | None ->
+          let f = Salam_frontend.Compile.kernel t.kernel in
+          Hashtbl.replace cache t.name f;
+          f)
 
 let modul t = { Ast.funcs = [ compile t ]; globals = [] }
 

@@ -13,4 +13,5 @@ let () =
       ("reference", Test_reference.suite);
       ("workloads", Test_workloads.suite);
       ("scenarios", Test_scenarios.suite);
+      ("determinism", Test_determinism.suite);
     ]

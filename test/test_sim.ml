@@ -62,6 +62,143 @@ let qcheck_event_queue_sorted =
       in
       drain Int64.min_int)
 
+let test_event_queue_tiebreak () =
+  (* same tick: priority wins, then insertion (seq) order; mixing in
+     enough events to force the heap storage to grow *)
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  for i = 0 to 63 do
+    Event_queue.schedule q ~tick:(Int64.of_int (1000 - i)) (record (Printf.sprintf "t%d" (1000 - i)))
+  done;
+  Event_queue.schedule q ~tick:5L ~priority:2 (record "p2a");
+  Event_queue.schedule q ~tick:5L ~priority:0 (record "p0a");
+  Event_queue.schedule q ~tick:5L ~priority:2 (record "p2b");
+  Event_queue.schedule q ~tick:5L ~priority:1 (record "p1");
+  Event_queue.schedule q ~tick:5L ~priority:0 (record "p0b");
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some ev ->
+        ev.Event_queue.action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = List.rev !log in
+  check (Alcotest.list Alcotest.string) "tick 5 drains by (priority, seq)"
+    [ "p0a"; "p0b"; "p1"; "p2a"; "p2b" ]
+    (List.filteri (fun i _ -> i < 5) got);
+  check Alcotest.int "all events ran" 69 (List.length got);
+  check Alcotest.string "later ticks follow" "t937" (List.nth got 5)
+
+let test_deque_fifo () =
+  let d = Deque.create ~capacity:2 () in
+  check Alcotest.bool "fresh is empty" true (Deque.is_empty d);
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "length" 5 (Deque.length d);
+  check Alcotest.int "peek_front" 1 (Deque.peek_front d);
+  check Alcotest.int "peek_back" 5 (Deque.peek_back d);
+  check (Alcotest.list Alcotest.int) "to_list" [ 1; 2; 3; 4; 5 ] (Deque.to_list d);
+  check Alcotest.int "pop 1" 1 (Deque.pop_front d);
+  Deque.push_front d 0;
+  check Alcotest.int "pop pushed front" 0 (Deque.pop_front d);
+  check (Alcotest.list Alcotest.int) "rest in order" [ 2; 3; 4; 5 ] (Deque.to_list d);
+  Deque.clear d;
+  check Alcotest.bool "cleared" true (Deque.is_empty d);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Deque.pop_front: empty") (fun () ->
+      ignore (Deque.pop_front d))
+
+let test_deque_wraparound () =
+  (* interleave pushes and pops so the head index laps the ring several
+     times, across a growth from the initial capacity *)
+  let d = Deque.create ~capacity:4 () in
+  let model = Queue.create () in
+  for i = 1 to 200 do
+    Deque.push_back d i;
+    Queue.push i model;
+    if i mod 3 = 0 then begin
+      let got = Deque.pop_front d and want = Queue.pop model in
+      check Alcotest.int (Printf.sprintf "pop at %d" i) want got
+    end
+  done;
+  check (Alcotest.list Alcotest.int) "tail contents"
+    (List.of_seq (Queue.to_seq model))
+    (Deque.to_list d)
+
+let test_deque_iter_while () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+  let seen = ref [] in
+  Deque.iter_while
+    (fun x ->
+      seen := x :: !seen;
+      x < 3)
+    d;
+  check (Alcotest.list Alcotest.int) "stops after first false" [ 1; 2; 3 ] (List.rev !seen)
+
+let test_ilist_basic () =
+  let l = Ilist.create () in
+  let ns = Array.init 5 (fun i -> Ilist.node (i + 1)) in
+  Array.iter (Ilist.push_back l) ns;
+  check (Alcotest.list Alcotest.int) "in order" [ 1; 2; 3; 4; 5 ] (Ilist.to_list l);
+  check Alcotest.int "length" 5 (Ilist.length l);
+  (* O(1) removal from the middle, head and tail *)
+  Ilist.remove l ns.(2);
+  Ilist.remove l ns.(0);
+  Ilist.remove l ns.(4);
+  check (Alcotest.list Alcotest.int) "after removals" [ 2; 4 ] (Ilist.to_list l);
+  check Alcotest.bool "unlinked" false (Ilist.linked ns.(2));
+  (* a removed node can be relinked *)
+  Ilist.push_front l ns.(2);
+  check (Alcotest.list Alcotest.int) "relinked at front" [ 3; 2; 4 ] (Ilist.to_list l);
+  Alcotest.check_raises "double link" (Invalid_argument "Ilist.push_back: node already linked")
+    (fun () -> Ilist.push_back l ns.(2))
+
+let test_ilist_insert_after_and_walk () =
+  let l = Ilist.create () in
+  let a = Ilist.node 10 and b = Ilist.node 30 in
+  Ilist.push_back l a;
+  Ilist.push_back l b;
+  let mid = Ilist.node 20 in
+  Ilist.insert_after l ~anchor:a mid;
+  let tl = Ilist.node 40 in
+  Ilist.insert_after l ~anchor:b tl;
+  check (Alcotest.list Alcotest.int) "spliced" [ 10; 20; 30; 40 ] (Ilist.to_list l);
+  (* manual walk with early exit, the engine's disambiguation pattern *)
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> if Ilist.value n >= 30 then List.rev acc else walk (Ilist.value n :: acc) (Ilist.next n)
+  in
+  check (Alcotest.list Alcotest.int) "early-exit walk" [ 10; 20 ] (walk [] (Ilist.head l));
+  (* backwards from the tail *)
+  let rec back acc = function
+    | None -> acc
+    | Some n -> back (Ilist.value n :: acc) (Ilist.prev n)
+  in
+  check (Alcotest.list Alcotest.int) "reverse walk" [ 10; 20; 30; 40 ] (back [] (Ilist.tail l))
+
+let qcheck_deque_model =
+  (* true = push_back of a fresh value, false = pop_front; compare
+     against a Queue reference model *)
+  QCheck.Test.make ~name:"deque matches queue model" ~count:300
+    QCheck.(list bool)
+    (fun ops ->
+      let d = Deque.create ~capacity:1 () in
+      let model = Queue.create () in
+      let counter = ref 0 in
+      List.for_all
+        (fun push ->
+          if push then begin
+            incr counter;
+            Deque.push_back d !counter;
+            Queue.push !counter model;
+            true
+          end
+          else if Queue.is_empty model then Deque.is_empty d
+          else Deque.pop_front d = Queue.pop model)
+        ops
+      && Deque.to_list d = List.of_seq (Queue.to_seq model))
+
 let test_kernel_schedule_after () =
   let k = Kernel.create () in
   let order = ref [] in
@@ -149,6 +286,13 @@ let suite =
     Alcotest.test_case "event queue priority/seq" `Quick test_event_queue_priority_and_seq;
     Alcotest.test_case "event queue rejects past" `Quick test_event_queue_past_rejected;
     QCheck_alcotest.to_alcotest qcheck_event_queue_sorted;
+    Alcotest.test_case "event queue tie-break" `Quick test_event_queue_tiebreak;
+    Alcotest.test_case "deque fifo" `Quick test_deque_fifo;
+    Alcotest.test_case "deque wraparound/growth" `Quick test_deque_wraparound;
+    Alcotest.test_case "deque iter_while" `Quick test_deque_iter_while;
+    Alcotest.test_case "ilist push/remove" `Quick test_ilist_basic;
+    Alcotest.test_case "ilist insert_after/walks" `Quick test_ilist_insert_after_and_walk;
+    QCheck_alcotest.to_alcotest qcheck_deque_model;
     Alcotest.test_case "kernel schedule_after" `Quick test_kernel_schedule_after;
     Alcotest.test_case "kernel max_ticks" `Quick test_kernel_max_ticks;
     Alcotest.test_case "clock edge alignment" `Quick test_clock_alignment;

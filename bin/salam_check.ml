@@ -1,0 +1,120 @@
+(* Differential validation harness CLI.
+
+     dune exec bin/salam_check.exe -- --all
+     dune exec bin/salam_check.exe -- --all --suite standard --memory cache
+     dune exec bin/salam_check.exe -- --fuzz 500 --seed 7
+     dune exec bin/salam_check.exe -- --fuzz 50 --plant-bug   (must find it)
+
+   Exit status: 0 when every check passes, 1 on any divergence,
+   invariant violation or fuzz failure. *)
+
+open Cmdliner
+
+let memory_of_string = function
+  | "spm" -> Ok Check_harness.Spm
+  | "cache" -> Ok (Check_harness.Cache { size = 4096; ways = 4 })
+  | "dram" -> Ok Check_harness.Dram
+  | other -> Error (Printf.sprintf "unknown memory kind %s (spm|cache|dram)" other)
+
+let run_all ~suite ~memory_kind ~seed =
+  let workloads =
+    match suite with
+    | "quick" -> Salam_workloads.Suite.quick ()
+    | "standard" -> Salam_workloads.Suite.standard ()
+    | other ->
+        Printf.eprintf "unknown suite %s (quick|standard)\n" other;
+        exit 1
+  in
+  let reports = Check_oracle.check_all ~memory_kind ~seed workloads in
+  let failed = ref 0 in
+  List.iter
+    (fun (r : Check_oracle.report) ->
+      match r.Check_oracle.r_result with
+      | Ok () -> Printf.printf "PASS %s\n" r.Check_oracle.r_workload
+      | Error f ->
+          incr failed;
+          Printf.printf "FAIL %s: %s\n" r.Check_oracle.r_workload
+            (Check_oracle.failure_to_string f))
+    reports;
+  Printf.printf "%d/%d workloads agree (interpreter vs engine, invariants on)\n"
+    (List.length reports - !failed)
+    (List.length reports);
+  !failed = 0
+
+let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
+  let mutate = if plant_bug then Some Check_fuzz.plant_float_bug else None in
+  Printf.printf "fuzzing %d kernels (seed %Ld%s)...\n%!" count seed
+    (if plant_bug then ", planted float bug" else "");
+  let failures = Check_fuzz.run ?mutate ~memory_kind ~seed ~count () in
+  List.iter
+    (fun (f : Check_fuzz.case_failure) ->
+      Printf.printf "FAIL case %d: %s\nshrunk kernel:\n%s\n" f.Check_fuzz.cf_case
+        (Check_fuzz.failure_kind_to_string f.Check_fuzz.cf_failure)
+        (Check_fuzz.kernel_to_string f.Check_fuzz.cf_shrunk))
+    failures;
+  if plant_bug then begin
+    (* detection run: success means the oracle caught the planted bug *)
+    Printf.printf "planted bug detected in %d/%d cases\n" (List.length failures) count;
+    failures <> []
+  end
+  else begin
+    Printf.printf "%d/%d cases divergence-free\n" (count - List.length failures) count;
+    failures = []
+  end
+
+let main all fuzz suite memory seed plant_bug =
+  match memory_of_string memory with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | Ok memory_kind ->
+      let ran = ref false in
+      let ok = ref true in
+      if all then begin
+        ran := true;
+        ok := run_all ~suite ~memory_kind ~seed && !ok
+      end;
+      (match fuzz with
+      | Some count when count > 0 ->
+          ran := true;
+          ok := run_fuzz ~count ~memory_kind ~seed ~plant_bug && !ok
+      | Some _ | None -> ());
+      if not !ran then begin
+        Printf.eprintf "nothing to do: pass --all and/or --fuzz N\n";
+        exit 2
+      end;
+      if not !ok then exit 1
+
+let cmd =
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Run the interpreter-vs-engine oracle on every suite workload.")
+  in
+  let fuzz =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz" ] ~docv:"N" ~doc:"Fuzz $(docv) random kernels against the oracle.")
+  in
+  let suite =
+    Arg.(value & opt string "quick"
+         & info [ "suite" ] ~docv:"SUITE" ~doc:"Workload suite for --all: quick or standard.")
+  in
+  let memory =
+    Arg.(value & opt string "spm"
+         & info [ "memory" ] ~docv:"KIND" ~doc:"Memory attachment: spm, cache or dram.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed for datasets and kernel generation.")
+  in
+  let plant_bug =
+    Arg.(value & flag
+         & info [ "plant-bug" ]
+             ~doc:"Flip a float op in the engine's copy of each fuzz kernel; succeed only if \
+                   the oracle detects it.")
+  in
+  let doc = "differential validation: interpreter-vs-engine oracle, kernel fuzzer" in
+  Cmd.v
+    (Cmd.info "salam_check" ~version:"1.0.0" ~doc)
+    Term.(const main $ all $ fuzz $ suite $ memory $ seed $ plant_bug)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,67 @@
+(** Randomised kernel fuzzer over the differential oracle.
+
+    Generates small, well-typed, terminating kernels in the
+    [Salam_frontend.Lang] DSL — in-bounds array accesses and non-zero
+    literal divisors by construction — pushes each through the full
+    compile pipeline (lower → mem2reg → passes) and runs the timing
+    engine against the functional interpreter. Generation is
+    deterministic: the master [seed] plus the case index reproduce any
+    kernel exactly, so a printed failure is always replayable.
+
+    Failing kernels are shrunk by statement deletion (plus loop
+    unwrapping and branch collapsing) while they keep failing, bounding
+    the counterexample a human has to read. *)
+
+val n_elems : int
+(** Elements in each of the two fuzz buffers ([f64 a\[\]], [i32 b\[\]]). *)
+
+val gen_kernel : seed:int64 -> case:int -> Salam_frontend.Lang.kernel
+(** Deterministic kernel for (seed, case). *)
+
+val workload_of_kernel : string -> Salam_frontend.Lang.kernel -> Salam_workloads.Workload.t
+(** Wrap a generated kernel as a workload with deterministic input data
+    and a vacuous golden model (the oracle is the interpreter). *)
+
+val plant_float_bug : Salam_ir.Ast.func -> Salam_ir.Ast.func
+(** Flip the first [fadd] to [fsub] (else the first [fmul] to [fadd]),
+    in place. Used to verify the fuzzer actually detects a miscomputing
+    engine: only float arithmetic is flipped, never the integer or
+    control instructions that feed loop bounds and addresses. *)
+
+val pp_kernel : Format.formatter -> Salam_frontend.Lang.kernel -> unit
+
+val kernel_to_string : Salam_frontend.Lang.kernel -> string
+
+type failure_kind =
+  | Compile_failure of string  (** frontend rejected a generated kernel *)
+  | Oracle of Check_oracle.failure
+
+type case_failure = {
+  cf_case : int;
+  cf_kernel : Salam_frontend.Lang.kernel;
+  cf_shrunk : Salam_frontend.Lang.kernel;
+  cf_failure : failure_kind;
+}
+
+val failure_kind_to_string : failure_kind -> string
+
+val run_kernel :
+  ?mutate:(Salam_ir.Ast.func -> Salam_ir.Ast.func) ->
+  ?memory_kind:Check_harness.memory_kind ->
+  data_seed:int64 ->
+  Salam_frontend.Lang.kernel ->
+  failure_kind option
+(** One kernel through compile + oracle; [None] when both sides agree.
+    [mutate] rewrites a private copy of the compiled function for the
+    engine side only. *)
+
+val run :
+  ?mutate:(Salam_ir.Ast.func -> Salam_ir.Ast.func) ->
+  ?memory_kind:Check_harness.memory_kind ->
+  ?on_case:(int -> unit) ->
+  seed:int64 ->
+  count:int ->
+  unit ->
+  case_failure list
+(** Fuzz campaign: [count] cases derived from [seed], shrinking every
+    failure (bounded at 200 shrink attempts per case). *)

@@ -1,0 +1,63 @@
+(** Interpreter-vs-engine differential oracle.
+
+    The functional interpreter ([Salam_ir.Interp]) and the timing engine
+    ([Salam_engine.Engine]) execute the same IR from identical initial
+    memory; their final output buffers must agree word for word. Any
+    disagreement is reported at the first divergent 8-byte word together
+    with the provenance of the last interpreter store that wrote the
+    byte — function-level context for debugging a scheduling or
+    forwarding bug, in the spirit of MosaicSim's emulation-vs-timing
+    validation. *)
+
+type provenance = {
+  p_block : string;  (** basic block of the store *)
+  p_instr : string;  (** printed store instruction *)
+  p_addr : int64;
+  p_size : int;
+}
+
+type divergence = {
+  d_buffer : string;  (** workload buffer name *)
+  d_offset : int;  (** byte offset of the divergent word within the buffer *)
+  d_interp : int64;  (** interpreter's word (little-endian, zero-padded) *)
+  d_engine : int64;  (** engine's word *)
+  d_store : provenance option;
+      (** last interpreter store covering the first divergent byte *)
+}
+
+type failure =
+  | Divergence of divergence
+  | Interp_golden_failed
+  | Engine_golden_failed
+  | Cache_invariants of string list
+  | Harness_error of string  (** trap, invariant violation, or located fault *)
+
+type report = { r_workload : string; r_result : (unit, failure) result }
+
+val failure_to_string : failure -> string
+
+val run_interp :
+  ?seed:int64 ->
+  ?func:Salam_ir.Ast.func ->
+  Salam_workloads.Workload.t ->
+  Salam_ir.Memory.t * int64 array * Salam_ir.Bits.t option * provenance list
+(** Functional run with store provenance (newest store first). *)
+
+val check_workload :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?seed:int64 ->
+  ?func:Salam_ir.Ast.func ->
+  ?engine_func:Salam_ir.Ast.func ->
+  Salam_workloads.Workload.t ->
+  (unit, failure) result
+(** Run both sides from identical initial memory and compare: buffers
+    word-for-word, then cache invariants, then both sides against the
+    workload's golden model. [?func] substitutes a pre-compiled function
+    on both sides (used by the fuzzer); [?engine_func] overrides the
+    engine side only (used to plant bugs that the oracle must catch). *)
+
+val check_all :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?seed:int64 ->
+  Salam_workloads.Workload.t list ->
+  report list

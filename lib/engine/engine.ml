@@ -11,6 +11,7 @@ type config = {
   disambiguate_memory : bool;
   enforce_waw : bool;
   enforce_war : bool;
+  check : bool;
 }
 
 let default_config =
@@ -22,7 +23,12 @@ let default_config =
     disambiguate_memory = true;
     enforce_waw = true;
     enforce_war = true;
+    check = false;
   }
+
+exception Invariant_violation of string
+
+exception Runtime_error of string
 
 type mem_iface = {
   read : addr:int64 -> ty:Ty.t -> on_value:(Bits.t -> unit) -> unit;
@@ -408,6 +414,73 @@ let try_wake t dyn =
     t.ready_finger <- Some n
   end
 
+(* --- timing invariants (active when [config.check]) -------------------- *)
+
+(* Per-cycle structural invariant: a class can never issue (or hold) more
+   operations in one cycle than it has units. Violations mean the issue
+   scan's structural-hazard accounting has drifted. *)
+let check_cycle t =
+  Array.iteri
+    (fun i units ->
+      if units > 0 then begin
+        if t.scratch_issued.(i) > units then
+          raise
+            (Invariant_violation
+               (Printf.sprintf "@%s: issued %d %s ops in one cycle with %d unit(s)"
+                  t.dp.Datapath.func.Ast.fname t.scratch_issued.(i)
+                  (Fu.to_string (List.nth Fu.all i))
+                  units));
+        if t.fu_held.(i) > units then
+          raise
+            (Invariant_violation
+               (Printf.sprintf "@%s: %d unpipelined %s units held with %d allocated"
+                  t.dp.Datapath.func.Ast.fname t.fu_held.(i)
+                  (Fu.to_string (List.nth Fu.all i))
+                  units))
+      end)
+    t.fu_units
+
+(* End-of-run invariants: every queue drained, every counter back to
+   zero, and the stall breakdown accounts for every active cycle. *)
+let check_completion t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if not (Ilist.is_empty t.ready) then
+    err "ready queue holds %d entries at completion" (Ilist.length t.ready);
+  if not (Ilist.is_empty t.live_mem) then
+    err "live memory queue holds %d entries at completion" (Ilist.length t.live_mem);
+  let waiting = ref 0 in
+  Deque.iter_while
+    (fun dyn ->
+      if dyn.st = Waiting then incr waiting;
+      true)
+    t.reservation;
+  if !waiting <> 0 then err "reservation queue holds %d waiting entries at completion" !waiting;
+  if t.waiting_count <> 0 then err "waiting_count = %d at completion" t.waiting_count;
+  if t.inflight_total <> 0 then err "%d operations still in flight at completion" t.inflight_total;
+  if t.reads_outstanding <> 0 then err "%d reads outstanding at completion" t.reads_outstanding;
+  if t.writes_outstanding <> 0 then
+    err "%d writes outstanding at completion" t.writes_outstanding;
+  Array.iteri
+    (fun i n ->
+      if n <> 0 then err "%d %s ops in flight at completion" n (Fu.to_string (List.nth Fu.all i)))
+    t.in_flight;
+  Array.iteri
+    (fun i n ->
+      if n <> 0 then err "%d %s units held at completion" n (Fu.to_string (List.nth Fu.all i)))
+    t.fu_held;
+  if t.s_active <> t.s_issue_cycles + t.s_stall then
+    err "active cycles (%d) <> issue (%d) + stall (%d)" t.s_active t.s_issue_cycles t.s_stall;
+  if t.s_stall <> t.s_stall_load + t.s_stall_load_compute + t.s_stall_lsc + t.s_stall_other then
+    err "stall breakdown (%d+%d+%d+%d) does not sum to stall cycles (%d)" t.s_stall_load
+      t.s_stall_load_compute t.s_stall_lsc t.s_stall_other t.s_stall;
+  match List.rev !errs with
+  | [] -> ()
+  | errs ->
+      raise
+        (Invariant_violation
+           (Printf.sprintf "@%s: %s" t.dp.Datapath.func.Ast.fname (String.concat "; " errs)))
+
 let rec schedule_tick t ~cycles =
   if not t.tick_scheduled then begin
     t.tick_scheduled <- true;
@@ -723,7 +796,14 @@ and issue t dyn =
         if Fu.is_fp cls then t.s_issued_fp <- t.s_issued_fp + 1
         else t.s_issued_int <- t.s_issued_int + 1
     | None -> t.s_issued_other <- t.s_issued_other + 1);
-    dyn.result <- eval_compute t dyn;
+    (dyn.result <-
+       (try eval_compute t dyn
+        with Division_by_zero ->
+          raise
+            (Runtime_error
+               (Printf.sprintf "division by zero in @%s, block %%%s, at: %s"
+                  t.dp.Datapath.func.Ast.fname dyn.node.Datapath.block
+                  (Format.asprintf "%a" Pp.instr dyn.node.Datapath.instr)))));
     let latency = dyn.node.Datapath.latency in
     if latency = 0 then commit t dyn
     else Clock.schedule_cycles t.clock ~cycles:latency (fun () -> commit t dyn)
@@ -836,6 +916,7 @@ and tick t =
       end
       else cur := Ilist.next node
     done;
+    if t.cfg.check then check_cycle t;
     (match t.pending_import with
     | Some (label, pred) -> import_block t ~label ~pred
     | None -> ());
@@ -871,6 +952,7 @@ and tick t =
       t.ret_committed <- false;
       t.s_cycles <-
         Int64.add t.s_cycles (Int64.sub (Clock.current_cycle t.clock) t.start_cycle);
+      if t.cfg.check then check_completion t;
       match t.on_finish with
       | Some k ->
           t.on_finish <- None;

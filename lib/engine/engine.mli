@@ -42,9 +42,25 @@ type config = {
   enforce_war : bool;
       (** require older readers of the destination register to have
           issued; disable only for ablation studies *)
+  check : bool;
+      (** run the timing-invariant checker: per-cycle structural checks
+          (per-class issue count and held units never exceed allocated
+          units) plus end-of-run checks (queues drained, in-flight
+          counters zero, stall breakdown sums to stall cycles). Checks
+          are read-only — they never perturb scheduling — and raise
+          {!Invariant_violation} on failure. Off by default. *)
 }
 
 val default_config : config
+
+exception Invariant_violation of string
+(** An internal timing invariant failed (only raised with
+    [config.check = true]). The message names the function and the
+    violated property. *)
+
+exception Runtime_error of string
+(** The simulated program faulted (e.g. division by zero). The message
+    locates the fault: function, basic block and instruction. *)
 
 (** How the engine reaches memory; implemented by the communications
     interface. Reads deliver the loaded value; writes acknowledge when

@@ -111,7 +111,7 @@ let eval_cast op ~src_ty ~dst_ty v =
   | Trunc -> truncate dst_ty (Int (to_int64 v))
   | Zext -> Int (mask src_ty (to_int64 v))
   | Sext -> truncate dst_ty (Int (signed src_ty (to_int64 v)))
-  | Fptrunc -> Float (round_f32 (to_float v))
+  | Fptrunc -> truncate dst_ty (Float (to_float v))
   | Fpext -> Float (to_float v)
   | Fptosi -> truncate dst_ty (Int (Int64.of_float (to_float v)))
   | Sitofp -> truncate dst_ty (Float (Int64.to_float (signed src_ty (to_int64 v))))

@@ -145,7 +145,12 @@ let run ?(fuel = 100_000_000) ?(intrinsics = default_intrinsics) ?on_exec mem (m
           | Binop { dst; op; lhs; rhs } ->
               let r =
                 try Bits.eval_binop op dst.ty (eval lhs) (eval rhs)
-                with Division_by_zero -> raise (Trap "division by zero")
+                with Division_by_zero ->
+                  raise
+                    (Trap
+                       (Printf.sprintf "division by zero in @%s, block %%%s, at: %s"
+                          f.fname b.label
+                          (Format.asprintf "%a" Pp.instr instr)))
               in
               assign dst r;
               notify b.label instr (Some r);

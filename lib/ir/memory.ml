@@ -40,6 +40,13 @@ let store t ty addr v =
   | Ty.F64, Bits.Float f -> Bytes.set_int64_le t.data a (Int64.bits_of_float f)
   | _ -> invalid_arg "Memory.store: value does not match type"
 
+let snapshot t = Bytes.copy t.data
+
+let restore t snap =
+  if Bytes.length snap <> Bytes.length t.data then
+    invalid_arg "Memory.restore: snapshot size does not match memory size";
+  Bytes.blit snap 0 t.data 0 (Bytes.length snap)
+
 let load_bytes t addr len =
   let a = check t addr len in
   Bytes.sub t.data a len

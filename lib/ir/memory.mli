@@ -14,6 +14,16 @@ val alloc : t -> bytes:int -> align:int -> int64
 (** Bump allocation; raises [Failure] when full. Never returns address 0
     (address 0 is reserved so null pointers trap). *)
 
+val snapshot : t -> bytes
+(** Copy of the entire backing store. Allocation state ([brk]) is not
+    captured: a snapshot records contents, not layout. The differential
+    validation harness uses this to replay runs on identical initial
+    memory. *)
+
+val restore : t -> bytes -> unit
+(** Overwrite the contents with a snapshot taken from a memory of the
+    same size; raises [Invalid_argument] on a size mismatch. *)
+
 val load : t -> Ty.t -> int64 -> Bits.t
 
 val store : t -> Ty.t -> int64 -> Bits.t -> unit

@@ -10,7 +10,17 @@ type config = {
   lookup_ports : int;
 }
 
-type line = { mutable valid : bool; mutable dirty : bool; mutable tag : int64; mutable last_use : int }
+(* [reserved] marks a way whose fill is in flight: the victim of an
+   outstanding miss. Reserved ways are invisible to victim selection, so
+   two concurrent misses to the same set can never clobber each other's
+   fill (they used to pick the same invalidated way). *)
+type line = {
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable tag : int64;
+  mutable last_use : int;
+  mutable reserved : bool;
+}
 
 type mshr = { line_addr : int64; mutable waiters : (Packet.op * (unit -> unit)) list }
 
@@ -30,6 +40,7 @@ type t = {
   s_hits : Stats.scalar;
   s_misses : Stats.scalar;
   s_writebacks : Stats.scalar;
+  s_fragments : Stats.scalar;
   mutable port : Port.t option;
 }
 
@@ -59,13 +70,19 @@ let find_line t laddr =
   in
   go 0
 
+(* Victim for a fill: invalid ways first, else LRU — never a reserved
+   way (its own fill is in flight). [None] when every way is reserved. *)
 let victim t laddr =
   let set = t.lines.(set_index t laddr) in
-  let best = ref set.(0) in
+  let best = ref None in
   Array.iter
     (fun l ->
-      if not l.valid then (if !best.valid then best := l)
-      else if !best.valid && l.last_use < !best.last_use then best := l)
+      if not l.reserved then
+        match !best with
+        | None -> best := Some l
+        | Some b ->
+            if not l.valid then (if b.valid then best := Some l)
+            else if b.valid && l.last_use < b.last_use then best := Some l)
     set;
   !best
 
@@ -107,36 +124,44 @@ and try_lookup t (p : pending) =
           true
       | None ->
           if List.length t.mshr_list >= t.cfg.mshrs then false
-          else begin
-            Stats.incr t.s_misses;
-            let m = { line_addr = laddr; waiters = [ (p.pkt.Packet.op, p.on_complete) ] } in
-            t.mshr_list <- m :: t.mshr_list;
-            let v = victim t laddr in
-            if v.valid && v.dirty then begin
-              Stats.incr t.s_writebacks;
-              let wb = Packet.make Packet.Write ~addr:v.tag ~size:t.cfg.line_bytes in
-              Port.send t.lower wb ~on_complete:(fun () -> ())
-            end;
-            v.valid <- false;
-            v.dirty <- false;
-            let fetch = Packet.make Packet.Read ~addr:laddr ~size:t.cfg.line_bytes in
-            Port.send t.lower fetch ~on_complete:(fun () ->
-                v.valid <- true;
-                v.tag <- laddr;
-                touch t v;
-                t.mshr_list <- List.filter (fun m' -> m' != m) t.mshr_list;
-                List.iter
-                  (fun (op, k) ->
-                    if op = Packet.Write then v.dirty <- true;
-                    Clock.schedule_cycles t.clock ~cycles:t.cfg.hit_latency k)
-                  (List.rev m.waiters);
-                (* an MSHR freed: blocked requests may proceed *)
-                if not (Queue.is_empty t.queue) then schedule_service t);
-            true
-          end)
+          else
+            (* Pick the victim before committing to the miss: with every
+               way in the set reserved by in-flight fills there is nowhere
+               to put the line, so the request stays queued and retries
+               once a fill completes. *)
+            match victim t laddr with
+            | None -> false
+            | Some v ->
+                Stats.incr t.s_misses;
+                let m = { line_addr = laddr; waiters = [ (p.pkt.Packet.op, p.on_complete) ] } in
+                t.mshr_list <- m :: t.mshr_list;
+                if v.valid && v.dirty then begin
+                  Stats.incr t.s_writebacks;
+                  let wb = Packet.make Packet.Write ~addr:v.tag ~size:t.cfg.line_bytes in
+                  Port.send t.lower wb ~on_complete:(fun () -> ())
+                end;
+                v.valid <- false;
+                v.dirty <- false;
+                v.reserved <- true;
+                let fetch = Packet.make Packet.Read ~addr:laddr ~size:t.cfg.line_bytes in
+                Port.send t.lower fetch ~on_complete:(fun () ->
+                    v.reserved <- false;
+                    v.valid <- true;
+                    v.tag <- laddr;
+                    touch t v;
+                    t.mshr_list <- List.filter (fun m' -> m' != m) t.mshr_list;
+                    List.iter
+                      (fun (op, k) ->
+                        if op = Packet.Write then v.dirty <- true;
+                        Clock.schedule_cycles t.clock ~cycles:t.cfg.hit_latency k)
+                      (List.rev m.waiters);
+                    (* an MSHR (and a reserved way) freed: blocked
+                       requests may proceed *)
+                    if not (Queue.is_empty t.queue) then schedule_service t);
+                true)
 
 (* Split a request into line-sized fragments; complete when all do. *)
-let fragments t (pkt : Packet.t) =
+let split_fragments t (pkt : Packet.t) =
   let first = line_addr t pkt.Packet.addr in
   let last = line_addr t (Int64.add pkt.Packet.addr (Int64.of_int (pkt.Packet.size - 1))) in
   if Int64.equal first last then [ pkt ]
@@ -175,7 +200,7 @@ let create _kernel clock stats cfg ~lower =
       lines =
         Array.init sets (fun _ ->
             Array.init cfg.ways (fun _ ->
-                { valid = false; dirty = false; tag = 0L; last_use = 0 }));
+                { valid = false; dirty = false; tag = 0L; last_use = 0; reserved = false }));
       lower;
       mshr_list = [];
       queue = Queue.create ();
@@ -185,11 +210,13 @@ let create _kernel clock stats cfg ~lower =
       s_hits = Stats.scalar group "hits";
       s_misses = Stats.scalar group "misses";
       s_writebacks = Stats.scalar group "writebacks";
+      s_fragments = Stats.scalar group "fragments";
       port = None;
     }
   in
   let handler pkt ~on_complete =
-    let frags = fragments t pkt in
+    let frags = split_fragments t pkt in
+    Stats.add t.s_fragments (float_of_int (List.length frags));
     let outstanding = ref (List.length frags) in
     let complete_one () =
       decr outstanding;
@@ -217,13 +244,35 @@ let misses t = int_of_float (Stats.value t.s_misses)
 
 let writebacks t = int_of_float (Stats.value t.s_writebacks)
 
+let fragments t = int_of_float (Stats.value t.s_fragments)
+
+let invariant_errors t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let h = hits t and m = misses t and f = fragments t in
+  if h + m <> f then
+    err "%s: hits (%d) + misses (%d) <> fragments accepted (%d)" t.cfg.name h m f;
+  if not (Queue.is_empty t.queue) then
+    err "%s: %d request(s) still queued at completion" t.cfg.name (Queue.length t.queue);
+  (match t.mshr_list with
+  | [] -> ()
+  | ms -> err "%s: %d MSHR(s) still outstanding at completion" t.cfg.name (List.length ms));
+  Array.iteri
+    (fun si set ->
+      Array.iter
+        (fun l -> if l.reserved then err "%s: set %d has a way still reserved" t.cfg.name si)
+        set)
+    t.lines;
+  List.rev !errs
+
 let flush t =
   Array.iter
     (fun set ->
       Array.iter
         (fun l ->
           l.valid <- false;
-          l.dirty <- false)
+          l.dirty <- false;
+          l.reserved <- false)
         set)
     t.lines
 

@@ -40,6 +40,17 @@ val misses : t -> int
 
 val writebacks : t -> int
 
+val fragments : t -> int
+(** Line-sized fragments accepted at the upper port. Every fragment is
+    eventually classified as exactly one hit or miss, so at quiescence
+    [hits t + misses t = fragments t]. *)
+
+val invariant_errors : t -> string list
+(** Consistency checks meant for the end of a simulation: accounting
+    ([hits + misses = fragments]), no request still queued, no MSHR
+    outstanding, no way still reserved by an in-flight fill. Empty when
+    the cache is quiescent and consistent. *)
+
 val flush : t -> unit
 (** Invalidate everything (drop dirty lines silently — data is always in
     the backing store); used between host/accelerator hand-offs. *)

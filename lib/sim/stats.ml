@@ -8,6 +8,9 @@ type distribution = {
   mutable max_v : float;
 }
 
+(* Registration lists are kept newest-first so [group]/[scalar]/
+   [distribution] are O(1); iteration points reverse them back to
+   registration order. *)
 type group = {
   g_name : string;
   mutable scalars : scalar list;
@@ -17,12 +20,12 @@ type group = {
 
 let group ?parent name =
   let g = { g_name = name; scalars = []; dists = []; children = [] } in
-  (match parent with Some p -> p.children <- p.children @ [ g ] | None -> ());
+  (match parent with Some p -> p.children <- g :: p.children | None -> ());
   g
 
 let scalar g name =
   let s = { s_name = name; v = 0.0 } in
-  g.scalars <- g.scalars @ [ s ];
+  g.scalars <- s :: g.scalars;
   s
 
 let incr s = s.v <- s.v +. 1.0
@@ -35,7 +38,7 @@ let value s = s.v
 
 let distribution g name =
   let d = { d_name = name; count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity } in
-  g.dists <- g.dists @ [ d ];
+  g.dists <- d :: g.dists;
   d
 
 let sample d x =
@@ -65,13 +68,36 @@ let rec reset_group g =
     g.dists;
   List.iter reset_group g.children
 
+(* One path scheme everywhere: paths are relative to the group being
+   queried, so every path [fold]/[pp] emit resolves through [find]. *)
+let dist_fields d =
+  [
+    ("count", float_of_int d.count);
+    ("total", d.total);
+    ("mean", dist_mean d);
+    ("min", dist_min d);
+    ("max", dist_max d);
+  ]
+
 let fold g ~init ~f =
   let rec go acc prefix g =
-    let prefix = if prefix = "" then g.g_name else prefix ^ "." ^ g.g_name in
+    let scoped name = if prefix = "" then name else prefix ^ "." ^ name in
     let acc =
-      List.fold_left (fun acc s -> f acc ~path:(prefix ^ "." ^ s.s_name) s.v) acc g.scalars
+      List.fold_left
+        (fun acc s -> f acc ~path:(scoped s.s_name) s.v)
+        acc (List.rev g.scalars)
     in
-    List.fold_left (fun acc child -> go acc prefix child) acc g.children
+    let acc =
+      List.fold_left
+        (fun acc d ->
+          List.fold_left
+            (fun acc (field, v) -> f acc ~path:(scoped (d.d_name ^ "." ^ field)) v)
+            acc (dist_fields d))
+        acc (List.rev g.dists)
+    in
+    List.fold_left
+      (fun acc child -> go acc (scoped child.g_name) child)
+      acc (List.rev g.children)
   in
   go init "" g
 
@@ -84,19 +110,28 @@ let find g path =
     | child :: rest -> (
         match List.find_opt (fun c -> c.g_name = child) g.children with
         | Some c -> go c rest
-        | None -> None)
+        | None -> (
+            match rest with
+            | [ field ] ->
+                List.find_opt (fun d -> d.d_name = child) g.dists
+                |> Option.map dist_fields
+                |> Option.map (List.assoc_opt field)
+                |> Option.join
+            | _ -> None))
   in
   go g parts
 
 let pp ppf g =
   let rec go prefix g =
-    let prefix = if prefix = "" then g.g_name else prefix ^ "." ^ g.g_name in
-    List.iter (fun s -> Format.fprintf ppf "%s.%s = %g@." prefix s.s_name s.v) g.scalars;
+    let scoped name = if prefix = "" then name else prefix ^ "." ^ name in
+    List.iter
+      (fun s -> Format.fprintf ppf "%s = %g@." (scoped s.s_name) s.v)
+      (List.rev g.scalars);
     List.iter
       (fun d ->
-        Format.fprintf ppf "%s.%s: count=%d mean=%g min=%g max=%g@." prefix d.d_name d.count
+        Format.fprintf ppf "%s: count=%d mean=%g min=%g max=%g@." (scoped d.d_name) d.count
           (dist_mean d) (dist_min d) (dist_max d))
-      g.dists;
-    List.iter (go prefix) g.children
+      (List.rev g.dists);
+    List.iter (fun c -> go (scoped c.g_name) c) (List.rev g.children)
   in
   go "" g

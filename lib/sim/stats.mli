@@ -43,11 +43,17 @@ val reset_group : group -> unit
 (** Reset every statistic in the group and its children to zero. *)
 
 val fold : group -> init:'a -> f:('a -> path:string -> float -> 'a) -> 'a
-(** Fold over all scalar values in the subtree; [path] is
-    ["group.subgroup.name"]. *)
+(** Fold over every statistic in the subtree. Paths are dotted and
+    relative to [g] ([g]'s own name is not a component), e.g.
+    ["subgroup.name"] — the same scheme {!find} resolves, so every path
+    this emits can be looked up again. Distributions contribute derived
+    entries [name.count], [name.total], [name.mean], [name.min] and
+    [name.max]. *)
 
 val find : group -> string -> float option
-(** [find g path] looks a scalar up by dotted path relative to [g]. *)
+(** [find g path] looks a statistic up by dotted path relative to [g]:
+    a scalar, or a distribution field ([....count], [....total],
+    [....mean], [....min], [....max]). *)
 
 val pp : Format.formatter -> group -> unit
 (** Dump all statistics in the subtree, one per line. *)

@@ -58,6 +58,60 @@ let test_bits_casts () =
   let i = Bits.eval_cast Ast.Fptosi ~src_ty:Ty.F64 ~dst_ty:Ty.I32 (Bits.Float 7.9) in
   check Alcotest.int64 "fptosi truncates" 7L (Bits.to_int64 i)
 
+(* One case per cast operator, with destination types chosen to expose
+   any operator that ignores [dst_ty]. *)
+let test_bits_every_cast () =
+  let cast op ~src_ty ~dst_ty v = Bits.eval_cast op ~src_ty ~dst_ty v in
+  (* trunc: keeps only dst bits *)
+  check Alcotest.int64 "trunc i32->i8" 0x34L
+    (Bits.to_int64 (cast Ast.Trunc ~src_ty:Ty.I32 ~dst_ty:Ty.I8 (Bits.Int 0x1234L)));
+  (* zext: reads src unsigned *)
+  check Alcotest.int64 "zext i16->i64" 0xFFFFL
+    (Bits.to_int64 (cast Ast.Zext ~src_ty:Ty.I16 ~dst_ty:Ty.I64 (Bits.Int 0xFFFFL)));
+  (* sext: reads src signed *)
+  check Alcotest.int64 "sext i16->i32 of -2" 0xFFFFFFFEL
+    (Bits.to_int64
+       (Bits.truncate Ty.I64
+          (Bits.Int
+             (Bits.to_int64 (cast Ast.Sext ~src_ty:Ty.I16 ~dst_ty:Ty.I32 (Bits.Int 0xFFFEL))))));
+  (* fptrunc to f32 rounds to single precision *)
+  let pi = 3.14159265358979312 in
+  check Alcotest.bool "fptrunc f64->f32 rounds" true
+    (Bits.to_float (cast Ast.Fptrunc ~src_ty:Ty.F64 ~dst_ty:Ty.F32 (Bits.Float pi)) <> pi);
+  (* fptrunc to f64 must be exact: the operator must honour dst_ty rather
+     than always rounding to f32 (regression for the hard-coded-f32 bug) *)
+  check (Alcotest.float 0.0) "fptrunc f64->f64 is exact" pi
+    (Bits.to_float (cast Ast.Fptrunc ~src_ty:Ty.F64 ~dst_ty:Ty.F64 (Bits.Float pi)));
+  (* fpext is value-preserving *)
+  let f32_pi = Int32.float_of_bits (Int32.bits_of_float pi) in
+  check (Alcotest.float 0.0) "fpext f32->f64" f32_pi
+    (Bits.to_float (cast Ast.Fpext ~src_ty:Ty.F32 ~dst_ty:Ty.F64 (Bits.Float f32_pi)));
+  (* fptosi rounds towards zero, negative case *)
+  check Alcotest.int64 "fptosi -7.9 -> -7"
+    (Bits.to_int64 (Bits.truncate Ty.I32 (Bits.Int (-7L))))
+    (Bits.to_int64 (cast Ast.Fptosi ~src_ty:Ty.F64 ~dst_ty:Ty.I32 (Bits.Float (-7.9))));
+  (* sitofp respects the source's signedness *)
+  check (Alcotest.float 0.0) "sitofp i8 0xFF -> -1.0" (-1.0)
+    (Bits.to_float (cast Ast.Sitofp ~src_ty:Ty.I8 ~dst_ty:Ty.F64 (Bits.Int 0xFFL)));
+  (* sitofp to f32 rounds to single precision *)
+  let big = 16777217L (* 2^24 + 1: not representable in f32 *) in
+  check (Alcotest.float 0.0) "sitofp i64->f32 rounds" 16777216.0
+    (Bits.to_float (cast Ast.Sitofp ~src_ty:Ty.I64 ~dst_ty:Ty.F32 (Bits.Int big)));
+  (* bitcast f64<->i64 round-trips the representation *)
+  let bits = cast Ast.Bitcast ~src_ty:Ty.F64 ~dst_ty:Ty.I64 (Bits.Float pi) in
+  check Alcotest.int64 "bitcast f64->i64" (Int64.bits_of_float pi) (Bits.to_int64 bits);
+  check (Alcotest.float 0.0) "bitcast i64->f64 round-trip" pi
+    (Bits.to_float (cast Ast.Bitcast ~src_ty:Ty.I64 ~dst_ty:Ty.F64 bits));
+  (* bitcast f32<->i32 uses the 32-bit representation *)
+  let b32 = cast Ast.Bitcast ~src_ty:Ty.F32 ~dst_ty:Ty.I32 (Bits.Float 1.0) in
+  check Alcotest.int64 "bitcast f32->i32" (Int64.of_int32 (Int32.bits_of_float 1.0))
+    (Bits.to_int64 b32);
+  (* ptrtoint / inttoptr *)
+  check Alcotest.int64 "ptrtoint" 0x40L
+    (Bits.to_int64 (cast Ast.Ptrtoint ~src_ty:Ty.Ptr ~dst_ty:Ty.I64 (Bits.Int 0x40L)));
+  check Alcotest.int64 "inttoptr" 0x40L
+    (Bits.to_int64 (cast Ast.Inttoptr ~src_ty:Ty.I64 ~dst_ty:Ty.Ptr (Bits.Int 0x40L)))
+
 let qcheck_bits_add_commutes =
   QCheck.Test.make ~name:"integer add commutes under masking" ~count:500
     QCheck.(pair int64 int64)
@@ -232,6 +286,20 @@ let test_memory_alloc () =
     && Int64.rem b 8L = 0L
     && Int64.compare b (Int64.add a 10L) >= 0)
 
+let test_memory_snapshot_restore () =
+  let mem = Memory.create ~size:256 in
+  let a = Memory.alloc mem ~bytes:16 ~align:8 in
+  Memory.store mem Ty.I64 a (Bits.Int 0xDEADL);
+  let snap = Memory.snapshot mem in
+  Memory.store mem Ty.I64 a (Bits.Int 0xBEEFL);
+  check Alcotest.int64 "overwritten" 0xBEEFL (Bits.to_int64 (Memory.load mem Ty.I64 a));
+  Memory.restore mem snap;
+  check Alcotest.int64 "restored" 0xDEADL (Bits.to_int64 (Memory.load mem Ty.I64 a));
+  let other = Memory.create ~size:128 in
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Memory.restore: snapshot size does not match memory size") (fun () ->
+      Memory.restore other snap)
+
 (* --- interpreter ------------------------------------------------------ *)
 
 let factorial_func () =
@@ -271,8 +339,21 @@ let test_interp_division_trap () =
   let f = Builder.finish b in
   let mem = Memory.create ~size:64 in
   let m = { Ast.funcs = [ f ]; globals = [] } in
-  Alcotest.check_raises "div by zero traps" (Interp.Trap "division by zero") (fun () ->
-      ignore (Interp.run mem m ~entry:"div" ~args:[ Bits.Int 0L ]))
+  (* The trap must locate the fault: function, block, and the offending
+     instruction, so a user can find it without a debugger. *)
+  (try
+     ignore (Interp.run mem m ~entry:"div" ~args:[ Bits.Int 0L ]);
+     Alcotest.fail "expected a division-by-zero trap"
+   with Interp.Trap msg ->
+     let has needle =
+       let n = String.length needle and m = String.length msg in
+       let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "mentions division" true (has "division by zero");
+     check Alcotest.bool "names the function" true (has "@div");
+     check Alcotest.bool "names the block" true (has "%entry");
+     check Alcotest.bool "shows the instruction" true (has "sdiv"))
 
 let test_interp_intrinsics () =
   let b = Builder.create ~name:"root" ~ret_ty:Ty.F64 ~params:[ ("x", Ty.F64) ] in
@@ -319,6 +400,8 @@ let suite =
     Alcotest.test_case "bits f32 rounding" `Quick test_bits_f32_rounding;
     Alcotest.test_case "bits div by zero" `Quick test_bits_division_by_zero;
     Alcotest.test_case "bits casts" `Quick test_bits_casts;
+    Alcotest.test_case "bits every cast op" `Quick test_bits_every_cast;
+    Alcotest.test_case "memory snapshot/restore" `Quick test_memory_snapshot_restore;
     QCheck_alcotest.to_alcotest qcheck_bits_add_commutes;
     QCheck_alcotest.to_alcotest qcheck_bits_trunc_idempotent;
     Alcotest.test_case "builder output verifies" `Quick test_builder_verifies;

@@ -13,5 +13,6 @@ let () =
       ("reference", Test_reference.suite);
       ("workloads", Test_workloads.suite);
       ("scenarios", Test_scenarios.suite);
+      ("check", Test_check.suite);
       ("determinism", Test_determinism.suite);
     ]

@@ -163,6 +163,51 @@ let test_cache_line_split () =
   check Alcotest.bool "completed once" true !finished;
   check Alcotest.int "two line fills" 2 (Cache.misses cache)
 
+(* Two outstanding misses to the same set must fill distinct ways.
+   Victim selection used to run at miss time with the victim invalidated
+   immediately, so with both fills in flight the second miss saw the same
+   "first invalid way" and its fill clobbered the first line's tag: the
+   re-read of the first line would miss again. Reserving in-flight fill
+   ways makes the re-read hit. *)
+let test_cache_same_set_double_miss () =
+  let kernel, clock, stats = fresh () in
+  (* 1024 B / 64 B lines / 2 ways = 8 sets: 0 and 512 map to set 0 *)
+  let cache = make_cache kernel clock stats in
+  let outstanding = ref 2 in
+  let reread_hit = ref false in
+  let after_both () =
+    decr outstanding;
+    if !outstanding = 0 then
+      send (Cache.port cache)
+        (Packet.make Packet.Read ~addr:0L ~size:8)
+        (fun () -> reread_hit := true)
+  in
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:0L ~size:8) after_both;
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:512L ~size:8) after_both;
+  ignore (Kernel.run kernel);
+  check Alcotest.bool "re-read completed" true !reread_hit;
+  check Alcotest.int "exactly two misses" 2 (Cache.misses cache);
+  check Alcotest.int "re-read of first line hits" 1 (Cache.hits cache);
+  check Alcotest.int "fragments = hits + misses" 3 (Cache.fragments cache);
+  check (Alcotest.list Alcotest.string) "quiescent invariants" [] (Cache.invariant_errors cache)
+
+(* Every way of a set reserved by in-flight fills: a third miss to the
+   set must wait for a fill to land, not corrupt a reserved way. *)
+let test_cache_all_ways_reserved_retries () =
+  let kernel, clock, stats = fresh () in
+  let cache = make_cache kernel clock stats in
+  let done_count = ref 0 in
+  let bump () = incr done_count in
+  (* three same-set lines (set 0), all launched the same cycle; only two
+     ways exist, so the third lookup retries until a fill completes *)
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:0L ~size:8) bump;
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:512L ~size:8) bump;
+  send (Cache.port cache) (Packet.make Packet.Read ~addr:1024L ~size:8) bump;
+  ignore (Kernel.run kernel);
+  check Alcotest.int "all three completed" 3 !done_count;
+  check Alcotest.int "three misses" 3 (Cache.misses cache);
+  check (Alcotest.list Alcotest.string) "quiescent invariants" [] (Cache.invariant_errors cache)
+
 (* --- crossbar ---------------------------------------------------------- *)
 
 let test_xbar_routing_and_default () =
@@ -277,6 +322,8 @@ let suite =
     Alcotest.test_case "cache miss then hit" `Quick test_cache_miss_then_hit;
     Alcotest.test_case "cache eviction/writeback/flush" `Quick test_cache_eviction_and_writeback;
     Alcotest.test_case "cache line split" `Quick test_cache_line_split;
+    Alcotest.test_case "cache same-set double miss" `Quick test_cache_same_set_double_miss;
+    Alcotest.test_case "cache all ways reserved" `Quick test_cache_all_ways_reserved_retries;
     Alcotest.test_case "xbar routing" `Quick test_xbar_routing_and_default;
     Alcotest.test_case "xbar overlap rejected" `Quick test_xbar_rejects_overlap;
     Alcotest.test_case "block dma copies" `Quick test_block_dma_copies;

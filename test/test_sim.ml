@@ -258,6 +258,40 @@ let test_stats_distribution () =
   check (Alcotest.float 1e-9) "min" 1.0 (Stats.dist_min d);
   check (Alcotest.float 1e-9) "max" 3.0 (Stats.dist_max d)
 
+(* Every path fold emits must be resolvable by find with the same value:
+   fold used to prefix the root's own name (which find never matched) and
+   skipped distributions entirely. *)
+let test_stats_fold_find_roundtrip () =
+  let root = Stats.group "root" in
+  let a = Stats.scalar root "a" in
+  Stats.add a 1.5;
+  let child = Stats.group ~parent:root "child" in
+  let b = Stats.scalar child "b" in
+  Stats.add b 2.0;
+  let grand = Stats.group ~parent:child "grand" in
+  let c = Stats.scalar grand "c" in
+  Stats.add c 4.0;
+  let d = Stats.distribution child "lat" in
+  List.iter (fun x -> Stats.sample d x) [ 1.0; 3.0 ];
+  let paths = ref [] in
+  let total =
+    Stats.fold root ~init:0.0 ~f:(fun acc ~path v ->
+        paths := path :: !paths;
+        (match Stats.find root path with
+        | Some v' -> check (Alcotest.float 1e-9) ("find " ^ path) v v'
+        | None -> Alcotest.fail (Printf.sprintf "fold emitted %s but find missed it" path));
+        acc +. v)
+  in
+  (* scalars 1.5 + 2 + 4, distribution fields count=2 total=4 mean=2
+     min=1 max=3 *)
+  check (Alcotest.float 1e-9) "fold total" 19.5 total;
+  let mem p = List.mem p !paths in
+  check Alcotest.bool "nested scalar path" true (mem "child.grand.c");
+  check Alcotest.bool "distribution mean folded" true (mem "child.lat.mean");
+  check (Alcotest.option (Alcotest.float 1e-9)) "dist field via find" (Some 3.0)
+    (Stats.find root "child.lat.max");
+  check (Alcotest.option (Alcotest.float 1e-9)) "missing path" None (Stats.find root "child.nope")
+
 let test_rng_determinism () =
   let a = Rng.create 7L and b = Rng.create 7L in
   for _ = 1 to 100 do
@@ -299,6 +333,7 @@ let suite =
     Alcotest.test_case "clock cycle_of_tick" `Quick test_clock_cycle_of_tick;
     Alcotest.test_case "stats tree" `Quick test_stats_tree;
     Alcotest.test_case "stats distribution" `Quick test_stats_distribution;
+    Alcotest.test_case "stats fold/find round trip" `Quick test_stats_fold_find_roundtrip;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     QCheck_alcotest.to_alcotest qcheck_rng_int_bounds;
     Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutation;

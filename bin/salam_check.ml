@@ -50,7 +50,13 @@ let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
     (fun (f : Check_fuzz.case_failure) ->
       Printf.printf "FAIL case %d: %s\nshrunk kernel:\n%s\n" f.Check_fuzz.cf_case
         (Check_fuzz.failure_kind_to_string f.Check_fuzz.cf_failure)
-        (Check_fuzz.kernel_to_string f.Check_fuzz.cf_shrunk))
+        (Check_fuzz.kernel_to_string f.Check_fuzz.cf_shrunk);
+      match f.Check_fuzz.cf_trace with
+      | [] -> ()
+      | lines ->
+          Printf.printf "last %d trace events of the shrunk reproduction:\n"
+            (List.length lines);
+          List.iter (fun l -> Printf.printf "  %s\n" l) lines)
     failures;
   if plant_bug then begin
     (* detection run: success means the oracle caught the planted bug *)

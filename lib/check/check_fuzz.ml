@@ -296,7 +296,12 @@ type case_failure = {
   cf_kernel : Lang.kernel;
   cf_shrunk : Lang.kernel;
   cf_failure : failure_kind;
+  cf_trace : string list;
+      (** last engine-side trace events of the shrunk reproduction *)
 }
+
+(* Events kept when re-running a shrunk failure under a ring sink. *)
+let trace_ring_capacity = 32
 
 let failure_kind_to_string = function
   | Compile_failure msg -> "frontend rejected generated kernel: " ^ msg
@@ -305,7 +310,7 @@ let failure_kind_to_string = function
 (* Run one generated kernel through the oracle. Compilation happens
    twice on purpose: [Ast.func] is mutable, so the engine side (and any
    planted mutation) must get its own copy. *)
-let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ~data_seed kernel =
+let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ?trace ~data_seed kernel =
   match Compile.kernel kernel with
   | exception Compile.Error msg -> Some (Compile_failure msg)
   | exception Lower.Error msg -> Some (Compile_failure msg)
@@ -314,9 +319,20 @@ let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ~data_seed kernel =
         match mutate with None -> None | Some m -> Some (m (Compile.kernel kernel))
       in
       let w = workload_of_kernel kernel.Lang.kname kernel in
-      match Check_oracle.check_workload ~memory_kind ~seed:data_seed ~func ?engine_func w with
+      match
+        Check_oracle.check_workload ~memory_kind ~seed:data_seed ~func ?engine_func ?trace w
+      with
       | Ok () -> None
       | Error f -> Some (Oracle f))
+
+(* Replay a failing (shrunk) kernel under a bounded ring sink and return
+   the tail of the engine-side event stream — the crash-dump context a
+   report prints alongside the counterexample. *)
+let capture_trace ?mutate ~memory_kind ~data_seed kernel =
+  let sink = Salam_obs.Trace.create ~ring:trace_ring_capacity () in
+  (match run_kernel ?mutate ~memory_kind ~trace:sink ~data_seed kernel with
+  | Some _ | None -> ());
+  Salam_obs.Trace.to_lines sink
 
 let run ?mutate ?(memory_kind = Check_harness.Spm) ?on_case ~seed ~count () =
   let failures = ref [] in
@@ -340,8 +356,15 @@ let run ?mutate ?(memory_kind = Check_harness.Spm) ?on_case ~seed ~count () =
           | None -> false
         in
         let shrunk = shrink ~max_attempts:200 ~still_fails kernel in
+        let cf_trace = capture_trace ?mutate ~memory_kind ~data_seed shrunk in
         failures :=
-          { cf_case = case; cf_kernel = kernel; cf_shrunk = shrunk; cf_failure = failure }
+          {
+            cf_case = case;
+            cf_kernel = kernel;
+            cf_shrunk = shrunk;
+            cf_failure = failure;
+            cf_trace;
+          }
           :: !failures
   done;
   List.rev !failures

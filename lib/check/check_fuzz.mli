@@ -41,19 +41,26 @@ type case_failure = {
   cf_kernel : Salam_frontend.Lang.kernel;
   cf_shrunk : Salam_frontend.Lang.kernel;
   cf_failure : failure_kind;
+  cf_trace : string list;
+      (** the last {!trace_ring_capacity} engine-side trace events from
+          replaying the shrunk counterexample under a ring sink — a
+          crash dump for the failure report *)
 }
+
+val trace_ring_capacity : int
 
 val failure_kind_to_string : failure_kind -> string
 
 val run_kernel :
   ?mutate:(Salam_ir.Ast.func -> Salam_ir.Ast.func) ->
   ?memory_kind:Check_harness.memory_kind ->
+  ?trace:Salam_obs.Trace.sink ->
   data_seed:int64 ->
   Salam_frontend.Lang.kernel ->
   failure_kind option
 (** One kernel through compile + oracle; [None] when both sides agree.
     [mutate] rewrites a private copy of the compiled function for the
-    engine side only. *)
+    engine side only; [trace] installs a sink on the engine-side run. *)
 
 val run :
   ?mutate:(Salam_ir.Ast.func -> Salam_ir.Ast.func) ->

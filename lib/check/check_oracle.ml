@@ -130,14 +130,14 @@ let first_divergence (w : W.t) ~interp_mem ~interp_bases ~engine_mem ~engine_bas
   buffers 0 w.W.buffers
 
 let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?engine_func
-    (w : W.t) =
+    ?trace (w : W.t) =
   (* [engine_func] substitutes a different function on the engine side
      only — how the fuzzer's planted-bug mode makes the two sides
      genuinely disagree *)
   let engine_func = match engine_func with Some f -> Some f | None -> func in
   match
     let interp_mem, interp_bases, _iret, stores = run_interp ~seed ?func w in
-    let er = Check_harness.run_engine ~memory_kind ~seed ?func:engine_func w in
+    let er = Check_harness.run_engine ~memory_kind ~seed ?func:engine_func ?trace w in
     match
       first_divergence w ~interp_mem ~interp_bases ~engine_mem:er.Check_harness.memory
         ~engine_bases:er.Check_harness.bases ~stores

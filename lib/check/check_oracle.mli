@@ -48,13 +48,15 @@ val check_workload :
   ?seed:int64 ->
   ?func:Salam_ir.Ast.func ->
   ?engine_func:Salam_ir.Ast.func ->
+  ?trace:Salam_obs.Trace.sink ->
   Salam_workloads.Workload.t ->
   (unit, failure) result
 (** Run both sides from identical initial memory and compare: buffers
     word-for-word, then cache invariants, then both sides against the
     workload's golden model. [?func] substitutes a pre-compiled function
     on both sides (used by the fuzzer); [?engine_func] overrides the
-    engine side only (used to plant bugs that the oracle must catch). *)
+    engine side only (used to plant bugs that the oracle must catch);
+    [?trace] installs a trace sink on the engine-side system. *)
 
 val check_all :
   ?memory_kind:Check_harness.memory_kind ->

@@ -1,0 +1,24 @@
+(** Deterministic trace scenarios backing the golden-trace regression
+    suite.
+
+    Each scenario is a tiny, fully deterministic workload exercising one
+    memory path of the timing stack — a scratchpad vector add, the same
+    kernel behind a private cache, and a DMA block copy through a shared
+    SPM. [capture] runs a scenario under a fresh sink and returns the
+    canonical text trace; the golden files under [test/golden/] are
+    blessed copies of exactly this output, so any engine or memory
+    timing change shows up as a diff. *)
+
+val vecadd_workload : Salam_workloads.Workload.t
+(** 4-element f64 vector add with exact-in-binary inputs. *)
+
+val scenarios : (string * (Salam_obs.Trace.sink -> bool)) list
+(** Name → runner. The runner executes the scenario with the sink
+    installed and returns whether the functional result was correct. *)
+
+val names : string list
+
+val capture : string -> string
+(** Run a scenario under a fresh all-categories sink and return the
+    canonical text trace. Raises [Invalid_argument] on an unknown name
+    and [Failure] if the scenario computes a wrong result. *)

@@ -57,16 +57,17 @@ type result = {
   spm_accesses : (int * int) option;
   cache_hits_misses : (int * int) option;
   wall_seconds : float;
+  sim_stats : (string * float) list;
 }
 
 let round_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 256
 
-let simulate ?(config = Config.default) (w : W.t) =
+let simulate ?(config = Config.default) ?trace (w : W.t) =
   let wall_start = Unix.gettimeofday () in
   let func = W.compile w in
-  let sys = System.create () in
+  let sys = System.create ?trace () in
   let fabric = Fabric.create sys () in
   let cluster = Cluster.create sys fabric ~name:"cluster0" ~clock_mhz:config.Config.clock_mhz () in
   let acc =
@@ -167,6 +168,10 @@ let simulate ?(config = Config.default) (w : W.t) =
     spm_accesses;
     cache_hits_misses = cache_hm;
     wall_seconds = Unix.gettimeofday () -. wall_start;
+    sim_stats =
+      List.rev
+        (Salam_sim.Stats.fold (System.stats sys) ~init:[] ~f:(fun acc ~path v ->
+             (path, v) :: acc));
   }
 
 (* --- domain-parallel sweeps ------------------------------------------- *)

@@ -60,9 +60,17 @@ type result = {
   spm_accesses : (int * int) option;  (** reads, writes *)
   cache_hits_misses : (int * int) option;
   wall_seconds : float;  (** host time spent simulating *)
+  sim_stats : (string * float) list;
+      (** the system statistics tree flattened to dotted-path/value
+          pairs, in registration order — the source for stats.txt dumps *)
 }
 
-val simulate : ?config:Config.t -> Salam_workloads.Workload.t -> result
+val simulate :
+  ?config:Config.t -> ?trace:Salam_obs.Trace.sink -> Salam_workloads.Workload.t -> result
+(** [?trace] installs a system-wide trace sink before any component is
+    built; every timing component then emits structured events into it
+    (see {!Salam_obs.Trace}). Omitted, tracing is off and costs one
+    untaken branch per emission site. *)
 
 val default_domains : unit -> int
 (** Worker count used by {!parallel_map} and {!simulate_batch} when

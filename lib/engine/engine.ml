@@ -2,6 +2,7 @@ open Salam_ir
 open Salam_hw
 open Salam_sim
 module Datapath = Salam_cdfg.Datapath
+module Trace = Salam_obs.Trace
 
 type config = {
   fu_limits : (Fu.cls * int) list;
@@ -109,6 +110,8 @@ type t = {
   dp : Datapath.t;
   cfg : config;
   mem : mem_iface;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
+  tr_comp : string;
   intrinsics : (string * (Bits.t list -> Bits.t)) list;
   block_nodes : (string, Datapath.node array) Hashtbl.t;
   infos : sinfo array;  (** indexed by [Datapath.n_id] *)
@@ -268,6 +271,8 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     dp = datapath;
     cfg = config;
     mem;
+    tr = Kernel.trace kernel;
+    tr_comp = "engine." ^ datapath.Datapath.func.Ast.fname;
     intrinsics = Interp.default_intrinsics;
     block_nodes;
     infos;
@@ -342,6 +347,35 @@ let fu_allocated t cls = t.fu_units.(Fu.index cls)
 let running t = t.is_running
 
 let profile t = t.dp.Datapath.profile
+
+(* --- trace emission ----------------------------------------------------
+
+   Every emission site is guarded on [t.tr]; with tracing off the guard
+   is one always-not-taken branch and no payload is ever built. *)
+
+let fu_names = Array.of_list (List.map Fu.to_string Fu.all)
+
+let mnemonic (i : Ast.instr) =
+  match i with
+  | Ast.Binop { op; _ } -> Ast.binop_to_string op
+  | Ast.Icmp { pred; _ } -> "icmp." ^ Ast.icmp_to_string pred
+  | Ast.Fcmp { pred; _ } -> "fcmp." ^ Ast.fcmp_to_string pred
+  | Ast.Cast { op; _ } -> Ast.cast_to_string op
+  | Ast.Select _ -> "select"
+  | Ast.Load _ -> "load"
+  | Ast.Store _ -> "store"
+  | Ast.Gep _ -> "gep"
+  | Ast.Phi _ -> "phi"
+  | Ast.Alloca _ -> "alloca"
+  | Ast.Call { callee; _ } -> "call." ^ callee
+  | Ast.Br _ -> "br"
+  | Ast.Cond_br _ -> "condbr"
+  | Ast.Ret _ -> "ret"
+
+(* raw bit pattern: floats as their IEEE-754 image, exact and canonical *)
+let bits_payload = function
+  | Bits.Int i -> i
+  | Bits.Float f -> Int64.bits_of_float f
 
 (* --- dependency bookkeeping ------------------------------------------- *)
 
@@ -677,6 +711,19 @@ and commit t dyn =
       | Some w when w == dyn -> t.last_writer.(dst.id) <- None
       | Some _ | None -> ())
   | None -> ());
+  (match t.tr with
+  | Some tr ->
+      let args =
+        ("seq", Trace.I (Int64.of_int dyn.seq))
+        ::
+        (match dyn.result with
+        | Some v -> [ ("val", Trace.I (bits_payload v)) ]
+        | None -> [])
+      in
+      Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.tr_comp
+        ~cat:Trace.Engine_writeback
+        ~detail:(mnemonic dyn.node.Datapath.instr) args
+  | None -> ());
   (* release functional unit state *)
   (match dyn.node.Datapath.fu with
   | Some cls ->
@@ -748,6 +795,24 @@ and can_issue t dyn =
         used < t.fu_units.(i)
 
 and issue t dyn =
+  (match t.tr with
+  | Some tr ->
+      let base = [ ("seq", Trace.I (Int64.of_int dyn.seq)) ] in
+      let args =
+        if dyn.is_load || dyn.is_store then
+          base
+          @ [
+              ("addr", Trace.I (Option.value ~default:(-1L) dyn.mem_addr));
+              ("size", Trace.I (Int64.of_int dyn.mem_size));
+            ]
+        else
+          match dyn.node.Datapath.fu with
+          | Some cls -> base @ [ ("fu", Trace.S (Fu.to_string cls)) ]
+          | None -> base
+      in
+      Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.tr_comp ~cat:Trace.Engine_issue
+        ~detail:(mnemonic dyn.node.Datapath.instr) args
+  | None -> ());
   dyn.st <- Issued;
   t.waiting_count <- t.waiting_count - 1;
   t.inflight_total <- t.inflight_total + 1;
@@ -805,6 +870,16 @@ and issue t dyn =
                   t.dp.Datapath.func.Ast.fname dyn.node.Datapath.block
                   (Format.asprintf "%a" Pp.instr dyn.node.Datapath.instr)))));
     let latency = dyn.node.Datapath.latency in
+    (match t.tr with
+    | Some tr ->
+        Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.tr_comp
+          ~cat:Trace.Engine_execute
+          ~detail:(mnemonic dyn.node.Datapath.instr)
+          [
+            ("seq", Trace.I (Int64.of_int dyn.seq));
+            ("lat", Trace.I (Int64.of_int latency));
+          ]
+    | None -> ());
     if latency = 0 then commit t dyn
     else Clock.schedule_cycles t.clock ~cycles:latency (fun () -> commit t dyn)
   end
@@ -862,7 +937,30 @@ and finalize_cycle t =
     for i = 0 to Fu.count - 1 do
       let n = t.in_flight.(i) in
       if n > 0 then t.s_busy_integral.(i) <- t.s_busy_integral.(i) +. float_of_int n
-    done
+    done;
+    (* the cycle is finalised after time has moved on; stamp its events
+       with the cycle-start tick, the canonical sort restores order *)
+    match t.tr with
+    | Some tr ->
+        let tick = Int64.mul t.cur_cycle (Clock.period_ticks t.clock) in
+        if not t.cyc_issued then begin
+          let cause =
+            match (t.cyc_wait_load, t.cyc_wait_store, t.cyc_wait_compute) with
+            | true, false, false -> "load"
+            | true, false, true -> "load+compute"
+            | true, true, true -> "load+store+compute"
+            | _ -> "other"
+          in
+          Trace.emit tr ~tick ~comp:t.tr_comp ~cat:Trace.Engine_stall ~detail:cause []
+        end;
+        for i = 0 to Fu.count - 1 do
+          let n = t.in_flight.(i) in
+          if n > 0 then
+            Trace.emit tr ~tick ~comp:t.tr_comp ~cat:Trace.Fu_occupancy
+              ~detail:fu_names.(i)
+              [ ("busy", Trace.I (Int64.of_int n)) ]
+        done
+    | None -> ()
   end;
   t.cyc_active <- false;
   t.cyc_issued <- false;

@@ -1,4 +1,5 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 type config = {
   name : string;
@@ -27,7 +28,9 @@ type mshr = { line_addr : int64; mutable waiters : (Packet.op * (unit -> unit)) 
 type pending = { pkt : Packet.t; on_complete : unit -> unit }
 
 type t = {
+  kernel : Kernel.t;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   cfg : config;
   sets : int;
   lines : line array array; (* [set].[way] *)
@@ -107,11 +110,25 @@ and schedule_service t =
 
 (* Returns true when the request was accepted (hit, new MSHR, or
    piggyback); false when it must retry (MSHRs exhausted). *)
+and emit_access t cat ~detail (pkt : Packet.t) extra =
+  match t.tr with
+  | Some tr ->
+      Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name ~cat ~detail
+        ([
+           ("addr", Trace.I pkt.Packet.addr);
+           ("size", Trace.I (Int64.of_int pkt.Packet.size));
+         ]
+        @ extra)
+  | None -> ()
+
 and try_lookup t (p : pending) =
   let laddr = line_addr t p.pkt.Packet.addr in
   match find_line t laddr with
   | Some line ->
       Stats.incr t.s_hits;
+      emit_access t Trace.Cache_hit
+        ~detail:(if Packet.is_write p.pkt then "write" else "read")
+        p.pkt [];
       touch t line;
       if Packet.is_write p.pkt then line.dirty <- true;
       Clock.schedule_cycles t.clock ~cycles:t.cfg.hit_latency p.on_complete;
@@ -120,6 +137,8 @@ and try_lookup t (p : pending) =
       match List.find_opt (fun m -> Int64.equal m.line_addr laddr) t.mshr_list with
       | Some m ->
           Stats.incr t.s_misses;
+          emit_access t Trace.Cache_miss ~detail:"piggyback" p.pkt
+            [ ("line", Trace.I laddr) ];
           m.waiters <- (p.pkt.Packet.op, p.on_complete) :: m.waiters;
           true
       | None ->
@@ -133,8 +152,20 @@ and try_lookup t (p : pending) =
             | None -> false
             | Some v ->
                 Stats.incr t.s_misses;
+                emit_access t Trace.Cache_miss
+                  ~detail:(if Packet.is_write p.pkt then "write" else "read")
+                  p.pkt
+                  [ ("line", Trace.I laddr) ];
                 let m = { line_addr = laddr; waiters = [ (p.pkt.Packet.op, p.on_complete) ] } in
                 t.mshr_list <- m :: t.mshr_list;
+                (if v.valid then
+                   match t.tr with
+                   | Some tr ->
+                       Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+                         ~cat:Trace.Cache_evict
+                         ~detail:(if v.dirty then "dirty" else "clean")
+                         [ ("line", Trace.I v.tag) ]
+                   | None -> ());
                 if v.valid && v.dirty then begin
                   Stats.incr t.s_writebacks;
                   let wb = Packet.make Packet.Write ~addr:v.tag ~size:t.cfg.line_bytes in
@@ -145,6 +176,12 @@ and try_lookup t (p : pending) =
                 v.reserved <- true;
                 let fetch = Packet.make Packet.Read ~addr:laddr ~size:t.cfg.line_bytes in
                 Port.send t.lower fetch ~on_complete:(fun () ->
+                    (match t.tr with
+                    | Some tr ->
+                        Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+                          ~cat:Trace.Cache_fill ~detail:"-"
+                          [ ("line", Trace.I laddr) ]
+                    | None -> ());
                     v.reserved <- false;
                     v.valid <- true;
                     v.tag <- laddr;
@@ -178,7 +215,7 @@ let split_fragments t (pkt : Packet.t) =
     go [] pkt.Packet.addr pkt.Packet.size
   end
 
-let create _kernel clock stats cfg ~lower =
+let create kernel clock stats cfg ~lower =
   if cfg.size mod (cfg.line_bytes * cfg.ways) <> 0 then
     invalid_arg "Cache.create: size must be a multiple of line_bytes * ways";
   let sets = cfg.size / cfg.line_bytes / cfg.ways in
@@ -194,7 +231,9 @@ let create _kernel clock stats cfg ~lower =
   in
   let t =
     {
+      kernel;
       clock;
+      tr = Kernel.trace kernel;
       cfg;
       sets;
       lines =

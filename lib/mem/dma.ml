@@ -1,10 +1,13 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 module Block = struct
   type config = { name : string; burst_bytes : int; max_in_flight : int }
 
   type t = {
+    kernel : Kernel.t;
     clock : Clock.t;
+    tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
     cfg : config;
     backing : Salam_ir.Memory.t;
     mem_port : Port.t;
@@ -15,10 +18,12 @@ module Block = struct
 
   let default_config ~name = { name; burst_bytes = 64; max_in_flight = 4 }
 
-  let create _kernel clock stats cfg ~backing ~port =
+  let create kernel clock stats cfg ~backing ~port =
     let group = Stats.group ~parent:stats cfg.name in
     {
+      kernel;
       clock;
+      tr = Kernel.trace kernel;
       cfg;
       backing;
       mem_port = port;
@@ -46,6 +51,16 @@ module Block = struct
         next_offset := off + burst;
         let src_addr = Int64.add src (Int64.of_int off) in
         let dst_addr = Int64.add dst (Int64.of_int off) in
+        (match t.tr with
+        | Some tr ->
+            Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+              ~cat:Trace.Dma_burst_start ~detail:"burst"
+              [
+                ("src", Trace.I src_addr);
+                ("dst", Trace.I dst_addr);
+                ("size", Trace.I (Int64.of_int burst));
+              ]
+        | None -> ());
         let read_pkt = Packet.make Packet.Read ~addr:src_addr ~size:burst in
         Port.send t.mem_port read_pkt ~on_complete:(fun () ->
             (* functional copy happens between the read completing and
@@ -56,6 +71,17 @@ module Block = struct
             Port.send t.mem_port write_pkt ~on_complete:(fun () ->
                 Stats.add t.s_bytes (float_of_int burst);
                 incr completed;
+                (match t.tr with
+                | Some tr ->
+                    Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+                      ~cat:Trace.Dma_burst_end ~detail:"burst"
+                      [
+                        ("dst", Trace.I dst_addr);
+                        ("size", Trace.I (Int64.of_int burst));
+                        ("done", Trace.I (Int64.of_int !completed));
+                        ("total", Trace.I (Int64.of_int total_bursts));
+                      ]
+                | None -> ());
                 if !completed = total_bursts then begin
                   t.active <- false;
                   on_done ()
@@ -73,7 +99,9 @@ end
 
 module Stream = struct
   type t = {
+    kernel : Kernel.t;
     clock : Clock.t;
+    tr : Trace.sink option;
     stream_name : string;
     chunk_bytes : int;
     backing : Salam_ir.Memory.t;
@@ -81,17 +109,27 @@ module Stream = struct
     s_bytes : Stats.scalar;
   }
 
-  let create _kernel clock stats ~name ~chunk_bytes ~backing ~port =
+  let create kernel clock stats ~name ~chunk_bytes ~backing ~port =
     if chunk_bytes <= 0 then invalid_arg "Dma.Stream: chunk_bytes must be positive";
     let group = Stats.group ~parent:stats name in
     {
+      kernel;
       clock;
+      tr = Kernel.trace kernel;
       stream_name = name;
       chunk_bytes;
       backing;
       mem_port = port;
       s_bytes = Stats.scalar group "bytes_moved";
     }
+
+  let emit_chunk t ~detail ~addr ~chunk =
+    match t.tr with
+    | Some tr ->
+        Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.stream_name
+          ~cat:Trace.Dma_burst_start ~detail
+          [ ("addr", Trace.I addr); ("size", Trace.I (Int64.of_int chunk)) ]
+    | None -> ()
 
   let bytes_moved t = int_of_float (Stats.value t.s_bytes)
 
@@ -105,6 +143,7 @@ module Stream = struct
         let chunk = min t.chunk_bytes (len - off) in
         offset := off + chunk;
         let addr = Int64.add src (Int64.of_int off) in
+        emit_chunk t ~detail:"in" ~addr ~chunk;
         let pkt = Packet.make Packet.Read ~addr ~size:chunk in
         Port.send t.mem_port pkt ~on_complete:(fun () ->
             let data = Salam_ir.Memory.load_bytes t.backing addr chunk in
@@ -125,6 +164,7 @@ module Stream = struct
         let chunk = min t.chunk_bytes (len - off) in
         offset := off + chunk;
         let addr = Int64.add dst (Int64.of_int off) in
+        emit_chunk t ~detail:"out" ~addr ~chunk;
         Stream_buffer.pop buffer ~size:chunk ~on_data:(fun data ->
             Salam_ir.Memory.store_bytes t.backing addr data;
             let pkt = Packet.make Packet.Write ~addr ~size:chunk in

@@ -1,4 +1,5 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 type config = {
   name : string;
@@ -9,7 +10,9 @@ type config = {
 }
 
 type t = {
+  kernel : Kernel.t;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   cfg : config;
   mutable busy_until_cycle : int64;
   s_bytes_read : Stats.scalar;
@@ -20,11 +23,13 @@ type t = {
 let default_config ~name ~base ~size =
   { name; base; size; access_latency = 30; bus_bytes = 8 }
 
-let create _kernel clock stats cfg =
+let create kernel clock stats cfg =
   let group = Stats.group ~parent:stats cfg.name in
   let t =
     {
+      kernel;
       clock;
+      tr = Kernel.trace kernel;
       cfg;
       busy_until_cycle = 0L;
       s_bytes_read = Stats.scalar group "bytes_read";
@@ -45,6 +50,17 @@ let create _kernel clock stats cfg =
     t.busy_until_cycle <- finish;
     let done_cycle = Int64.add finish (Int64.of_int cfg.access_latency) in
     let delay = Int64.to_int (Int64.sub done_cycle now) in
+    (match t.tr with
+    | Some tr ->
+        Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+          ~cat:Trace.Dram_access
+          ~detail:(match pkt.op with Packet.Read -> "read" | Packet.Write -> "write")
+          [
+            ("addr", Trace.I pkt.Packet.addr);
+            ("size", Trace.I (Int64.of_int pkt.size));
+            ("lat", Trace.I (Int64.of_int (max 1 delay)));
+          ]
+    | None -> ());
     Clock.schedule_cycles t.clock ~cycles:(max 1 delay) on_complete
   in
   t.port <- Some (Port.make ~name:cfg.name handler);

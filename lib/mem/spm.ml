@@ -1,4 +1,5 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 type partitioning = Cyclic | Blocked
 
@@ -19,6 +20,7 @@ type pending = { pkt : Packet.t; on_complete : unit -> unit; mutable delayed : b
 type t = {
   kernel : Kernel.t;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   cfg : config;
   queue : pending Queue.t;
   mutable service_scheduled : bool;
@@ -51,6 +53,17 @@ let bank_of t addr =
       let words_per_bank = max 1 (t.cfg.size / t.cfg.word_bytes / t.cfg.banks) in
       min (t.cfg.banks - 1) (word / words_per_bank)
 
+let emit t cat ~detail (pkt : Packet.t) ~bank =
+  match t.tr with
+  | Some tr ->
+      Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name ~cat ~detail
+        [
+          ("addr", Trace.I pkt.Packet.addr);
+          ("size", Trace.I (Int64.of_int pkt.Packet.size));
+          ("bank", Trace.I (Int64.of_int bank));
+        ]
+  | None -> ()
+
 let rec service t =
   t.service_scheduled <- false;
   let reads_left = ref t.cfg.read_ports in
@@ -73,13 +86,19 @@ let rec service t =
         | Packet.Write ->
             decr writes_left;
             Stats.incr t.s_writes);
+        emit t Trace.Spm_access
+          ~detail:(match p.pkt.Packet.op with Packet.Read -> "read" | Packet.Write -> "write")
+          p.pkt ~bank;
         incr serviced;
         Clock.schedule_cycles t.clock ~cycles:t.cfg.latency p.on_complete
       end
       else begin
         if not p.delayed then begin
           p.delayed <- true;
-          Stats.incr t.s_conflicts
+          Stats.incr t.s_conflicts;
+          emit t Trace.Spm_conflict
+            ~detail:(if banks_busy.(bank) then "bank" else "port")
+            p.pkt ~bank
         end;
         Queue.add p still_waiting
       end)
@@ -111,6 +130,7 @@ let create kernel clock stats cfg =
     {
       kernel;
       clock;
+      tr = Kernel.trace kernel;
       cfg;
       queue = Queue.create ();
       service_scheduled = false;

@@ -1,7 +1,10 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 type t = {
+  kernel : Kernel.t;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   buf_name : string;
   capacity_bytes : int;
   fifo : char Queue.t;
@@ -13,11 +16,13 @@ type t = {
   s_empty_stalls : Stats.scalar;
 }
 
-let create _kernel clock stats ~name ~capacity_bytes =
+let create kernel clock stats ~name ~capacity_bytes =
   if capacity_bytes <= 0 then invalid_arg "Stream_buffer.create: capacity must be positive";
   let group = Stats.group ~parent:stats name in
   {
+    kernel;
     clock;
+    tr = Kernel.trace kernel;
     buf_name = name;
     capacity_bytes;
     fifo = Queue.create ();
@@ -35,6 +40,16 @@ let capacity t = t.capacity_bytes
 
 let occupancy t = Queue.length t.fifo
 
+let emit t cat ~detail ~size =
+  match t.tr with
+  | Some tr ->
+      Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.buf_name ~cat ~detail
+        [
+          ("size", Trace.I (Int64.of_int size));
+          ("occ", Trace.I (Int64.of_int (Queue.length t.fifo)));
+        ]
+  | None -> ()
+
 (* Move as many queued pushes and pops as possible; every state change
    can unblock the other side, so iterate to quiescence. *)
 let rec settle t =
@@ -44,6 +59,7 @@ let rec settle t =
       ignore (Queue.pop t.pending_pushes);
       Bytes.iter (fun c -> Queue.add c t.fifo) data;
       Stats.incr t.s_pushes;
+      emit t Trace.Stream_push ~detail:"-" ~size:(Bytes.length data);
       Clock.schedule_cycles t.clock ~cycles:1 on_accepted;
       progress := true
   | _ -> ());
@@ -52,6 +68,7 @@ let rec settle t =
       ignore (Queue.pop t.pending_pops);
       let data = Bytes.init size (fun _ -> Queue.pop t.fifo) in
       Stats.incr t.s_pops;
+      emit t Trace.Stream_pop ~detail:"-" ~size;
       Clock.schedule_cycles t.clock ~cycles:1 (fun () -> on_data data);
       progress := true
   | _ -> ());
@@ -63,14 +80,19 @@ let push t data ~on_accepted =
   if
     Queue.length t.fifo + Bytes.length data > t.capacity_bytes
     || not (Queue.is_empty t.pending_pushes)
-  then Stats.incr t.s_full_stalls;
+  then begin
+    Stats.incr t.s_full_stalls;
+    emit t Trace.Stream_stall ~detail:"full" ~size:(Bytes.length data)
+  end;
   Queue.add (data, on_accepted) t.pending_pushes;
   settle t
 
 let pop t ~size ~on_data =
   if size > t.capacity_bytes then invalid_arg (t.buf_name ^ ": pop larger than FIFO capacity");
-  if Queue.length t.fifo < size || not (Queue.is_empty t.pending_pops) then
+  if Queue.length t.fifo < size || not (Queue.is_empty t.pending_pops) then begin
     Stats.incr t.s_empty_stalls;
+    emit t Trace.Stream_stall ~detail:"empty" ~size
+  end;
   Queue.add (size, on_data) t.pending_pops;
   settle t
 

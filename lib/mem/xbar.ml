@@ -1,4 +1,5 @@
 open Salam_sim
+module Trace = Salam_obs.Trace
 
 type config = { name : string; latency : int; width : int }
 
@@ -7,7 +8,9 @@ type range = { base : int64; size : int; target : Port.t }
 type pending = { pkt : Packet.t; on_complete : unit -> unit }
 
 type t = {
+  kernel : Kernel.t;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   cfg : config;
   mutable ranges : range list;
   mutable default : Port.t option;
@@ -55,6 +58,16 @@ let rec service t =
     Stats.incr t.s_routed;
     match route t p.pkt.Packet.addr with
     | Some target ->
+        (match t.tr with
+        | Some tr ->
+            Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+              ~cat:Trace.Xbar_route
+              ~detail:(Port.name target)
+              [
+                ("addr", Trace.I p.pkt.Packet.addr);
+                ("size", Trace.I (Int64.of_int p.pkt.Packet.size));
+              ]
+        | None -> ());
         Clock.schedule_cycles t.clock ~cycles:t.cfg.latency (fun () ->
             Port.send target p.pkt ~on_complete:p.on_complete)
     | None ->
@@ -62,15 +75,23 @@ let rec service t =
           (Printf.sprintf "%s: no route for address %Ld" t.cfg.name p.pkt.Packet.addr)
   done;
   if not (Queue.is_empty t.queue) then begin
+    (match t.tr with
+    | Some tr ->
+        Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.cfg.name
+          ~cat:Trace.Xbar_contention ~detail:"width"
+          [ ("queued", Trace.I (Int64.of_int (Queue.length t.queue))) ]
+    | None -> ());
     t.service_scheduled <- true;
     Clock.schedule_cycles t.clock ~cycles:1 (fun () -> service t)
   end
 
-let create _kernel clock stats cfg =
+let create kernel clock stats cfg =
   let group = Stats.group ~parent:stats cfg.name in
   let t =
     {
+      kernel;
       clock;
+      tr = Kernel.trace kernel;
       cfg;
       ranges = [];
       default = None;

@@ -2,11 +2,17 @@ type t = {
   queue : Event_queue.t;
   mutable now : int64;
   mutable executed : int;
+  mutable trace : Salam_obs.Trace.sink option;
 }
 
-let create () = { queue = Event_queue.create (); now = 0L; executed = 0 }
+let create () =
+  { queue = Event_queue.create (); now = 0L; executed = 0; trace = None }
 
 let now t = t.now
+
+let trace t = t.trace
+
+let set_trace t sink = t.trace <- sink
 
 let schedule_at t ~tick ?priority action = Event_queue.schedule t.queue ~tick ?priority action
 

@@ -12,6 +12,16 @@ val create : unit -> t
 val now : t -> int64
 (** Current simulation tick. *)
 
+val trace : t -> Salam_obs.Trace.sink option
+(** The system-wide trace sink, if tracing is enabled. Components
+    capture this once at construction; [None] (the default) makes every
+    emission site a single always-not-taken branch. *)
+
+val set_trace : t -> Salam_obs.Trace.sink option -> unit
+(** Install (or remove) the trace sink. Must be called before the
+    traced components are constructed — they capture the sink at
+    creation time. *)
+
 val schedule_at : t -> tick:int64 -> ?priority:int -> (unit -> unit) -> unit
 
 val schedule_after : t -> delay:int64 -> ?priority:int -> (unit -> unit) -> unit

@@ -1,6 +1,7 @@
 open Salam_sim
 open Salam_ir
 open Salam_mem
+module Trace = Salam_obs.Trace
 
 module Layout = struct
   let status = 0
@@ -20,6 +21,7 @@ type t = {
   system : System.t;
   iface_name : string;
   clock : Clock.t;
+  tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   mmr_base : int64;
   mmr_words : int;
   mutable ranges : range list;
@@ -42,6 +44,7 @@ let create system ~name ~clock ~mmr_words =
       system;
       iface_name = name;
       clock;
+      tr = Kernel.trace (System.kernel system);
       mmr_base;
       mmr_words;
       ranges = [];
@@ -62,6 +65,15 @@ let create system ~name ~clock ~mmr_words =
         on_complete ();
         if Packet.is_write pkt then begin
           let word = Int64.to_int (Int64.div (Int64.sub pkt.Packet.addr mmr_base) 8L) in
+          (match t.tr with
+          | Some tr ->
+              let value =
+                Bits.to_int64 (Memory.load (System.backing system) Ty.I64 pkt.Packet.addr)
+              in
+              Trace.emit tr ~tick:(Kernel.now (System.kernel system)) ~comp:t.iface_name
+                ~cat:Trace.Mmr_write ~detail:"bus"
+                [ ("word", Trace.I (Int64.of_int word)); ("val", Trace.I value) ]
+          | None -> ());
           if word = Layout.control then begin
             let value = Bits.to_int64 (Memory.load (System.backing system) Ty.I64 pkt.Packet.addr) in
             List.iter (fun h -> h value) t.control_handlers
@@ -85,7 +97,14 @@ let mmr_addr t word =
 
 let read_mmr t word = Bits.to_int64 (Memory.load (System.backing t.system) Ty.I64 (mmr_addr t word))
 
-let write_mmr t word v = Memory.store (System.backing t.system) Ty.I64 (mmr_addr t word) (Bits.Int v)
+let write_mmr t word v =
+  (match t.tr with
+  | Some tr ->
+      Trace.emit tr ~tick:(Kernel.now (System.kernel t.system)) ~comp:t.iface_name
+        ~cat:Trace.Mmr_write ~detail:"local"
+        [ ("word", Trace.I (Int64.of_int word)); ("val", Trace.I v) ]
+  | None -> ());
+  Memory.store (System.backing t.system) Ty.I64 (mmr_addr t word) (Bits.Int v)
 
 let mmr_port t = match t.mmr_port with Some p -> p | None -> assert false
 
@@ -93,7 +112,13 @@ let on_control_write t h = t.control_handlers <- t.control_handlers @ [ h ]
 
 let set_interrupt t h = t.irq_handlers <- t.irq_handlers @ [ h ]
 
-let raise_interrupt t = List.iter (fun h -> h ()) t.irq_handlers
+let raise_interrupt t =
+  (match t.tr with
+  | Some tr ->
+      Trace.emit tr ~tick:(Kernel.now (System.kernel t.system)) ~comp:t.iface_name
+        ~cat:Trace.Interrupt ~detail:"raise" []
+  | None -> ());
+  List.iter (fun h -> h ()) t.irq_handlers
 
 let add_route t ~base ~size target = t.ranges <- { r_base = base; r_size = size; target } :: t.ranges
 

@@ -4,9 +4,12 @@ type t = {
   backing : Salam_ir.Memory.t;
 }
 
-let create ?(mem_bytes = 64 * 1024 * 1024) () =
+let create ?(mem_bytes = 64 * 1024 * 1024) ?trace () =
+  let kernel = Salam_sim.Kernel.create () in
+  (* installed before any component exists, so every captured sink is live *)
+  Salam_sim.Kernel.set_trace kernel trace;
   {
-    kernel = Salam_sim.Kernel.create ();
+    kernel;
     stats = Salam_sim.Stats.group "system";
     backing = Salam_ir.Memory.create ~size:mem_bytes;
   }

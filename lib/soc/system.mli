@@ -8,8 +8,10 @@
 
 type t
 
-val create : ?mem_bytes:int -> unit -> t
-(** Default backing store: 64 MiB. *)
+val create : ?mem_bytes:int -> ?trace:Salam_obs.Trace.sink -> unit -> t
+(** Default backing store: 64 MiB. [trace] installs a system-wide trace
+    sink on the kernel before any component is built, so everything
+    constructed afterwards emits into it. *)
 
 val kernel : t -> Salam_sim.Kernel.t
 

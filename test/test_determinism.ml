@@ -82,6 +82,24 @@ let test_batch_matches_sequential () =
         (show (tuple_of_stats r.Salam.stats)))
     suite batch
 
+(* Tracing must be pure observation: running with a sink installed may
+   not perturb a single cycle or stall of any workload. The quick suite
+   re-runs under an all-categories sink and must reproduce the expected
+   table bit for bit. *)
+let test_traced_matches_untraced () =
+  List.iter
+    (fun (w : W.t) ->
+      let key = "quick/" ^ w.W.name in
+      let want = List.assoc key expected in
+      let sink = Salam_obs.Trace.create () in
+      let r = Salam.simulate ~trace:sink w in
+      Alcotest.(check bool) (key ^ " traced correct") true r.Salam.correct;
+      Alcotest.(check string) (key ^ " traced run_stats") (show want)
+        (show (tuple_of_stats r.Salam.stats));
+      Alcotest.(check bool) (key ^ " sink saw events") true
+        (Salam_obs.Trace.count sink > 0))
+    (Salam_workloads.Suite.quick ())
+
 let test_parallel_map_order_and_errors () =
   Alcotest.(check (list int))
     "order preserved" [ 1; 4; 9; 16; 25 ]
@@ -95,6 +113,7 @@ let suite =
   [
     Alcotest.test_case "quick suite stats vs seed" `Quick test_quick_suite;
     Alcotest.test_case "standard suite stats vs seed" `Slow test_standard_suite;
+    Alcotest.test_case "traced run = untraced run" `Quick test_traced_matches_untraced;
     Alcotest.test_case "simulate_batch = sequential" `Quick test_batch_matches_sequential;
     Alcotest.test_case "parallel_map order/errors" `Quick test_parallel_map_order_and_errors;
   ]

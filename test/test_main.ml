@@ -14,5 +14,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("scenarios", Test_scenarios.suite);
       ("check", Test_check.suite);
+      ("trace", Test_trace.suite);
+      ("dma_stream", Test_dma_stream.suite);
       ("determinism", Test_determinism.suite);
     ]

@@ -1,10 +1,21 @@
 (* Design-space-exploration experiments: Fig 4 (power breakdown), Fig 13
    (GEMM Pareto), Fig 14 (stall analysis vs ports), Fig 15 (co-design
-   sweeps) and the ablation of the engine's design choices. *)
+   sweeps) and the ablation of the engine's design choices.
+
+   Figs 13–15 are generated through `salam_dse`: each figure declares
+   its space and the subsystem enumerates, batches and measures it. The
+   three figures share one in-memory result store, so design points
+   that appear in more than one figure (e.g. the fu=1:1 port sweep) are
+   simulated exactly once per bench process. *)
 
 open Bench_util
 module Engine = Salam_engine.Engine
 module Fu = Salam_hw.Fu
+module Dse = Salam_dse.Explore
+module Space = Salam_dse.Space
+module Point = Salam_dse.Point
+module Store = Salam_dse.Store
+module M = Salam_dse.Measurement
 
 (* Fig 4: the seven power components, normalised per benchmark. *)
 let fig4 () =
@@ -29,72 +40,64 @@ let fig4 () =
 
 let gemm_dse_workload () = Salam_workloads.Gemm.workload ~n:16 ~unroll:16 ~junroll:8 ()
 
-let gemm_job ?(fu_limit = 0) ?(ports = 2) ?(memory = `Spm) () =
-  let w = gemm_dse_workload () in
-  let fu_limits =
-    if fu_limit > 0 then [ (Fu.Fp_add_dp, fu_limit); (Fu.Fp_mul_dp, fu_limit) ] else []
-  in
-  let memory =
-    match memory with
-    | `Spm -> Salam.Config.Spm { read_ports = ports; write_ports = max 1 (ports / 2); banks = 2 * ports; latency = 1 }
-    | `Cache size -> Salam.Config.Cache { size; line_bytes = 64; ways = 4; hit_latency = 2 }
-  in
-  let config =
-    {
-      Salam.Config.default with
-      Salam.Config.memory;
-      fu_limits;
-      engine = { Engine.default_config with Engine.fu_limits };
-    }
-  in
-  (config, w)
+(* the Fig 13–15 vehicle: 16x16 GEMM, k-loop fully unrolled, j-loop 8x *)
+let gemm_target = Dse.gemm_target ~n:16 ()
 
-let simulate_gemm ?fu_limit ?ports ?memory () =
-  let config, w = gemm_job ?fu_limit ?ports ?memory () in
-  Salam.simulate ~config w
+let dse_base = { Point.default with Point.unroll = 16; junroll = 8 }
+
+(* one store per bench process: points shared between figures hit *)
+let shared_store = lazy (Store.in_memory ())
+
+let explore spaces =
+  Dse.run ~store:(Lazy.force shared_store) ~target:gemm_target ~strategy:Dse.Exhaustive
+    spaces
 
 let port_sweep = [ 64; 32; 16; 8; 4; 2 ]
 
-(* run the whole port sweep as one domain-parallel batch *)
-let sweep_ports ?fu_limit () =
-  List.combine port_sweep
-    (Salam.simulate_batch (List.map (fun ports -> gemm_job ?fu_limit ~ports ()) port_sweep))
+(* the whole port sweep is one declared axis; salam_dse batches it *)
+let sweep_ports ?(fu_limit = 0) () =
+  let report =
+    explore
+      [
+        Space.create ~base:dse_base ~derive:Space.spm_balanced
+          [ Space.Read_ports port_sweep; Space.Fu_limit [ fu_limit ] ];
+      ]
+  in
+  List.map (fun (m : M.t) -> (m.M.point.Point.read_ports, m)) report.Dse.measurements
 
 (* Fig 13: power/performance Pareto across FU counts and bandwidth. *)
 let fig13 () =
   section "FIG 13 — GEMM design-space Pareto (execution time vs power)";
   Printf.printf "%-34s %12s %14s %14s\n" "configuration" "time (us)" "datapath mW"
     "datapath+mem mW";
-  let spm_points =
-    List.concat_map
-      (fun fu -> List.map (fun ports -> (fu, ports)) [ 1; 2; 4; 8; 16 ])
-      [ 2; 4; 8; 0 ]
+  let report =
+    explore
+      [
+        (* the SPM cloud: FU budget x bandwidth *)
+        Space.create ~base:dse_base ~derive:Space.spm_balanced
+          [ Space.Fu_limit [ 2; 4; 8; 0 ]; Space.Read_ports [ 1; 2; 4; 8; 16 ] ];
+        (* the cache cloud: capacity sweep at the default interface *)
+        Space.create ~base:dse_base
+          [ Space.Memory [ Point.Cache ]; Space.Cache_bytes [ 512; 2048; 8192 ] ];
+      ]
   in
-  let cache_sizes = [ 512; 2048; 8192 ] in
-  (* all 23 design points go out as one batch *)
-  let labels =
-    List.map
-      (fun (fu_limit, ports) ->
-        Printf.sprintf "SPM, %s FADD/FMUL, %d rd ports"
-          (if fu_limit = 0 then "1:1" else string_of_int fu_limit)
-          ports)
-      spm_points
-    @ List.map (fun size -> Printf.sprintf "cache %dB" size) cache_sizes
-  in
-  let jobs =
-    List.map (fun (fu_limit, ports) -> gemm_job ~fu_limit ~ports ()) spm_points
-    @ List.map (fun size -> gemm_job ~memory:(`Cache size) ()) cache_sizes
-  in
-  List.iter2
-    (fun label r ->
-      let p = r.Salam.power in
-      let datapath_mw =
-        p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
-        +. p.Salam.static_reg_mw
+  List.iter
+    (fun (m : M.t) ->
+      let p = m.M.point in
+      let label =
+        match p.Point.memory with
+        | Point.Cache -> Printf.sprintf "cache %dB" p.Point.cache_bytes
+        | _ ->
+            Printf.sprintf "SPM, %s FADD/FMUL, %d rd ports"
+              (if p.Point.fu_limit = 0 then "1:1" else string_of_int p.Point.fu_limit)
+              p.Point.read_ports
       in
-      Printf.printf "%-34s %12.2f %14.2f %14.2f\n" label (r.Salam.seconds *. 1e6)
-        datapath_mw (Salam.total_mw p))
-    labels (Salam.simulate_batch jobs);
+      Printf.printf "%-34s %12.2f %14.2f %14.2f\n" label (m.M.seconds *. 1e6)
+        m.M.datapath_mw m.M.total_mw)
+    report.Dse.measurements;
+  Printf.printf "\nPareto front (time/power/area): %d of %d points\n"
+    (List.length report.Dse.front)
+    (List.length report.Dse.measurements);
   print_newline ()
 
 (* Fig 14: stall behaviour across read/write port counts. *)
@@ -103,25 +106,22 @@ let fig14 () =
   Printf.printf "%-10s %12s %12s %12s\n" "ports" "stall %" "issue %" "cycles";
   let runs = sweep_ports () in
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
-      let active = float_of_int s.Engine.active_cycles in
+    (fun (ports, (m : M.t)) ->
+      let active = float_of_int m.M.active_cycles in
       Printf.printf "%-10d %11.1f%% %11.1f%% %12Ld\n" ports
-        (pct (float_of_int s.Engine.stall_cycles /. active))
-        (pct (float_of_int s.Engine.issue_cycles /. active))
-        r.Salam.cycles)
+        (pct (float_of_int m.M.stall_cycles /. active))
+        (pct (float_of_int m.M.issue_cycles /. active))
+        m.M.cycles)
     runs;
   section "FIG 14(b) — Stall-cause breakdown (% of stalled cycles)";
   Printf.printf "%-10s %18s %24s %10s\n" "ports" "load+compute" "load+store+compute" "other";
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
-      let stalls = float_of_int (max 1 s.Engine.stall_cycles) in
+    (fun (ports, (m : M.t)) ->
+      let stalls = float_of_int (max 1 m.M.stall_cycles) in
       Printf.printf "%-10d %17.1f%% %23.1f%% %9.1f%%\n" ports
-        (pct (float_of_int s.Engine.stall_load_compute /. stalls))
-        (pct (float_of_int s.Engine.stall_load_store_compute /. stalls))
-        (pct
-           (float_of_int (s.Engine.stall_other + s.Engine.stall_load_only) /. stalls)))
+        (pct (float_of_int m.M.stall_load_compute /. stalls))
+        (pct (float_of_int m.M.stall_load_store_compute /. stalls))
+        (pct (float_of_int (m.M.stall_other + m.M.stall_load_only) /. stalls)))
     runs;
   print_newline ()
 
@@ -134,60 +134,67 @@ let fig15 () =
   let runs = sweep_ports ~fu_limit () in
   Printf.printf "(a) %-6s %10s %10s\n" "ports" "stall %" "issue %";
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
-      let active = float_of_int s.Engine.active_cycles in
+    (fun (ports, (m : M.t)) ->
+      let active = float_of_int m.M.active_cycles in
       Printf.printf "    %-6d %9.1f%% %9.1f%%\n" ports
-        (pct (float_of_int s.Engine.stall_cycles /. active))
-        (pct (float_of_int s.Engine.issue_cycles /. active)))
+        (pct (float_of_int m.M.stall_cycles /. active))
+        (pct (float_of_int m.M.issue_cycles /. active)))
     runs;
   Printf.printf "(b) %-6s %12s %12s %12s %16s\n" "ports" "load&store %" "load only %"
     "store only %" "FMUL occupancy";
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
-      let active = float_of_int s.Engine.active_cycles in
-      let both = float_of_int s.Engine.cycles_with_load_and_store in
-      let load_only = float_of_int (s.Engine.cycles_with_load - s.Engine.cycles_with_load_and_store) in
+    (fun (ports, (m : M.t)) ->
+      let active = float_of_int m.M.active_cycles in
+      let both = float_of_int m.M.cycles_with_load_and_store in
+      let load_only = float_of_int (m.M.cycles_with_load - m.M.cycles_with_load_and_store) in
       let store_only =
-        float_of_int (s.Engine.cycles_with_store - s.Engine.cycles_with_load_and_store)
+        float_of_int (m.M.cycles_with_store - m.M.cycles_with_load_and_store)
       in
       Printf.printf "    %-6d %11.1f%% %11.1f%% %11.1f%% %15.1f%%\n" ports
         (pct (both /. active)) (pct (load_only /. active)) (pct (store_only /. active))
-        (pct (Salam.fu_occupancy r Fu.Fp_mul_dp ~allocated:fu_limit))
-    )
+        (pct m.M.fmul_occupancy))
     runs;
   Printf.printf "(c) %-6s %10s %10s %10s %12s\n" "ports" "load %" "store %" "fp %" "cycles";
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
+    (fun (ports, (m : M.t)) ->
       let scheduled =
-        float_of_int (max 1 (s.Engine.issued_fp + s.Engine.issued_int + s.Engine.issued_mem))
+        float_of_int (max 1 (m.M.issued_fp + m.M.issued_int + m.M.issued_mem))
       in
-      let loads = float_of_int s.Engine.loads_issued in
-      let stores = float_of_int s.Engine.stores_issued in
       Printf.printf "    %-6d %9.1f%% %9.1f%% %9.1f%% %12Ld\n" ports
-        (pct (loads /. scheduled)) (pct (stores /. scheduled))
-        (pct (float_of_int s.Engine.issued_fp /. scheduled))
-        r.Salam.cycles)
+        (pct (float_of_int m.M.loads_issued /. scheduled))
+        (pct (float_of_int m.M.stores_issued /. scheduled))
+        (pct (float_of_int m.M.issued_fp /. scheduled))
+        m.M.cycles)
     runs;
   Printf.printf "(d) %-6s %10s %10s %10s %16s\n" "ports" "load %" "store %" "fp %"
     "datapath mW";
   List.iter
-    (fun (ports, r) ->
-      let s = r.Salam.stats in
+    (fun (ports, (m : M.t)) ->
       let scheduled =
-        float_of_int (max 1 (s.Engine.issued_fp + s.Engine.issued_int + s.Engine.issued_mem))
+        float_of_int (max 1 (m.M.issued_fp + m.M.issued_int + m.M.issued_mem))
       in
-      let p = r.Salam.power in
       Printf.printf "    %-6d %9.1f%% %9.1f%% %9.1f%% %16.2f\n" ports
-        (pct (float_of_int s.Engine.loads_issued /. scheduled))
-        (pct (float_of_int s.Engine.stores_issued /. scheduled))
-        (pct (float_of_int s.Engine.issued_fp /. scheduled))
-        (p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
-        +. p.Salam.static_reg_mw))
+        (pct (float_of_int m.M.loads_issued /. scheduled))
+        (pct (float_of_int m.M.stores_issued /. scheduled))
+        (pct (float_of_int m.M.issued_fp /. scheduled))
+        m.M.datapath_mw)
     runs;
   print_newline ()
+
+(* The cold-sweep path of the DSE subsystem, for the micro bench: a tiny
+   GEMM space enumerated, simulated (no store) and Pareto-extracted. *)
+let dse_front_cold () =
+  let base = { Point.default with Point.unroll = 1; junroll = 1 } in
+  let report =
+    Dse.run ~domains:1
+      ~target:(Dse.gemm_target ~n:8 ())
+      ~strategy:Dse.Exhaustive
+      [
+        Space.create ~base ~derive:Space.spm_balanced
+          [ Space.Read_ports [ 2; 4 ]; Space.Fu_limit [ 0 ] ];
+      ]
+  in
+  report.Dse.front
 
 (* Ablation of the engine's design choices (DESIGN.md): the hazard rules
    and memory disambiguation that realise the paper's scheduling

@@ -40,6 +40,10 @@ let micro () =
         Test.make ~name:"engine_gemm16"
           (Staged.stage (fun () -> ignore (Salam.simulate gemm16)));
         Test.make ~name:"engine_nw16" (Staged.stage (fun () -> ignore (Salam.simulate nw)));
+        (* a whole cold DSE sweep: enumerate a tiny GEMM space, simulate
+           it storeless and extract the Pareto front *)
+        Test.make ~name:"dse_gemm_front"
+          (Staged.stage (fun () -> ignore (Exp_dse.dse_front_cold ())));
         Test.make ~name:"interp_gemm8"
           (Staged.stage (fun () -> ignore (Salam_workloads.Workload.run_functional gemm)));
         Test.make ~name:"compile_gemm8"

@@ -1,0 +1,329 @@
+(* Design-space-exploration CLI.
+
+     dune exec bin/salam_dse.exe -- run --workload gemm --store gemm.jsonl
+     dune exec bin/salam_dse.exe -- run --workload gemm --mem spm,cache \
+         --ports 1,2,4,8,16 --fu 0,2,4,8 --cache-size 512,2048,8192
+     dune exec bin/salam_dse.exe -- run --workload gemm --strategy pareto --rounds 4
+     dune exec bin/salam_dse.exe -- resume --workload gemm --store gemm.jsonl
+     dune exec bin/salam_dse.exe -- front --store gemm.jsonl --csv front.csv
+     dune exec bin/salam_dse.exe -- explain-config --store gemm.jsonl 8f3a...
+
+   Exit status: 0 on success; 1 on bad arguments or a missing store;
+   2 when any simulated point computed a wrong result. *)
+
+open Cmdliner
+module Point = Salam_dse.Point
+module Space = Salam_dse.Space
+module Store = Salam_dse.Store
+module Pareto = Salam_dse.Pareto
+module Explore = Salam_dse.Explore
+module Measurement = Salam_dse.Measurement
+
+let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt
+
+(* comma-separated value lists for axis flags *)
+let split_ints flag s =
+  List.map
+    (fun tok ->
+      match int_of_string_opt (String.trim tok) with
+      | Some v -> v
+      | None -> die "--%s: %S is not an integer" flag tok)
+    (String.split_on_char ',' s)
+
+let split_floats flag s =
+  List.map
+    (fun tok ->
+      match float_of_string_opt (String.trim tok) with
+      | Some v -> v
+      | None -> die "--%s: %S is not a number" flag tok)
+    (String.split_on_char ',' s)
+
+let split_mems s =
+  List.map
+    (fun tok ->
+      match Point.memory_kind_of_string (String.trim tok) with
+      | Some m -> m
+      | None -> die "--mem: %S is not spm, cache or dram" tok)
+    (String.split_on_char ',' s)
+
+let target_of ~workload ~n =
+  if workload = "gemm" then Explore.gemm_target ~n ()
+  else
+    match Explore.suite_target workload with
+    | Ok t -> t
+    | Error e -> die "%s; try `salam_sim list`" e
+
+(* The sweep is declared as a union of one space per memory kind, so the
+   port axes only multiply the SPM cloud and the capacity axis only the
+   cache cloud — the same shape as the paper's Fig 13. *)
+let spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks =
+  let common = [ Space.Fu_limit fu; Space.Unroll unrolls; Space.Junroll junrolls; Space.Clock_mhz clocks ] in
+  List.map
+    (fun mem ->
+      match mem with
+      | Point.Spm ->
+          let derive, port_axes =
+            match (write_ports, banks) with
+            | None, None -> (Space.spm_balanced, [ Space.Read_ports ports ])
+            | wp, b ->
+                let wp_axis = match wp with Some l -> [ Space.Write_ports l ] | None -> [] in
+                let b_axis = match b with Some l -> [ Space.Banks l ] | None -> [] in
+                (Space.spm_balanced, Space.Read_ports ports :: (wp_axis @ b_axis))
+          in
+          (* an explicit write-port/bank axis overrides the balanced
+             derivation, which only fills the fields axes left alone *)
+          let derive =
+            match (write_ports, banks) with
+            | None, None -> derive
+            | Some _, Some _ -> Fun.id
+            | Some _, None ->
+                fun (p : Point.t) -> { p with Point.banks = 2 * p.Point.read_ports }
+            | None, Some _ ->
+                fun (p : Point.t) ->
+                  { p with Point.write_ports = max 1 (p.Point.read_ports / 2) }
+          in
+          Space.create ~derive (Space.Memory [ Point.Spm ] :: port_axes @ common)
+      | Point.Cache ->
+          Space.create (Space.Memory [ Point.Cache ] :: Space.Cache_bytes cache_sizes :: common)
+      | Point.Dram -> Space.create (Space.Memory [ Point.Dram ] :: common))
+    mems
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let print_report ~verbose ~csv ~store report =
+  let fmt = Format.std_formatter in
+  if verbose then begin
+    Measurement.pp_header fmt ();
+    List.iter (Measurement.pp_row fmt) report.Explore.measurements;
+    Format.fprintf fmt "@."
+  end;
+  Pareto.pp fmt ~front:report.Explore.front ~dominated:report.Explore.dominated;
+  (match csv with
+  | Some path ->
+      write_file path (Pareto.to_csv report.Explore.measurements);
+      Format.fprintf fmt "[csv written to %s]@." path
+  | None -> ());
+  print_endline (Explore.summary_line report ~store);
+  if List.exists (fun m -> not m.Measurement.correct) report.Explore.measurements then begin
+    Printf.eprintf "error: some design points computed wrong results\n";
+    exit 2
+  end
+
+let run_sweep ~require_store workload n store_path mems ports write_ports banks fu
+    cache_sizes unrolls junrolls clocks strategy samples rounds seed domains csv quiet =
+  let target = target_of ~workload ~n in
+  if workload <> "gemm" && (unrolls <> [ 1 ] || junrolls <> [ 1 ]) then
+    die "--unroll/--junroll only apply to the gemm target";
+  let spaces =
+    spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks
+  in
+  let strategy =
+    match strategy with
+    | "exhaustive" -> Explore.Exhaustive
+    | "random" -> Explore.Random { samples; seed = Int64.of_int seed }
+    | "pareto" ->
+        Explore.Pareto_walk { seeds = samples; rounds; seed = Int64.of_int seed }
+    | other -> die "unknown strategy %s (exhaustive|random|pareto)" other
+  in
+  let store =
+    match store_path with
+    | Some path ->
+        if require_store && not (Sys.file_exists path) then
+          die "resume: store %s does not exist (use `run` to start a sweep)" path;
+        let s = Store.open_ path in
+        if Store.repaired_bytes s > 0 then
+          Printf.eprintf "[dse] store %s: dropped %d bytes of damaged tail, kept %d results\n"
+            path (Store.repaired_bytes s) (Store.size s);
+        Some s
+    | None ->
+        if require_store then die "resume requires --store";
+        None
+  in
+  let report = Explore.run ?store ?domains ~target ~strategy spaces in
+  print_report ~verbose:(not quiet) ~csv ~store report;
+  Option.iter Store.close store
+
+let load_store path =
+  if not (Sys.file_exists path) then die "store %s does not exist" path;
+  Store.open_ path
+
+let run_front store_path workload_filter csv =
+  let store = load_store store_path in
+  let ms =
+    match workload_filter with
+    | None -> Store.entries store
+    | Some w -> List.filter (fun m -> m.Measurement.workload = w) (Store.entries store)
+  in
+  if ms = [] then die "store %s has no matching results" store_path;
+  let front, dominated = Pareto.partition ms in
+  Pareto.pp Format.std_formatter ~front ~dominated;
+  match csv with
+  | Some path ->
+      write_file path (Pareto.to_csv front);
+      Printf.printf "[csv written to %s]\n" path
+  | None -> ()
+
+let explain_config store_path fp_hex =
+  let store = load_store store_path in
+  match Point.fingerprint_of_hex fp_hex with
+  | None -> die "%S is not a 16-hex-digit fingerprint" fp_hex
+  | Some fp -> (
+      match Store.find store ~fp with
+      | None -> die "fingerprint %s not found in %s" fp_hex store_path
+      | Some m ->
+          let p = m.Measurement.point in
+          Printf.printf "fingerprint   %s\nworkload      %s\npoint         %s\n"
+            fp_hex m.Measurement.workload (Point.to_string p);
+          List.iter (fun (k, v) -> Printf.printf "  %-12s %s\n" k v) (Point.to_fields p);
+          let config = Point.to_config p in
+          (match config.Salam.Config.memory with
+          | Salam.Config.Spm { read_ports; write_ports; banks; latency } ->
+              Printf.printf
+                "elaborates to SPM: %d read / %d write ports, %d banks, latency %d\n"
+                read_ports write_ports banks latency
+          | Salam.Config.Cache { size; line_bytes; ways; hit_latency } ->
+              Printf.printf
+                "elaborates to cache: %dB, %dB lines, %d ways, hit latency %d\n" size
+                line_bytes ways hit_latency
+          | Salam.Config.Dram_direct -> Printf.printf "elaborates to direct DRAM\n");
+          Printf.printf
+            "measured      %Ld cycles, %.2f us, %.2f mW total (%.2f mW datapath), %.0f um2, correct=%b\n"
+            m.Measurement.cycles
+            (m.Measurement.seconds *. 1e6)
+            m.Measurement.total_mw m.Measurement.datapath_mw m.Measurement.area_um2
+            m.Measurement.correct)
+
+(* --- cmdliner wiring ---------------------------------------------------- *)
+
+let workload_arg =
+  Arg.(value & opt string "gemm"
+       & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Target workload: gemm (with unroll axes) or a suite workload by prefix.")
+
+let n_arg =
+  Arg.(value & opt int 16
+       & info [ "gemm-n" ] ~docv:"N" ~doc:"GEMM matrix dimension (gemm target only).")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"FILE"
+           ~doc:"Persistent JSONL result store; re-runs answer from it incrementally.")
+
+let list_arg ~name ~docv ~doc ~default c =
+  Arg.value (Arg.opt c default (Arg.info [ name ] ~docv ~doc))
+
+let ints name = Arg.conv ((fun s -> Ok (split_ints name s)), fun fmt _ -> Format.fprintf fmt "<ints>")
+let floats name = Arg.conv ((fun s -> Ok (split_floats name s)), fun fmt _ -> Format.fprintf fmt "<floats>")
+let mems_conv = Arg.conv ((fun s -> Ok (split_mems s)), fun fmt _ -> Format.fprintf fmt "<mems>")
+
+let mems_arg =
+  Arg.(value & opt mems_conv [ Point.Spm ]
+       & info [ "mem"; "memory" ] ~docv:"KINDS"
+           ~doc:"Memory kinds to sweep (comma-separated: spm,cache,dram).")
+
+let ports_arg =
+  list_arg ~name:"ports" ~docv:"LIST" ~default:[ 1; 2; 4; 8; 16 ]
+    ~doc:"SPM read-port axis. Write ports and banks derive as read/2 and 2*read unless overridden."
+    (ints "ports")
+
+let write_ports_arg =
+  Arg.(value & opt (some (ints "write-ports")) None
+       & info [ "write-ports" ] ~docv:"LIST" ~doc:"Explicit SPM write-port axis.")
+
+let banks_arg =
+  Arg.(value & opt (some (ints "banks")) None
+       & info [ "banks" ] ~docv:"LIST" ~doc:"Explicit SPM bank axis.")
+
+let fu_arg =
+  list_arg ~name:"fu" ~docv:"LIST" ~default:[ 0; 2; 4; 8 ]
+    ~doc:"FADD/FMUL unit-count axis; 0 means the unconstrained 1:1 map." (ints "fu")
+
+let cache_sizes_arg =
+  list_arg ~name:"cache-size" ~docv:"LIST" ~default:[ 512; 2048; 8192 ]
+    ~doc:"Cache capacity axis in bytes (cache memory kind only)." (ints "cache-size")
+
+let unroll_arg =
+  list_arg ~name:"unroll" ~docv:"LIST" ~default:[ 16 ]
+    ~doc:"Inner (k) loop unroll axis (gemm target)." (ints "unroll")
+
+let junroll_arg =
+  list_arg ~name:"junroll" ~docv:"LIST" ~default:[ 8 ]
+    ~doc:"Middle (j) loop unroll axis (gemm target)." (ints "junroll")
+
+let clock_arg =
+  list_arg ~name:"clock" ~docv:"LIST" ~default:[ 500.0 ] ~doc:"Clock axis in MHz." (floats "clock")
+
+let strategy_arg =
+  Arg.(value & opt string "exhaustive"
+       & info [ "strategy" ] ~docv:"S" ~doc:"Search strategy: exhaustive, random or pareto.")
+
+let samples_arg =
+  Arg.(value & opt int 8
+       & info [ "samples" ] ~docv:"N" ~doc:"Sample count (random) / seed-point count (pareto).")
+
+let rounds_arg =
+  Arg.(value & opt int 4
+       & info [ "rounds" ] ~docv:"N" ~doc:"Mutation rounds for the pareto strategy.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed for random/pareto.")
+
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for simulation batches.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write every measurement as CSV to $(docv).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Print only the front and the summary line.")
+
+let sweep_term ~require_store =
+  Term.(
+    const (run_sweep ~require_store)
+    $ workload_arg $ n_arg $ store_arg $ mems_arg $ ports_arg $ write_ports_arg
+    $ banks_arg $ fu_arg $ cache_sizes_arg $ unroll_arg $ junroll_arg $ clock_arg
+    $ strategy_arg $ samples_arg $ rounds_arg $ seed_arg $ domains_arg $ csv_arg
+    $ quiet_arg)
+
+let run_cmd =
+  let doc =
+    "Run a sweep: enumerate the space, answer cached points from the store, simulate the rest."
+  in
+  Cmd.v (Cmd.info "run" ~doc) (sweep_term ~require_store:false)
+
+let resume_cmd =
+  let doc = "Continue a sweep against an existing store (fails if the store is missing)." in
+  Cmd.v (Cmd.info "resume" ~doc) (sweep_term ~require_store:true)
+
+let front_cmd =
+  let store =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"FILE" ~doc:"Store to read.")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME" ~doc:"Restrict to one workload identity.")
+  in
+  let doc = "Extract the Pareto front from a store without running anything." in
+  Cmd.v (Cmd.info "front" ~doc) Term.(const run_front $ store $ workload $ csv_arg)
+
+let explain_cmd =
+  let store =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"FILE" ~doc:"Store to read.")
+  in
+  let fp = Arg.(required & pos 0 (some string) None & info [] ~docv:"FINGERPRINT") in
+  let doc = "Decode a stored fingerprint: the point, the elaborated config, the measurement." in
+  Cmd.v (Cmd.info "explain-config" ~doc) Term.(const explain_config $ store $ fp)
+
+let cmd =
+  let doc = "design-space exploration with persistent result caching and Pareto extraction" in
+  Cmd.group (Cmd.info "salam_dse" ~version:"1.0.0" ~doc)
+    [ run_cmd; resume_cmd; front_cmd; explain_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -54,6 +54,7 @@ type result = {
   stats : Engine.run_stats;
   power : power_breakdown;
   area_um2 : float;
+  fu_allocated : (Salam_hw.Fu.cls * int) list;
   spm_accesses : (int * int) option;
   cache_hits_misses : (int * int) option;
   wall_seconds : float;
@@ -165,6 +166,7 @@ let simulate ?(config = Config.default) ?trace (w : W.t) =
         static_spm_mw = spm_leak +. cache_leak;
       };
     area_um2 = acc_power.Accelerator.area_um2 +. spm_area +. cache_area;
+    fu_allocated = Salam_hw.Fu.Map.bindings (Accelerator.datapath acc).Salam_cdfg.Datapath.fu_alloc;
     spm_accesses;
     cache_hits_misses = cache_hm;
     wall_seconds = Unix.gettimeofday () -. wall_start;
@@ -223,7 +225,12 @@ let simulate_batch ?domains jobs =
   List.iter (fun (_, w) -> ignore (W.compile w)) jobs;
   parallel_map ?domains (fun (config, w) -> simulate ~config w) jobs
 
-let fu_occupancy result cls ~allocated =
+let fu_occupancy ?allocated result cls =
+  let allocated =
+    match allocated with
+    | Some n -> n
+    | None -> ( match List.assoc_opt cls result.fu_allocated with Some n -> n | None -> 0)
+  in
   if allocated <= 0 then 0.0
   else
     match List.assoc_opt cls result.stats.Engine.fu_busy_integral with

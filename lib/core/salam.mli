@@ -57,6 +57,10 @@ type result = {
   stats : Salam_engine.Engine.run_stats;
   power : power_breakdown;
   area_um2 : float;  (** datapath + local memory *)
+  fu_allocated : (Salam_hw.Fu.cls * int) list;
+      (** functional units instantiated per class by the static CDFG
+          elaboration (after [Config.fu_limits]), sorted by class — the
+          denominator {!fu_occupancy} uses by default *)
   spm_accesses : (int * int) option;  (** reads, writes *)
   cache_hits_misses : (int * int) option;
   wall_seconds : float;  (** host time spent simulating *)
@@ -94,5 +98,8 @@ val simulate_batch :
     deterministic: per-job cycle counts and statistics are identical to
     calling {!simulate} sequentially. *)
 
-val fu_occupancy : result -> Salam_hw.Fu.cls -> allocated:int -> float
-(** Mean fraction of the class's units busy per active cycle. *)
+val fu_occupancy : ?allocated:int -> result -> Salam_hw.Fu.cls -> float
+(** Mean fraction of the class's units busy per active cycle.
+    [allocated] overrides the denominator; by default it is the class's
+    entry in [result.fu_allocated] — the inventory the static CDFG
+    actually instantiated — so callers no longer have to guess it. *)

@@ -1,0 +1,197 @@
+module Trace = Salam_obs.Trace
+
+type target = {
+  workload_id : Point.t -> string;
+  build : Point.t -> Salam_workloads.Workload.t;
+}
+
+let gemm_target ?(n = 16) () =
+  {
+    workload_id =
+      (fun (p : Point.t) ->
+        Printf.sprintf "gemm_ncubed_n%d_u%d_j%d" n p.Point.unroll p.Point.junroll);
+    build =
+      (fun (p : Point.t) ->
+        Salam_workloads.Gemm.workload ~n ~unroll:p.Point.unroll ~junroll:p.Point.junroll ());
+  }
+
+let suite_target name =
+  match Salam_workloads.Suite.by_name name with
+  | Some w -> Ok { workload_id = (fun _ -> w.Salam_workloads.Workload.name); build = (fun _ -> w) }
+  | None -> Error (Printf.sprintf "unknown workload %s" name)
+
+type strategy =
+  | Exhaustive
+  | Random of { samples : int; seed : int64 }
+  | Pareto_walk of { seeds : int; rounds : int; seed : int64 }
+
+type report = {
+  measurements : Measurement.t list;
+  front : Measurement.t list;
+  dominated : Measurement.t list;
+  evaluated : int;
+  cache_hits : int;
+  simulated : int;
+  candidates : int;
+}
+
+let summary_line r ~store =
+  Printf.sprintf "[dse] candidates=%d evaluated=%d cache_hits=%d simulated=%d front=%d store=%s"
+    r.candidates r.evaluated r.cache_hits r.simulated (List.length r.front)
+    (match store with
+    | Some s -> ( match Store.path s with Some p -> p | None -> "memory")
+    | None -> "none")
+
+(* two canonical points are neighbours when exactly one knob differs —
+   the mutation move of the Pareto-guided walk *)
+let neighbours (a : Point.t) (b : Point.t) =
+  let d = ref 0 in
+  let test c = if not c then incr d in
+  test (a.Point.memory = b.Point.memory);
+  test (a.Point.read_ports = b.Point.read_ports);
+  test (a.Point.write_ports = b.Point.write_ports);
+  test (a.Point.banks = b.Point.banks);
+  test (a.Point.cache_bytes = b.Point.cache_bytes);
+  test (a.Point.fu_limit = b.Point.fu_limit);
+  test (a.Point.unroll = b.Point.unroll);
+  test (a.Point.junroll = b.Point.junroll);
+  test (a.Point.clock_mhz = b.Point.clock_mhz);
+  !d = 1
+
+type evaluator = {
+  store : Store.t option;
+  trace : Trace.sink option;
+  domains : int option;
+  target : target;
+  mutable hits : int;
+  mutable sims : int;
+  mutable ticks : int64;  (** progress-event tick = evaluation order *)
+  mutable acc : Measurement.t list;  (** newest first *)
+  evaluated : (int64, unit) Hashtbl.t;
+}
+
+let emit_progress ev ~detail args =
+  match ev.trace with
+  | Some tr ->
+      ev.ticks <- Int64.add ev.ticks 1L;
+      Trace.emit tr ~tick:ev.ticks ~comp:"dse" ~cat:Trace.Dse_progress ~detail args
+  | None -> ()
+
+(* evaluate a batch of points: store lookups first, then one
+   domain-parallel simulation batch for the misses *)
+let evaluate ev points =
+  let keyed =
+    List.map
+      (fun p ->
+        let workload = ev.target.workload_id p in
+        (p, workload, Point.fingerprint ~workload p))
+      points
+  in
+  let cached =
+    List.map
+      (fun (p, workload, fp) ->
+        match ev.store with
+        | Some s -> (p, workload, fp, Store.find s ~fp)
+        | None -> (p, workload, fp, None))
+      keyed
+  in
+  let misses = List.filter (fun (_, _, _, m) -> m = None) cached in
+  let jobs =
+    List.map (fun (p, _, _, _) -> (Point.to_config p, ev.target.build p)) misses
+  in
+  let fresh =
+    if jobs = [] then []
+    else
+      List.map2
+        (fun (p, workload, fp, _) r ->
+          let m = Measurement.of_result ~workload ~point:p r in
+          assert (m.Measurement.fp = fp);
+          (match ev.store with Some s -> Store.add s m | None -> ());
+          (fp, m))
+        misses
+        (Salam.simulate_batch ?domains:ev.domains jobs)
+  in
+  List.map
+    (fun (_, _, fp, cached_m) ->
+      let m, detail =
+        match cached_m with
+        | Some m ->
+            ev.hits <- ev.hits + 1;
+            (m, "hit")
+        | None ->
+            ev.sims <- ev.sims + 1;
+            (List.assoc fp fresh, "sim")
+      in
+      Hashtbl.replace ev.evaluated fp ();
+      ev.acc <- m :: ev.acc;
+      emit_progress ev ~detail
+        [
+          ("fp", Trace.S (Point.fingerprint_hex fp));
+          ("cycles", Trace.I m.Measurement.cycles);
+          ("total_mw", Trace.F m.Measurement.total_mw);
+        ];
+      m)
+    cached
+
+let seen ev (target : target) p =
+  let workload = target.workload_id p in
+  Hashtbl.mem ev.evaluated (Point.fingerprint ~workload p)
+
+let sample rng n xs =
+  let arr = Array.of_list xs in
+  Salam_sim.Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
+
+let run ?store ?trace ?domains ~target ~strategy spaces =
+  let all = Space.enumerate_all spaces in
+  let ev =
+    {
+      store;
+      trace;
+      domains;
+      target;
+      hits = 0;
+      sims = 0;
+      ticks = 0L;
+      acc = [];
+      evaluated = Hashtbl.create 64;
+    }
+  in
+  (match strategy with
+  | Exhaustive -> ignore (evaluate ev all)
+  | Random { samples; seed } ->
+      ignore (evaluate ev (sample (Salam_sim.Rng.create seed) samples all))
+  | Pareto_walk { seeds; rounds; seed } ->
+      let rng = Salam_sim.Rng.create seed in
+      ignore (evaluate ev (sample rng seeds all));
+      let round = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !round < rounds do
+        incr round;
+        let front = Pareto.front (List.rev ev.acc) in
+        let candidates =
+          List.filter
+            (fun p ->
+              (not (seen ev target p))
+              && List.exists (fun (f : Measurement.t) -> neighbours f.Measurement.point p) front)
+            all
+        in
+        emit_progress ev ~detail:"round"
+          [
+            ("round", Trace.I (Int64.of_int !round));
+            ("front", Trace.I (Int64.of_int (List.length front)));
+            ("mutations", Trace.I (Int64.of_int (List.length candidates)));
+          ];
+        if candidates = [] then continue_ := false else ignore (evaluate ev candidates)
+      done);
+  let measurements = List.rev ev.acc in
+  let front, dominated = Pareto.partition measurements in
+  {
+    measurements;
+    front;
+    dominated;
+    evaluated = ev.hits + ev.sims;
+    cache_hits = ev.hits;
+    simulated = ev.sims;
+    candidates = List.length all;
+  }

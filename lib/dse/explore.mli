@@ -1,0 +1,62 @@
+(** The exploration driver: strategies over a space, answered from the
+    store when possible and from domain-parallel simulation when not.
+
+    Every strategy works on the deduplicated enumeration of the given
+    spaces. Evaluation batches all store misses through
+    [Salam.simulate_batch], so a cold sweep fans out across OCaml 5
+    domains while a warm sweep touches no simulator at all; either way
+    the per-point results are bit-identical (the batch API is pinned
+    deterministic, and the store round-trips measurements exactly).
+    Progress is emitted on an optional {!Salam_obs.Trace} sink under the
+    [Dse_progress] category: one event per point (detail [hit] or
+    [sim]) and one per search round, ticked by evaluation order. *)
+
+type target = {
+  workload_id : Point.t -> string;
+      (** stable identity for fingerprints — must change whenever the
+          built workload's behaviour changes (e.g. unroll factors) *)
+  build : Point.t -> Salam_workloads.Workload.t;
+}
+
+val gemm_target : ?n:int -> unit -> target
+(** The paper's DSE vehicle: [n x n] GEMM whose k-/j-loop unroll factors
+    come from the point ([unroll]/[junroll] axes). *)
+
+val suite_target : string -> (target, string) result
+(** A fixed suite workload looked up by name prefix. The point's
+    [unroll]/[junroll] knobs are *not* consumed — do not sweep them
+    against a suite target (points differing only there would simulate
+    identically under distinct fingerprints). *)
+
+type strategy =
+  | Exhaustive  (** every valid point, enumeration order *)
+  | Random of { samples : int; seed : int64 }
+      (** uniform sample without replacement; deterministic per seed *)
+  | Pareto_walk of { seeds : int; rounds : int; seed : int64 }
+      (** seeded-random start, then up to [rounds] hill-climbing steps:
+          each round evaluates every unevaluated single-knob mutation of
+          the current front, stopping early when the front's
+          neighbourhood is exhausted *)
+
+type report = {
+  measurements : Measurement.t list;  (** evaluation order *)
+  front : Measurement.t list;
+  dominated : Measurement.t list;
+  evaluated : int;  (** distinct points evaluated = hits + simulated *)
+  cache_hits : int;
+  simulated : int;
+  candidates : int;  (** size of the deduplicated enumeration *)
+}
+
+val summary_line : report -> store:Store.t option -> string
+(** The machine-readable one-liner printed by CLI/CI:
+    ["\[dse\] candidates=.. evaluated=.. cache_hits=.. simulated=.. front=.. store=.."]. *)
+
+val run :
+  ?store:Store.t ->
+  ?trace:Salam_obs.Trace.sink ->
+  ?domains:int ->
+  target:target ->
+  strategy:strategy ->
+  Space.t list ->
+  report

@@ -1,0 +1,26 @@
+(** Minimal flat-JSON-object codec for the JSONL result store.
+
+    The sealed toolchain has no JSON library, and the store only needs
+    flat objects of scalars — so this codec supports exactly that: one
+    object per line, values limited to strings, 64-bit integers, floats
+    and booleans. Floats are rendered with 17 significant digits, which
+    round-trips IEEE doubles exactly — the store's bit-identity
+    guarantee rests on it. *)
+
+type value = Int of int64 | Float of float | Bool of bool | Str of string
+
+val encode : (string * value) list -> string
+(** One JSON object on one line (no trailing newline). *)
+
+val decode : string -> ((string * value) list, string) result
+(** Parse one line. Numbers parse as [Int] when they are bare integers
+    and [Float] otherwise; nested objects/arrays are rejected. *)
+
+val get_int : (string * value) list -> string -> int64 option
+
+val get_float : (string * value) list -> string -> float option
+(** Accepts [Int] too (a float field that happened to be integral). *)
+
+val get_bool : (string * value) list -> string -> bool option
+
+val get_str : (string * value) list -> string -> string option

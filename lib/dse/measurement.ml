@@ -1,0 +1,232 @@
+module Engine = Salam_engine.Engine
+module Fu = Salam_hw.Fu
+
+type t = {
+  fp : int64;
+  workload : string;
+  point : Point.t;
+  cycles : int64;
+  seconds : float;
+  total_mw : float;
+  datapath_mw : float;
+  area_um2 : float;
+  correct : bool;
+  active_cycles : int;
+  issue_cycles : int;
+  stall_cycles : int;
+  stall_load_only : int;
+  stall_load_compute : int;
+  stall_load_store_compute : int;
+  stall_other : int;
+  cycles_with_load : int;
+  cycles_with_store : int;
+  cycles_with_load_and_store : int;
+  loads_issued : int;
+  stores_issued : int;
+  issued_fp : int;
+  issued_int : int;
+  issued_mem : int;
+  fmul_occupancy : float;
+  fmul_allocated : int;
+  spm_reads : int;
+  spm_writes : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let of_result ~workload ~point (r : Salam.result) =
+  let s = r.Salam.stats in
+  let p = r.Salam.power in
+  let spm_reads, spm_writes =
+    match r.Salam.spm_accesses with Some (rd, wr) -> (rd, wr) | None -> (0, 0)
+  in
+  let cache_hits, cache_misses =
+    match r.Salam.cache_hits_misses with Some (h, m) -> (h, m) | None -> (0, 0)
+  in
+  {
+    fp = Point.fingerprint ~workload point;
+    workload;
+    point = Point.canonical point;
+    cycles = r.Salam.cycles;
+    seconds = r.Salam.seconds;
+    total_mw = Salam.total_mw p;
+    datapath_mw =
+      p.Salam.dynamic_fu_mw +. p.Salam.dynamic_reg_mw +. p.Salam.static_fu_mw
+      +. p.Salam.static_reg_mw;
+    area_um2 = r.Salam.area_um2;
+    correct = r.Salam.correct;
+    active_cycles = s.Engine.active_cycles;
+    issue_cycles = s.Engine.issue_cycles;
+    stall_cycles = s.Engine.stall_cycles;
+    stall_load_only = s.Engine.stall_load_only;
+    stall_load_compute = s.Engine.stall_load_compute;
+    stall_load_store_compute = s.Engine.stall_load_store_compute;
+    stall_other = s.Engine.stall_other;
+    cycles_with_load = s.Engine.cycles_with_load;
+    cycles_with_store = s.Engine.cycles_with_store;
+    cycles_with_load_and_store = s.Engine.cycles_with_load_and_store;
+    loads_issued = s.Engine.loads_issued;
+    stores_issued = s.Engine.stores_issued;
+    issued_fp = s.Engine.issued_fp;
+    issued_int = s.Engine.issued_int;
+    issued_mem = s.Engine.issued_mem;
+    fmul_occupancy = Salam.fu_occupancy r Fu.Fp_mul_dp;
+    fmul_allocated =
+      (match List.assoc_opt Fu.Fp_mul_dp r.Salam.fu_allocated with
+      | Some n -> n
+      | None -> 0);
+    spm_reads;
+    spm_writes;
+    cache_hits;
+    cache_misses;
+  }
+
+(* --- JSONL codec -------------------------------------------------------- *)
+
+let to_line m =
+  let p = m.point in
+  let i n = Jsonl.Int (Int64.of_int n) in
+  Jsonl.encode
+    [
+      ("fp", Jsonl.Str (Point.fingerprint_hex m.fp));
+      ("workload", Jsonl.Str m.workload);
+      ("memory", Jsonl.Str (Point.memory_kind_to_string p.Point.memory));
+      ("read_ports", i p.Point.read_ports);
+      ("write_ports", i p.Point.write_ports);
+      ("banks", i p.Point.banks);
+      ("cache_bytes", i p.Point.cache_bytes);
+      ("fu_limit", i p.Point.fu_limit);
+      ("unroll", i p.Point.unroll);
+      ("junroll", i p.Point.junroll);
+      ("clock_mhz", Jsonl.Float p.Point.clock_mhz);
+      ("cycles", Jsonl.Int m.cycles);
+      ("seconds", Jsonl.Float m.seconds);
+      ("total_mw", Jsonl.Float m.total_mw);
+      ("datapath_mw", Jsonl.Float m.datapath_mw);
+      ("area_um2", Jsonl.Float m.area_um2);
+      ("correct", Jsonl.Bool m.correct);
+      ("active_cycles", i m.active_cycles);
+      ("issue_cycles", i m.issue_cycles);
+      ("stall_cycles", i m.stall_cycles);
+      ("stall_load_only", i m.stall_load_only);
+      ("stall_load_compute", i m.stall_load_compute);
+      ("stall_load_store_compute", i m.stall_load_store_compute);
+      ("stall_other", i m.stall_other);
+      ("cycles_with_load", i m.cycles_with_load);
+      ("cycles_with_store", i m.cycles_with_store);
+      ("cycles_with_load_and_store", i m.cycles_with_load_and_store);
+      ("loads_issued", i m.loads_issued);
+      ("stores_issued", i m.stores_issued);
+      ("issued_fp", i m.issued_fp);
+      ("issued_int", i m.issued_int);
+      ("issued_mem", i m.issued_mem);
+      ("fmul_occupancy", Jsonl.Float m.fmul_occupancy);
+      ("fmul_allocated", i m.fmul_allocated);
+      ("spm_reads", i m.spm_reads);
+      ("spm_writes", i m.spm_writes);
+      ("cache_hits", i m.cache_hits);
+      ("cache_misses", i m.cache_misses);
+    ]
+
+let of_line line =
+  match Jsonl.decode line with
+  | Error e -> Error e
+  | Ok fields -> (
+      let ( let* ) o f = match o with Some v -> f v | None -> Error "missing field" in
+      let int k = Option.map Int64.to_int (Jsonl.get_int fields k) in
+      let* fp_hex = Jsonl.get_str fields "fp" in
+      let* fp = Point.fingerprint_of_hex fp_hex in
+      let* workload = Jsonl.get_str fields "workload" in
+      let* mem = Jsonl.get_str fields "memory" in
+      let* memory = Point.memory_kind_of_string mem in
+      let* read_ports = int "read_ports" in
+      let* write_ports = int "write_ports" in
+      let* banks = int "banks" in
+      let* cache_bytes = int "cache_bytes" in
+      let* fu_limit = int "fu_limit" in
+      let* unroll = int "unroll" in
+      let* junroll = int "junroll" in
+      let* clock_mhz = Jsonl.get_float fields "clock_mhz" in
+      let point =
+        {
+          Point.memory;
+          read_ports;
+          write_ports;
+          banks;
+          cache_bytes;
+          fu_limit;
+          unroll;
+          junroll;
+          clock_mhz;
+        }
+      in
+      let* cycles = Jsonl.get_int fields "cycles" in
+      let* seconds = Jsonl.get_float fields "seconds" in
+      let* total_mw = Jsonl.get_float fields "total_mw" in
+      let* datapath_mw = Jsonl.get_float fields "datapath_mw" in
+      let* area_um2 = Jsonl.get_float fields "area_um2" in
+      let* correct = Jsonl.get_bool fields "correct" in
+      let* active_cycles = int "active_cycles" in
+      let* issue_cycles = int "issue_cycles" in
+      let* stall_cycles = int "stall_cycles" in
+      let* stall_load_only = int "stall_load_only" in
+      let* stall_load_compute = int "stall_load_compute" in
+      let* stall_load_store_compute = int "stall_load_store_compute" in
+      let* stall_other = int "stall_other" in
+      let* cycles_with_load = int "cycles_with_load" in
+      let* cycles_with_store = int "cycles_with_store" in
+      let* cycles_with_load_and_store = int "cycles_with_load_and_store" in
+      let* loads_issued = int "loads_issued" in
+      let* stores_issued = int "stores_issued" in
+      let* issued_fp = int "issued_fp" in
+      let* issued_int = int "issued_int" in
+      let* issued_mem = int "issued_mem" in
+      let* fmul_occupancy = Jsonl.get_float fields "fmul_occupancy" in
+      let* fmul_allocated = int "fmul_allocated" in
+      let* spm_reads = int "spm_reads" in
+      let* spm_writes = int "spm_writes" in
+      let* cache_hits = int "cache_hits" in
+      let* cache_misses = int "cache_misses" in
+      Ok
+        {
+          fp;
+          workload;
+          point;
+          cycles;
+          seconds;
+          total_mw;
+          datapath_mw;
+          area_um2;
+          correct;
+          active_cycles;
+          issue_cycles;
+          stall_cycles;
+          stall_load_only;
+          stall_load_compute;
+          stall_load_store_compute;
+          stall_other;
+          cycles_with_load;
+          cycles_with_store;
+          cycles_with_load_and_store;
+          loads_issued;
+          stores_issued;
+          issued_fp;
+          issued_int;
+          issued_mem;
+          fmul_occupancy;
+          fmul_allocated;
+          spm_reads;
+          spm_writes;
+          cache_hits;
+          cache_misses;
+        })
+
+let pp_header fmt () =
+  Format.fprintf fmt "%-34s %10s %12s %12s %12s %10s %9s@." "configuration" "cycles"
+    "time (us)" "datapath mW" "total mW" "area um2" "stall %"
+
+let pp_row fmt m =
+  Format.fprintf fmt "%-34s %10Ld %12.2f %12.2f %12.2f %10.0f %8.1f%%@."
+    (Point.to_string m.point) m.cycles (m.seconds *. 1e6) m.datapath_mw m.total_mw
+    m.area_um2
+    (100.0 *. float_of_int m.stall_cycles /. float_of_int (max 1 m.active_cycles))

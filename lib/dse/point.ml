@@ -1,0 +1,133 @@
+module Fu = Salam_hw.Fu
+module Engine = Salam_engine.Engine
+
+type memory_kind = Spm | Cache | Dram
+
+let memory_kind_to_string = function Spm -> "spm" | Cache -> "cache" | Dram -> "dram"
+
+let memory_kind_of_string = function
+  | "spm" -> Some Spm
+  | "cache" -> Some Cache
+  | "dram" -> Some Dram
+  | _ -> None
+
+type t = {
+  memory : memory_kind;
+  read_ports : int;
+  write_ports : int;
+  banks : int;
+  cache_bytes : int;
+  fu_limit : int;
+  unroll : int;
+  junroll : int;
+  clock_mhz : float;
+}
+
+let default =
+  {
+    memory = Spm;
+    read_ports = 2;
+    write_ports = 1;
+    banks = 2;
+    cache_bytes = 0;
+    fu_limit = 0;
+    unroll = 1;
+    junroll = 1;
+    clock_mhz = 500.0;
+  }
+
+(* zero out whatever the memory kind does not elaborate, so e.g. a cache
+   point reached with two different (irrelevant) port settings is a
+   single design *)
+let canonical p =
+  match p.memory with
+  | Spm -> { p with cache_bytes = 0 }
+  | Cache -> { p with read_ports = 0; write_ports = 0; banks = 0 }
+  | Dram -> { p with read_ports = 0; write_ports = 0; banks = 0; cache_bytes = 0 }
+
+let compare a b = Stdlib.compare (canonical a) (canonical b)
+
+let to_config p =
+  let fu_limits =
+    if p.fu_limit > 0 then [ (Fu.Fp_add_dp, p.fu_limit); (Fu.Fp_mul_dp, p.fu_limit) ]
+    else []
+  in
+  let memory =
+    match p.memory with
+    | Spm ->
+        Salam.Config.Spm
+          {
+            read_ports = p.read_ports;
+            write_ports = p.write_ports;
+            banks = p.banks;
+            latency = 1;
+          }
+    | Cache ->
+        Salam.Config.Cache
+          { size = p.cache_bytes; line_bytes = 64; ways = 4; hit_latency = 2 }
+    | Dram -> Salam.Config.Dram_direct
+  in
+  {
+    Salam.Config.default with
+    Salam.Config.clock_mhz = p.clock_mhz;
+    memory;
+    fu_limits;
+    engine = { Engine.default_config with Engine.fu_limits };
+  }
+
+(* sorted by key: the fingerprint must not depend on the order axes were
+   declared in, and record-field order is an implementation detail *)
+let to_fields p =
+  let p = canonical p in
+  [
+    ("banks", string_of_int p.banks);
+    ("cache_bytes", string_of_int p.cache_bytes);
+    ("clock_mhz", Printf.sprintf "%h" p.clock_mhz);
+    ("fu_limit", string_of_int p.fu_limit);
+    ("junroll", string_of_int p.junroll);
+    ("memory", memory_kind_to_string p.memory);
+    ("read_ports", string_of_int p.read_ports);
+    ("unroll", string_of_int p.unroll);
+    ("write_ports", string_of_int p.write_ports);
+  ]
+
+let to_string p =
+  let mem =
+    match p.memory with
+    | Spm -> Printf.sprintf "spm rd=%d wr=%d banks=%d" p.read_ports p.write_ports p.banks
+    | Cache -> Printf.sprintf "cache %dB" p.cache_bytes
+    | Dram -> "dram"
+  in
+  Printf.sprintf "%s fu=%s u=%d j=%d %gMHz" mem
+    (if p.fu_limit = 0 then "1:1" else string_of_int p.fu_limit)
+    p.unroll p.junroll p.clock_mhz
+
+(* --- FNV-1a 64-bit ----------------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let fingerprint ~workload p =
+  let h = fnv_string fnv_offset workload in
+  let h = fnv_string h "\x00" in
+  List.fold_left
+    (fun h (k, v) -> fnv_string (fnv_string (fnv_string h k) "=") (v ^ ";"))
+    h (to_fields p)
+
+let fingerprint_hex fp = Printf.sprintf "%016Lx" fp
+
+let fingerprint_of_hex s =
+  if String.length s <> 16 then None
+  else
+    (* Int64.of_string overflows to negative for hashes with the top bit
+       set, which is exactly what we want: 0x-prefixed parsing is
+       unsigned modulo 2^64 *)
+    try Some (Int64.of_string ("0x" ^ s)) with Failure _ -> None

@@ -1,0 +1,63 @@
+(** One point of a design space: a full set of configuration knobs.
+
+    A point bundles every knob a sweep may vary — the memory attachment
+    (kind, ports, banks, capacity), the functional-unit budget, the
+    compile-time unrolling factors and the clock — into one flat record
+    with a *canonical form* and a stable 64-bit fingerprint. The
+    canonical form zeroes knobs that the chosen memory kind ignores
+    (cache capacity for an SPM point, port counts for a cache point),
+    so two raw points that elaborate to the same hardware always carry
+    the same fingerprint; the fingerprint keys the persistent result
+    store ({!Store}). *)
+
+type memory_kind = Spm | Cache | Dram
+
+val memory_kind_to_string : memory_kind -> string
+
+val memory_kind_of_string : string -> memory_kind option
+
+type t = {
+  memory : memory_kind;
+  read_ports : int;  (** SPM read ports; ignored for cache/DRAM *)
+  write_ports : int;  (** SPM write ports; ignored for cache/DRAM *)
+  banks : int;  (** SPM banks; ignored for cache/DRAM *)
+  cache_bytes : int;  (** cache capacity; ignored for SPM/DRAM *)
+  fu_limit : int;  (** FADD/FMUL units; 0 = unconstrained 1:1 map *)
+  unroll : int;  (** inner-loop unroll factor (workload knob) *)
+  junroll : int;  (** middle-loop unroll factor (workload knob) *)
+  clock_mhz : float;
+}
+
+val default : t
+(** SPM with 2 read / 1 write ports and 2 banks, unconstrained units,
+    no unrolling, 500 MHz — mirrors [Salam.Config.default]. *)
+
+val canonical : t -> t
+(** Zero the fields the memory kind ignores (see above). Idempotent. *)
+
+val compare : t -> t -> int
+(** Total order on canonical forms. *)
+
+val to_config : t -> Salam.Config.t
+(** Elaborate the point into a simulation configuration. A positive
+    [fu_limit] caps FADD and FMUL (double precision) in both the static
+    allocation and the engine; cache points use 64-byte lines, 4 ways
+    and 2-cycle hits, as the paper's Fig 13 sweep does. *)
+
+val to_fields : t -> (string * string) list
+(** Canonical serialization: (key, value) pairs sorted by key, floats
+    rendered exactly ([%h]). The fingerprint hashes exactly these. *)
+
+val to_string : t -> string
+(** One-line human-readable form, e.g. ["spm rd=8 wr=4 banks=16 fu=1:1
+    u=16 j=8 500MHz"]. *)
+
+val fingerprint : workload:string -> t -> int64
+(** FNV-1a 64-bit hash over the workload identity and the canonical
+    field serialization. Independent of axis declaration order by
+    construction (fields are sorted by name). *)
+
+val fingerprint_hex : int64 -> string
+(** Fixed-width lowercase hex (16 chars), the store's key format. *)
+
+val fingerprint_of_hex : string -> int64 option

@@ -1,0 +1,100 @@
+type axis =
+  | Memory of Point.memory_kind list
+  | Read_ports of int list
+  | Write_ports of int list
+  | Banks of int list
+  | Cache_bytes of int list
+  | Fu_limit of int list
+  | Unroll of int list
+  | Junroll of int list
+  | Clock_mhz of float list
+
+let axis_name = function
+  | Memory _ -> "memory"
+  | Read_ports _ -> "read_ports"
+  | Write_ports _ -> "write_ports"
+  | Banks _ -> "banks"
+  | Cache_bytes _ -> "cache_bytes"
+  | Fu_limit _ -> "fu_limit"
+  | Unroll _ -> "unroll"
+  | Junroll _ -> "junroll"
+  | Clock_mhz _ -> "clock_mhz"
+
+let axis_values = function
+  | Memory ms -> List.map Point.memory_kind_to_string ms
+  | Read_ports vs | Write_ports vs | Banks vs | Cache_bytes vs | Fu_limit vs
+  | Unroll vs | Junroll vs ->
+      List.map string_of_int vs
+  | Clock_mhz vs -> List.map (Printf.sprintf "%g") vs
+
+let axis_length = function
+  | Memory l -> List.length l
+  | Read_ports l | Write_ports l | Banks l | Cache_bytes l | Fu_limit l | Unroll l
+  | Junroll l ->
+      List.length l
+  | Clock_mhz l -> List.length l
+
+(* one branch of the cartesian product: all assignments of this axis *)
+let apply_axis (p : Point.t) = function
+  | Memory ms -> List.map (fun memory -> { p with Point.memory }) ms
+  | Read_ports vs -> List.map (fun read_ports -> { p with Point.read_ports }) vs
+  | Write_ports vs -> List.map (fun write_ports -> { p with Point.write_ports }) vs
+  | Banks vs -> List.map (fun banks -> { p with Point.banks }) vs
+  | Cache_bytes vs -> List.map (fun cache_bytes -> { p with Point.cache_bytes }) vs
+  | Fu_limit vs -> List.map (fun fu_limit -> { p with Point.fu_limit }) vs
+  | Unroll vs -> List.map (fun unroll -> { p with Point.unroll }) vs
+  | Junroll vs -> List.map (fun junroll -> { p with Point.junroll }) vs
+  | Clock_mhz vs -> List.map (fun clock_mhz -> { p with Point.clock_mhz }) vs
+
+type t = {
+  base : Point.t;
+  axes : axis list;
+  derive : Point.t -> Point.t;
+  valid : (Point.t -> bool) list;
+}
+
+let create ?(base = Point.default) ?(derive = Fun.id) ?(valid = []) axes =
+  List.iter
+    (fun a ->
+      if axis_length a = 0 then
+        invalid_arg (Printf.sprintf "Space.create: axis %s has no values" (axis_name a)))
+    axes;
+  { base; axes; derive; valid }
+
+let axes t = t.axes
+
+let raw_size t = List.fold_left (fun acc a -> acc * axis_length a) 1 t.axes
+
+let dedup points =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    points
+
+let enumerate t =
+  let product =
+    List.fold_left
+      (fun points axis -> List.concat_map (fun p -> apply_axis p axis) points)
+      [ t.base ] t.axes
+  in
+  product
+  |> List.map (fun p -> Point.canonical (t.derive p))
+  |> List.filter (fun p -> List.for_all (fun ok -> ok p) t.valid)
+  |> dedup
+
+let enumerate_all spaces = dedup (List.concat_map enumerate spaces)
+
+let spm_balanced (p : Point.t) =
+  match p.Point.memory with
+  | Point.Spm ->
+      {
+        p with
+        Point.write_ports = max 1 (p.Point.read_ports / 2);
+        banks = 2 * p.Point.read_ports;
+      }
+  | Point.Cache | Point.Dram -> p

@@ -1,0 +1,57 @@
+(** A declarative design space: typed axes over {!Point.t} knobs.
+
+    A space is a base point, a list of axes (each a knob with the values
+    it sweeps), an optional derivation rule for dependent knobs (e.g.
+    "write ports are half the read ports, banks twice"), and validity
+    predicates. {!enumerate} takes the cartesian product of the axes in
+    declaration order, applies the derivation, canonicalises, filters
+    invalid points and deduplicates — so a 3-axis sweep is three lines
+    of description, not a nest of loops. Unioning spaces (concatenating
+    their enumerations) expresses non-rectangular sweeps such as the
+    paper's Fig 13 clouds. *)
+
+type axis =
+  | Memory of Point.memory_kind list
+  | Read_ports of int list
+  | Write_ports of int list
+  | Banks of int list
+  | Cache_bytes of int list
+  | Fu_limit of int list
+  | Unroll of int list
+  | Junroll of int list
+  | Clock_mhz of float list
+
+val axis_name : axis -> string
+
+val axis_values : axis -> string list
+(** Values rendered for display. *)
+
+type t
+
+val create :
+  ?base:Point.t ->
+  ?derive:(Point.t -> Point.t) ->
+  ?valid:(Point.t -> bool) list ->
+  axis list ->
+  t
+(** [derive] runs on every enumerated point before canonicalisation —
+    use it for dependent knobs. [valid] predicates all must hold. *)
+
+val axes : t -> axis list
+
+val raw_size : t -> int
+(** Product of axis lengths, before derivation/validity/dedup. *)
+
+val enumerate : t -> Point.t list
+(** Cartesian product in axis declaration order (last axis varies
+    fastest), derived, canonicalised, validity-filtered, deduplicated
+    (first occurrence wins). Deterministic. *)
+
+val enumerate_all : t list -> Point.t list
+(** Union of several spaces' enumerations, deduplicated across spaces. *)
+
+val spm_balanced : Point.t -> Point.t
+(** The standard derivation used by the paper's GEMM sweeps: [write_ports
+    = max 1 (read_ports / 2)], [banks = 2 * read_ports] (identity for
+    non-SPM points). Exposed so the CLI and bench declare it rather than
+    re-encode it. *)

@@ -1,0 +1,44 @@
+(** Persistent result store: one JSONL line per evaluated design point,
+    keyed by the point's fingerprint.
+
+    Opening a store loads every valid line into an in-memory index and
+    *repairs* the file if its tail is damaged (a sweep killed mid-append
+    leaves a truncated last line): the damaged suffix is dropped on
+    disk, every intact measurement survives, and the next sweep simply
+    re-simulates the lost points. Appends are flushed line-by-line so an
+    interrupted run loses at most the measurement being written.
+
+    A store is also the unit of sweep resumability: re-running a sweep
+    against the same store answers every already-measured point from the
+    index, bit-identical to the fresh run that produced it. *)
+
+type t
+
+val open_ : string -> t
+(** Load (or create) the JSONL file at the given path. Truncated or
+    corrupt trailing lines are dropped from the file; a corrupt line
+    *followed by valid lines* raises [Failure] instead, because silently
+    dropping intact results would be worse than asking the user to look. *)
+
+val in_memory : unit -> t
+(** A store with no backing file — for tests and one-shot sweeps. *)
+
+val path : t -> string option
+
+val find : t -> fp:int64 -> Measurement.t option
+
+val add : t -> Measurement.t -> unit
+(** Index and append+flush one measurement. Re-adding an existing
+    fingerprint keeps the first measurement (results are deterministic,
+    so both are equal anyway) and does not grow the file. *)
+
+val size : t -> int
+
+val entries : t -> Measurement.t list
+(** In insertion (= file) order. *)
+
+val repaired_bytes : t -> int
+(** Bytes of damaged tail dropped when the store was opened (0 for a
+    clean file). *)
+
+val close : t -> unit

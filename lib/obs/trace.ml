@@ -33,6 +33,7 @@ type category =
   | Mmr_write
   | Interrupt
   | Dram_access
+  | Dse_progress
 
 let all_categories =
   [
@@ -57,6 +58,7 @@ let all_categories =
     Mmr_write;
     Interrupt;
     Dram_access;
+    Dse_progress;
   ]
 
 let category_index = function
@@ -81,6 +83,7 @@ let category_index = function
   | Mmr_write -> 18
   | Interrupt -> 19
   | Dram_access -> 20
+  | Dse_progress -> 21
 
 let n_categories = List.length all_categories
 
@@ -106,6 +109,7 @@ let category_to_string = function
   | Mmr_write -> "soc.mmr"
   | Interrupt -> "soc.irq"
   | Dram_access -> "dram.access"
+  | Dse_progress -> "dse.progress"
 
 let category_of_string s =
   List.find_opt (fun c -> category_to_string c = s) all_categories

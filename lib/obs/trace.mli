@@ -31,6 +31,9 @@ type category =
   | Mmr_write
   | Interrupt
   | Dram_access
+  | Dse_progress
+      (** design-space-exploration progress: one event per evaluated
+          point (detail [hit]/[sim]) and per search round *)
 
 val all_categories : category list
 

@@ -1,0 +1,307 @@
+(* Tests for the salam_dse subsystem: fingerprint stability, the JSONL
+   codec, store persistence/repair, Pareto extraction, and the
+   bit-identity of cache hits vs fresh simulation. *)
+
+module Point = Salam_dse.Point
+module Space = Salam_dse.Space
+module Jsonl = Salam_dse.Jsonl
+module M = Salam_dse.Measurement
+module Store = Salam_dse.Store
+module Pareto = Salam_dse.Pareto
+module Dse = Salam_dse.Explore
+
+let tiny_target = Dse.gemm_target ~n:8 ()
+
+let tiny_spaces =
+  [
+    Space.create ~derive:Space.spm_balanced
+      [ Space.Read_ports [ 2; 4 ]; Space.Fu_limit [ 0; 2 ] ];
+  ]
+
+let with_temp_store f =
+  let path = Filename.temp_file "salam_dse_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- fingerprints ------------------------------------------------- *)
+
+let test_fingerprint_axis_order () =
+  (* the same space declared with its axes in either order enumerates
+     the same fingerprints (sorted-field serialization) *)
+  let a =
+    Space.create ~derive:Space.spm_balanced
+      [ Space.Read_ports [ 2; 4; 8 ]; Space.Fu_limit [ 0; 2 ] ]
+  in
+  let b =
+    Space.create ~derive:Space.spm_balanced
+      [ Space.Fu_limit [ 2; 0 ]; Space.Read_ports [ 8; 4; 2 ] ]
+  in
+  let fps s =
+    Space.enumerate s
+    |> List.map (fun p -> Point.fingerprint ~workload:"w" p)
+    |> List.sort Int64.compare
+  in
+  Alcotest.(check (list int64)) "same fingerprints" (fps a) (fps b)
+
+let test_fingerprint_canonical () =
+  (* knobs the memory kind ignores do not affect the fingerprint *)
+  let spm = { Point.default with Point.cache_bytes = 4096 } in
+  Alcotest.(check int64) "spm ignores cache_bytes"
+    (Point.fingerprint ~workload:"w" Point.default)
+    (Point.fingerprint ~workload:"w" spm);
+  let cache = { Point.default with Point.memory = Point.Cache; cache_bytes = 2048 } in
+  let cache' = { cache with Point.read_ports = 16; banks = 8 } in
+  Alcotest.(check int64) "cache ignores ports/banks"
+    (Point.fingerprint ~workload:"w" cache)
+    (Point.fingerprint ~workload:"w" cache');
+  Alcotest.(check bool) "workload matters" false
+    (Int64.equal
+       (Point.fingerprint ~workload:"a" Point.default)
+       (Point.fingerprint ~workload:"b" Point.default))
+
+let test_fingerprint_hex () =
+  let fp = Point.fingerprint ~workload:"gemm" Point.default in
+  let hex = Point.fingerprint_hex fp in
+  Alcotest.(check int) "16 chars" 16 (String.length hex);
+  Alcotest.(check (option int64)) "round-trip" (Some fp) (Point.fingerprint_of_hex hex)
+
+(* --- enumeration -------------------------------------------------- *)
+
+let test_enumerate_dedup () =
+  (* the union of overlapping spaces deduplicates canonical points *)
+  let s1 = Space.create ~derive:Space.spm_balanced [ Space.Read_ports [ 2; 4 ] ] in
+  let s2 = Space.create ~derive:Space.spm_balanced [ Space.Read_ports [ 4; 8 ] ] in
+  Alcotest.(check int) "union of 2+2 overlapping" 3
+    (List.length (Space.enumerate_all [ s1; s2 ]))
+
+let test_enumerate_validity () =
+  let s =
+    Space.create
+      ~valid:[ (fun p -> p.Point.read_ports <= 4) ]
+      [ Space.Read_ports [ 2; 4; 8; 16 ] ]
+  in
+  Alcotest.(check int) "validity filter" 2 (List.length (Space.enumerate s))
+
+(* --- jsonl codec -------------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let fields =
+    [
+      ("i", Jsonl.Int 9223372036854775807L);
+      ("neg", Jsonl.Int (-42L));
+      ("f", Jsonl.Float 0.1);
+      ("tiny", Jsonl.Float 4.9e-324);
+      ("b", Jsonl.Bool true);
+      ("s", Jsonl.Str "quote\" slash\\ tab\t");
+    ]
+  in
+  match Jsonl.decode (Jsonl.encode fields) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok got -> Alcotest.(check bool) "exact round-trip" true (got = fields)
+
+let test_jsonl_rejects_garbage () =
+  let bad s =
+    match Jsonl.decode s with Ok _ -> Alcotest.failf "accepted %S" s | Error _ -> ()
+  in
+  bad "";
+  bad "{\"a\": 1";
+  bad "{\"a\": {\"nested\": 1}}";
+  bad "not json at all"
+
+(* --- measurement round-trip --------------------------------------- *)
+
+let simulate_point point =
+  let workload = "gemm_test" in
+  let r = Salam.simulate ~config:(Point.to_config point) (Salam_workloads.Gemm.workload ~n:8 ()) in
+  M.of_result ~workload ~point r
+
+let test_measurement_roundtrip () =
+  let m = simulate_point Point.default in
+  match M.of_line (M.to_line m) with
+  | Error e -> Alcotest.failf "of_line failed: %s" e
+  | Ok m' -> Alcotest.(check bool) "structurally equal" true (m = m')
+
+(* --- store -------------------------------------------------------- *)
+
+let test_store_persist_and_dedup () =
+  with_temp_store (fun path ->
+      let m = simulate_point Point.default in
+      let s = Store.open_ path in
+      Store.add s m;
+      Store.add s m;
+      Alcotest.(check int) "dedup by fingerprint" 1 (Store.size s);
+      Store.close s;
+      let s2 = Store.open_ path in
+      Alcotest.(check int) "reloaded" 1 (Store.size s2);
+      Alcotest.(check int) "clean file" 0 (Store.repaired_bytes s2);
+      (match Store.find s2 ~fp:m.M.fp with
+      | None -> Alcotest.fail "fingerprint not found after reload"
+      | Some m' -> Alcotest.(check bool) "bit-identical after reload" true (m = m'));
+      Store.close s2)
+
+let test_store_truncated_tail () =
+  with_temp_store (fun path ->
+      let m1 = simulate_point Point.default in
+      let m2 = simulate_point { Point.default with Point.read_ports = 4 } in
+      let s = Store.open_ path in
+      Store.add s m1;
+      Store.add s m2;
+      Store.close s;
+      (* chop into the middle of the last line, as a killed append would *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let cut = String.length full - 17 in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (String.sub full 0 cut));
+      let s2 = Store.open_ path in
+      Alcotest.(check int) "intact prefix survives" 1 (Store.size s2);
+      Alcotest.(check bool) "damage reported" true (Store.repaired_bytes s2 > 0);
+      (match Store.find s2 ~fp:m1.M.fp with
+      | Some m' -> Alcotest.(check bool) "first entry intact" true (m1 = m')
+      | None -> Alcotest.fail "first entry lost in repair");
+      (* the file was rewritten clean: reopening again reports no damage *)
+      Store.close s2;
+      let s3 = Store.open_ path in
+      Alcotest.(check int) "repair is persistent" 0 (Store.repaired_bytes s3);
+      Store.close s3)
+
+let test_store_mid_file_corruption_fails () =
+  with_temp_store (fun path ->
+      let m1 = simulate_point Point.default in
+      let m2 = simulate_point { Point.default with Point.read_ports = 4 } in
+      let s = Store.open_ path in
+      Store.add s m1;
+      Store.add s m2;
+      Store.close s;
+      let lines =
+        In_channel.with_open_bin path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "{broken\n";
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+      match Store.open_ path with
+      | exception Failure _ -> ()
+      | s ->
+          Store.close s;
+          Alcotest.fail "mid-file corruption must not be silently repaired")
+
+(* --- pareto ------------------------------------------------------- *)
+
+let synthetic ?(correct = true) ~time_s ~power_mw ~area tag =
+  let point = { Point.default with Point.read_ports = tag } in
+  {
+    M.fp = Point.fingerprint ~workload:(Printf.sprintf "syn%d" tag) point;
+    workload = "syn";
+    point;
+    cycles = 1L;
+    seconds = time_s;
+    total_mw = power_mw;
+    datapath_mw = power_mw;
+    area_um2 = area;
+    correct;
+    active_cycles = 1;
+    issue_cycles = 1;
+    stall_cycles = 0;
+    stall_load_only = 0;
+    stall_load_compute = 0;
+    stall_load_store_compute = 0;
+    stall_other = 0;
+    cycles_with_load = 0;
+    cycles_with_store = 0;
+    cycles_with_load_and_store = 0;
+    loads_issued = 0;
+    stores_issued = 0;
+    issued_fp = 0;
+    issued_int = 0;
+    issued_mem = 0;
+    fmul_occupancy = 0.0;
+    fmul_allocated = 0;
+    spm_reads = 0;
+    spm_writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let test_pareto_partition () =
+  let fast_hot = synthetic ~time_s:1.0 ~power_mw:50.0 ~area:10.0 1 in
+  let slow_cool = synthetic ~time_s:2.0 ~power_mw:10.0 ~area:10.0 2 in
+  let dominated = synthetic ~time_s:2.5 ~power_mw:60.0 ~area:10.0 3 in
+  let wrong = synthetic ~correct:false ~time_s:0.1 ~power_mw:1.0 ~area:1.0 4 in
+  let front, dom = Pareto.partition [ fast_hot; slow_cool; dominated; wrong ] in
+  Alcotest.(check int) "front size" 2 (List.length front);
+  Alcotest.(check int) "dominated size" 2 (List.length dom);
+  Alcotest.(check bool) "incorrect never on front" false (List.memq wrong front);
+  Alcotest.(check bool) "trade-off points both kept" true
+    (List.memq fast_hot front && List.memq slow_cool front)
+
+let test_pareto_dominates () =
+  let a = { Pareto.time_s = 1.0; power_mw = 1.0; area_um2 = 1.0 } in
+  let b = { Pareto.time_s = 1.0; power_mw = 2.0; area_um2 = 1.0 } in
+  Alcotest.(check bool) "a dominates b" true (Pareto.dominates a b);
+  Alcotest.(check bool) "b does not dominate a" false (Pareto.dominates b a);
+  Alcotest.(check bool) "no self-domination" false (Pareto.dominates a a)
+
+(* --- exploration: cache hits bit-identical, resume ----------------- *)
+
+let test_cache_hit_bit_identity () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let fresh = Dse.run ~store ~target:tiny_target ~strategy:Dse.Exhaustive tiny_spaces in
+      Store.close store;
+      Alcotest.(check int) "first run simulates all" fresh.Dse.evaluated fresh.Dse.simulated;
+      let store2 = Store.open_ path in
+      let warm = Dse.run ~store:store2 ~target:tiny_target ~strategy:Dse.Exhaustive tiny_spaces in
+      Store.close store2;
+      Alcotest.(check int) "second run simulates nothing" 0 warm.Dse.simulated;
+      Alcotest.(check int) "all hits" fresh.Dse.evaluated warm.Dse.cache_hits;
+      Alcotest.(check bool) "cached measurements bit-identical" true
+        (fresh.Dse.measurements = warm.Dse.measurements))
+
+let test_resume_after_truncation () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let fresh = Dse.run ~store ~target:tiny_target ~strategy:Dse.Exhaustive tiny_spaces in
+      Store.close store;
+      let n = fresh.Dse.evaluated in
+      (* kill the tail mid-line: the resumed sweep re-simulates exactly
+         the lost point and lands on identical measurements *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 (String.length full - 23)));
+      let store2 = Store.open_ path in
+      Alcotest.(check bool) "tail dropped" true (Store.repaired_bytes store2 > 0);
+      Alcotest.(check int) "one point lost" (n - 1) (Store.size store2);
+      let resumed = Dse.run ~store:store2 ~target:tiny_target ~strategy:Dse.Exhaustive tiny_spaces in
+      Store.close store2;
+      Alcotest.(check int) "only the lost point re-simulated" 1 resumed.Dse.simulated;
+      Alcotest.(check int) "rest from cache" (n - 1) resumed.Dse.cache_hits;
+      Alcotest.(check bool) "resume equals fresh" true
+        (fresh.Dse.measurements = resumed.Dse.measurements))
+
+let test_random_strategy_deterministic () =
+  let strategy = Dse.Random { samples = 2; seed = 7L } in
+  let r1 = Dse.run ~target:tiny_target ~strategy tiny_spaces in
+  let r2 = Dse.run ~target:tiny_target ~strategy tiny_spaces in
+  Alcotest.(check int) "sample count" 2 r1.Dse.evaluated;
+  Alcotest.(check bool) "same seed, same sample" true
+    (List.map (fun m -> m.M.fp) r1.Dse.measurements
+    = List.map (fun m -> m.M.fp) r2.Dse.measurements)
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint ignores axis order" `Quick test_fingerprint_axis_order;
+    Alcotest.test_case "fingerprint canonicalisation" `Quick test_fingerprint_canonical;
+    Alcotest.test_case "fingerprint hex round-trip" `Quick test_fingerprint_hex;
+    Alcotest.test_case "space union dedup" `Quick test_enumerate_dedup;
+    Alcotest.test_case "space validity filter" `Quick test_enumerate_validity;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
+    Alcotest.test_case "measurement line round-trip" `Quick test_measurement_roundtrip;
+    Alcotest.test_case "store persists and dedups" `Quick test_store_persist_and_dedup;
+    Alcotest.test_case "store repairs truncated tail" `Quick test_store_truncated_tail;
+    Alcotest.test_case "store refuses mid-file corruption" `Quick test_store_mid_file_corruption_fails;
+    Alcotest.test_case "pareto partition" `Quick test_pareto_partition;
+    Alcotest.test_case "pareto dominance" `Quick test_pareto_dominates;
+    Alcotest.test_case "cache hits bit-identical" `Quick test_cache_hit_bit_identity;
+    Alcotest.test_case "resume after truncated store" `Quick test_resume_after_truncation;
+    Alcotest.test_case "random strategy deterministic" `Quick test_random_strategy_deterministic;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("trace", Test_trace.suite);
       ("dma_stream", Test_dma_stream.suite);
       ("determinism", Test_determinism.suite);
+      ("dse", Test_dse.suite);
     ]

@@ -24,22 +24,69 @@ let emit_bench_json entries =
   close_out oc;
   Printf.printf "[micro results written to %s]\n" bench_json_path
 
+(* Engine-mode-pinned configs. The bare engine_* micro entries pin the
+   fully dynamic scheduler so their numbers stay comparable with the
+   committed baseline; the *_compiled twins run the schedule-
+   specialization replay. *)
+let with_mode mode =
+  {
+    Salam.Config.default with
+    Salam.Config.engine =
+      { Salam_engine.Engine.default_config with Salam_engine.Engine.mode };
+  }
+
+let dynamic_config = with_mode Salam_engine.Engine.Dynamic
+
+let compiled_config = with_mode Salam_engine.Engine.Compiled
+
+(* Compiled-vs-dynamic speedup on the Fig 13 gemm16 DSE point, the
+   workload that stresses the scheduler hardest. Interleaved min-of-N
+   wall timing: alternating the two modes within one process cancels
+   machine-load drift that two independent OLS fits cannot, so this —
+   not the Bechamel twins — is what CI gates on. *)
+let speedup () =
+  Bench_util.section "SPEEDUP — compiled vs dynamic engine (gemm16)";
+  let gemm16 = Exp_dse.gemm_dse_workload () in
+  let time config =
+    let t0 = Unix.gettimeofday () in
+    ignore (Salam.simulate ~config gemm16);
+    Unix.gettimeofday () -. t0
+  in
+  (* warm both paths: kernel compilation is memoised, allocator settles *)
+  ignore (time dynamic_config);
+  ignore (time compiled_config);
+  let dmin = ref infinity and cmin = ref infinity in
+  for _ = 1 to 12 do
+    dmin := min !dmin (time dynamic_config);
+    cmin := min !cmin (time compiled_config)
+  done;
+  Printf.printf "engine_gemm16: dynamic %.1f ms, compiled %.1f ms, speedup %.2fx\n\n"
+    (1000. *. !dmin) (1000. *. !cmin) (!dmin /. !cmin)
+
 let micro () =
   Bench_util.section "MICRO — simulator throughput (Bechamel)";
   let open Bechamel in
   let gemm = Salam_workloads.Gemm.workload ~n:8 () in
   let gemm16 = Exp_dse.gemm_dse_workload () in
   let nw = Salam_workloads.Nw.workload ~len:16 () in
+  let dynamic = dynamic_config in
+  let compiled = compiled_config in
   let tests =
     Test.make_grouped ~name:"salam"
       [
-        Test.make ~name:"engine_gemm8" (Staged.stage (fun () -> ignore (Salam.simulate gemm)));
+        Test.make ~name:"engine_gemm8"
+          (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic gemm)));
         (* the Fig 13 DSE point: a 16x16 GEMM unrolled 16x8, the largest
            single-block workload — stresses the reservation and wake-up
            structures hardest *)
         Test.make ~name:"engine_gemm16"
-          (Staged.stage (fun () -> ignore (Salam.simulate gemm16)));
-        Test.make ~name:"engine_nw16" (Staged.stage (fun () -> ignore (Salam.simulate nw)));
+          (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic gemm16)));
+        Test.make ~name:"engine_gemm16_compiled"
+          (Staged.stage (fun () -> ignore (Salam.simulate ~config:compiled gemm16)));
+        Test.make ~name:"engine_nw16"
+          (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic nw)));
+        Test.make ~name:"engine_nw16_compiled"
+          (Staged.stage (fun () -> ignore (Salam.simulate ~config:compiled nw)));
         (* a whole cold DSE sweep: enumerate a tiny GEMM space, simulate
            it storeless and extract the Pareto front *)
         Test.make ~name:"dse_gemm_front"
@@ -87,6 +134,7 @@ let experiments =
     ("fig16", Exp_multi.fig16);
     ("ablation", Exp_dse.ablation);
     ("micro", micro);
+    ("speedup", speedup);
   ]
 
 let () =

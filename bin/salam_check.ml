@@ -16,7 +16,7 @@ let memory_of_string = function
   | "dram" -> Ok Check_harness.Dram
   | other -> Error (Printf.sprintf "unknown memory kind %s (spm|cache|dram)" other)
 
-let run_all ~suite ~memory_kind ~seed =
+let run_all ~suite ~memory_kind ~seed ~mode =
   let workloads =
     match suite with
     | "quick" -> Salam_workloads.Suite.quick ()
@@ -25,7 +25,7 @@ let run_all ~suite ~memory_kind ~seed =
         Printf.eprintf "unknown suite %s (quick|standard)\n" other;
         exit 1
   in
-  let reports = Check_oracle.check_all ~memory_kind ~seed workloads in
+  let reports = Check_oracle.check_all ~memory_kind ~seed ~mode workloads in
   let failed = ref 0 in
   List.iter
     (fun (r : Check_oracle.report) ->
@@ -36,9 +36,34 @@ let run_all ~suite ~memory_kind ~seed =
           Printf.printf "FAIL %s: %s\n" r.Check_oracle.r_workload
             (Check_oracle.failure_to_string f))
     reports;
-  Printf.printf "%d/%d workloads agree (interpreter vs engine, invariants on)\n"
+  Printf.printf "%d/%d workloads agree (interpreter vs %s engine, invariants on)\n"
     (List.length reports - !failed)
-    (List.length reports);
+    (List.length reports)
+    (Salam_engine.Engine.mode_to_string mode);
+  !failed = 0
+
+let run_modes ~suite ~memory_kind ~seed =
+  let workloads =
+    match suite with
+    | "quick" -> Salam_workloads.Suite.quick ()
+    | "standard" -> Salam_workloads.Suite.standard ()
+    | other ->
+        Printf.eprintf "unknown suite %s (quick|standard)\n" other;
+        exit 1
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun (w : Salam_workloads.Workload.t) ->
+      match Check_oracle.check_modes ~memory_kind ~seed w with
+      | Ok () -> Printf.printf "PASS %s\n" w.Salam_workloads.Workload.name
+      | Error f ->
+          incr failed;
+          Printf.printf "FAIL %s: %s\n" w.Salam_workloads.Workload.name
+            (Check_oracle.failure_to_string f))
+    workloads;
+  Printf.printf "%d/%d workloads bit-identical (compiled vs dynamic engine)\n"
+    (List.length workloads - !failed)
+    (List.length workloads);
   !failed = 0
 
 let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
@@ -68,28 +93,37 @@ let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
     failures = []
   end
 
-let main all fuzz suite memory seed plant_bug =
+let main all modes fuzz suite memory seed plant_bug engine_mode =
   match memory_of_string memory with
   | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
-  | Ok memory_kind ->
-      let ran = ref false in
-      let ok = ref true in
-      if all then begin
-        ran := true;
-        ok := run_all ~suite ~memory_kind ~seed && !ok
-      end;
-      (match fuzz with
-      | Some count when count > 0 ->
-          ran := true;
-          ok := run_fuzz ~count ~memory_kind ~seed ~plant_bug && !ok
-      | Some _ | None -> ());
-      if not !ran then begin
-        Printf.eprintf "nothing to do: pass --all and/or --fuzz N\n";
-        exit 2
-      end;
-      if not !ok then exit 1
+  | Ok memory_kind -> (
+      match Salam_engine.Engine.mode_of_string engine_mode with
+      | None ->
+          Printf.eprintf "unknown engine mode %s (dynamic|compiled)\n" engine_mode;
+          exit 1
+      | Some mode ->
+          let ran = ref false in
+          let ok = ref true in
+          if all then begin
+            ran := true;
+            ok := run_all ~suite ~memory_kind ~seed ~mode && !ok
+          end;
+          if modes then begin
+            ran := true;
+            ok := run_modes ~suite ~memory_kind ~seed && !ok
+          end;
+          (match fuzz with
+          | Some count when count > 0 ->
+              ran := true;
+              ok := run_fuzz ~count ~memory_kind ~seed ~plant_bug && !ok
+          | Some _ | None -> ());
+          if not !ran then begin
+            Printf.eprintf "nothing to do: pass --all, --modes and/or --fuzz N\n";
+            exit 2
+          end;
+          if not !ok then exit 1)
 
 let cmd =
   let all =
@@ -118,9 +152,22 @@ let cmd =
              ~doc:"Flip a float op in the engine's copy of each fuzz kernel; succeed only if \
                    the oracle detects it.")
   in
+  let modes =
+    Arg.(value & flag
+         & info [ "modes" ]
+             ~doc:"Run the compiled-vs-dynamic engine oracle on every suite workload: both \
+                   scheduling implementations must be bit-identical (buffers, statistics, \
+                   trace streams).")
+  in
+  let engine_mode =
+    Arg.(value & opt string "compiled"
+         & info [ "engine-mode" ] ~docv:"MODE"
+             ~doc:"Engine scheduling implementation for the --all oracle leg: dynamic or \
+                   compiled.")
+  in
   let doc = "differential validation: interpreter-vs-engine oracle, kernel fuzzer" in
   Cmd.v
     (Cmd.info "salam_check" ~version:"1.0.0" ~doc)
-    Term.(const main $ all $ fuzz $ suite $ memory $ seed $ plant_bug)
+    Term.(const main $ all $ modes $ fuzz $ suite $ memory $ seed $ plant_bug $ engine_mode)
 
 let () = exit (Cmd.eval cmd)

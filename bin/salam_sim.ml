@@ -22,12 +22,20 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_workload name clock_mhz memory cache_size ports write_ports banks fadd_limit =
+let run_workload name clock_mhz memory cache_size ports write_ports banks fadd_limit
+    engine_mode =
   match Salam_workloads.Suite.by_name name with
   | None ->
       Printf.eprintf "unknown workload %s; try `salam_sim list`\n" name;
       exit 1
   | Some w ->
+      let mode =
+        match Engine.mode_of_string engine_mode with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "unknown engine mode %s (dynamic|compiled)\n" engine_mode;
+            exit 1
+      in
       let memory =
         match memory with
         | "spm" ->
@@ -51,7 +59,7 @@ let run_workload name clock_mhz memory cache_size ports write_ports banks fadd_l
           Salam.Config.clock_mhz;
           memory;
           fu_limits;
-          engine = { Engine.default_config with Engine.fu_limits };
+          engine = { Engine.default_config with Engine.fu_limits; Engine.mode };
         }
       in
       let r = Salam.simulate ~config w in
@@ -101,10 +109,19 @@ let run_cmd =
       & info [ "fp-units" ] ~docv:"N"
           ~doc:"Cap double-precision FADD/FMUL units (0 = 1:1 map).")
   in
+  let engine_mode =
+    Arg.(
+      value & opt string "compiled"
+      & info [ "engine-mode" ] ~docv:"MODE"
+          ~doc:
+            "Engine scheduling implementation: $(b,compiled) replays the \
+             schedule-specialization pre-pass, $(b,dynamic) derives every decision at run \
+             time. Results are bit-identical.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports $ banks
-      $ fadd)
+      $ fadd $ engine_mode)
 
 let () =
   let doc = "gem5-SALAM reproduction: LLVM-based accelerator simulation" in

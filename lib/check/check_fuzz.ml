@@ -307,9 +307,11 @@ let failure_kind_to_string = function
   | Compile_failure msg -> "frontend rejected generated kernel: " ^ msg
   | Oracle f -> Check_oracle.failure_to_string f
 
-(* Run one generated kernel through the oracle. Compilation happens
-   twice on purpose: [Ast.func] is mutable, so the engine side (and any
-   planted mutation) must get its own copy. *)
+(* Run one generated kernel through the oracle: the interpreter-vs-engine
+   leg first, then — when it agrees — the compiled-vs-dynamic engine leg,
+   which must also be bit-identical. Compilation happens twice on
+   purpose: [Ast.func] is mutable, so the engine side (and any planted
+   mutation) must get its own copy. *)
 let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ?trace ~data_seed kernel =
   match Compile.kernel kernel with
   | exception Compile.Error msg -> Some (Compile_failure msg)
@@ -322,8 +324,19 @@ let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ?trace ~data_seed kern
       match
         Check_oracle.check_workload ~memory_kind ~seed:data_seed ~func ?engine_func ?trace w
       with
-      | Ok () -> None
-      | Error f -> Some (Oracle f))
+      | Error f -> Some (Oracle f)
+      | Ok () -> (
+          (* both modes run the same (possibly mutated) function: a
+             planted functional bug is the interp leg's to catch, this leg
+             owns scheduling-equivalence *)
+          let mode_func =
+            match engine_func with Some f -> f | None -> func
+          in
+          match
+            Check_oracle.check_modes ~memory_kind ~seed:data_seed ~func:mode_func ?trace w
+          with
+          | Ok () -> None
+          | Error f -> Some (Oracle f)))
 
 (* Replay a failing (shrunk) kernel under a bounded ring sink and return
    the tail of the engine-side event stream — the crash-dump context a

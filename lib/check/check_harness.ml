@@ -21,14 +21,15 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 256
 
-let run_engine ?(memory_kind = Spm) ?(seed = 42L) ?func ?trace (w : W.t) =
+let run_engine ?(memory_kind = Spm) ?(seed = 42L)
+    ?(mode = Engine.default_config.Engine.mode) ?func ?trace (w : W.t) =
   let func = match func with Some f -> f | None -> W.compile w in
   let sys = System.create ?trace () in
   let fabric = Fabric.create sys () in
   let cluster = Cluster.create sys fabric ~name:"check" ~clock_mhz:500.0 () in
   (* the whole point of this harness: every run validates the engine's
      own timing invariants while it executes *)
-  let engine_config = { Engine.default_config with Engine.check = true } in
+  let engine_config = { Engine.default_config with Engine.check = true; Engine.mode } in
   let acc = Accelerator.create sys ~name:w.W.name ~clock_mhz:500.0 ~engine_config func in
   Cluster.add_accelerator cluster acc;
   let buffer_bytes = W.total_buffer_bytes w in

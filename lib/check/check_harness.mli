@@ -26,15 +26,17 @@ type run = {
 val run_engine :
   ?memory_kind:memory_kind ->
   ?seed:int64 ->
+  ?mode:Salam_engine.Engine.mode ->
   ?func:Salam_ir.Ast.func ->
   ?trace:Salam_obs.Trace.sink ->
   Salam_workloads.Workload.t ->
   run
 (** Run the workload through the full timing stack with
-    [Engine.config.check = true]. [?func] substitutes an already-compiled
-    (possibly deliberately mutated) function for the workload's kernel —
-    the fuzzer uses this to plant bugs and to bypass the per-name compile
-    cache. [?trace] installs a trace sink on the run's private system.
-    Raises [Engine.Invariant_violation] if a timing invariant
-    breaks mid-run and [Engine.Runtime_error] if the simulated program
-    faults. *)
+    [Engine.config.check = true]. [?mode] selects the engine's scheduling
+    implementation (default: the engine's own default). [?func]
+    substitutes an already-compiled (possibly deliberately mutated)
+    function for the workload's kernel — the fuzzer uses this to plant
+    bugs and to bypass the per-name compile cache. [?trace] installs a
+    trace sink on the run's private system. Raises
+    [Engine.Invariant_violation] if a timing invariant breaks mid-run and
+    [Engine.Runtime_error] if the simulated program faults. *)

@@ -18,6 +18,11 @@ type divergence = {
 
 type failure =
   | Divergence of divergence
+  | Mode_divergence of divergence
+      (** compiled-vs-dynamic: [d_interp] holds the dynamic-mode word and
+          [d_engine] the compiled-mode word *)
+  | Mode_mismatch of string
+      (** compiled-vs-dynamic: stats, return value or trace streams differ *)
   | Interp_golden_failed
   | Engine_golden_failed
   | Cache_invariants of string list
@@ -25,16 +30,25 @@ type failure =
 
 type report = { r_workload : string; r_result : (unit, failure) result }
 
+let provenance_to_string = function
+  | Some p ->
+      Printf.sprintf " (last interpreter store covering it: %%%s, %s, addr %Ld size %d)"
+        p.p_block p.p_instr p.p_addr p.p_size
+  | None -> " (no interpreter store ever covered this byte)"
+
 let failure_to_string = function
   | Divergence d ->
       Printf.sprintf
         "buffer %s diverges at byte offset %d: interp word %016Lx, engine word %016Lx%s"
         d.d_buffer d.d_offset d.d_interp d.d_engine
-        (match d.d_store with
-        | Some p ->
-            Printf.sprintf " (last interpreter store covering it: %%%s, %s, addr %Ld size %d)"
-              p.p_block p.p_instr p.p_addr p.p_size
-        | None -> " (no interpreter store ever covered this byte)")
+        (provenance_to_string d.d_store)
+  | Mode_divergence d ->
+      Printf.sprintf
+        "compiled-vs-dynamic: buffer %s diverges at byte offset %d: dynamic word %016Lx, \
+         compiled word %016Lx%s"
+        d.d_buffer d.d_offset d.d_interp d.d_engine
+        (provenance_to_string d.d_store)
+  | Mode_mismatch msg -> "compiled-vs-dynamic: " ^ msg
   | Interp_golden_failed -> "interpreter output fails the workload's golden model"
   | Engine_golden_failed -> "engine output fails the workload's golden model"
   | Cache_invariants errs -> "cache invariants violated: " ^ String.concat "; " errs
@@ -129,7 +143,7 @@ let first_divergence (w : W.t) ~interp_mem ~interp_bases ~engine_mem ~engine_bas
   in
   buffers 0 w.W.buffers
 
-let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?engine_func
+let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?mode ?func ?engine_func
     ?trace (w : W.t) =
   (* [engine_func] substitutes a different function on the engine side
      only — how the fuzzer's planted-bug mode makes the two sides
@@ -137,7 +151,7 @@ let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?engin
   let engine_func = match engine_func with Some f -> Some f | None -> func in
   match
     let interp_mem, interp_bases, _iret, stores = run_interp ~seed ?func w in
-    let er = Check_harness.run_engine ~memory_kind ~seed ?func:engine_func ?trace w in
+    let er = Check_harness.run_engine ~memory_kind ~seed ?mode ?func:engine_func ?trace w in
     match
       first_divergence w ~interp_mem ~interp_bases ~engine_mem:er.Check_harness.memory
         ~engine_bases:er.Check_harness.bases ~stores
@@ -159,8 +173,66 @@ let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?engin
       Error (Harness_error ("engine runtime error: " ^ msg))
   | exception Failure msg -> Error (Harness_error msg)
 
-let check_all ?memory_kind ?seed workloads =
+(* Compiled-vs-dynamic differential: the schedule-specialization replay
+   must be bit-identical to the fully dynamic engine — same store
+   contents, same return value, same statistics (cycles included) and
+   the same trace event stream. Store provenance for a divergent byte
+   still comes from an interpreter run: both engine modes are suspect,
+   the functional semantics are not. *)
+let check_modes ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?trace (w : W.t) =
+  let module Engine = Salam_engine.Engine in
+  let module Trace = Salam_obs.Trace in
+  match
+    let _, _, _, stores = run_interp ~seed ?func w in
+    let tr_dyn = Trace.create () in
+    let tr_cmp = match trace with Some tr -> tr | None -> Trace.create () in
+    let dr =
+      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Dynamic ?func ~trace:tr_dyn w
+    in
+    let cr =
+      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Compiled ?func ~trace:tr_cmp w
+    in
+    match
+      first_divergence w ~interp_mem:dr.Check_harness.memory
+        ~interp_bases:dr.Check_harness.bases ~engine_mem:cr.Check_harness.memory
+        ~engine_bases:cr.Check_harness.bases ~stores
+    with
+    | Some d -> Error (Mode_divergence d)
+    | None ->
+        let ds = dr.Check_harness.stats and cs = cr.Check_harness.stats in
+        if not (Int64.equal ds.Engine.cycles cs.Engine.cycles) then
+          Error
+            (Mode_mismatch
+               (Printf.sprintf "cycle counts differ: dynamic %Ld, compiled %Ld"
+                  ds.Engine.cycles cs.Engine.cycles))
+        else if ds <> cs then Error (Mode_mismatch "run statistics differ")
+        else if dr.Check_harness.ret <> cr.Check_harness.ret then
+          Error (Mode_mismatch "return values differ")
+        else if trace <> None then
+          (* an external (possibly ring-bounded) sink replaced ours on the
+             compiled run — its lines are not comparable to the unbounded
+             dynamic stream, and replay callers only want the event tail *)
+          Ok ()
+        else begin
+          (* the sinks only record default categories, so the opt-in
+             engine.compile events of the compiled run cannot produce a
+             spurious mismatch here *)
+          match Trace.first_divergence (Trace.to_lines tr_dyn) (Trace.to_lines tr_cmp) with
+          | Some d ->
+              Error (Mode_mismatch ("trace streams diverge: " ^ Trace.divergence_to_string d))
+          | None -> Ok ()
+        end
+  with
+  | result -> result
+  | exception Interp.Trap msg -> Error (Harness_error ("interpreter trap: " ^ msg))
+  | exception Salam_engine.Engine.Invariant_violation msg ->
+      Error (Harness_error ("engine invariant violation: " ^ msg))
+  | exception Salam_engine.Engine.Runtime_error msg ->
+      Error (Harness_error ("engine runtime error: " ^ msg))
+  | exception Failure msg -> Error (Harness_error msg)
+
+let check_all ?memory_kind ?seed ?mode workloads =
   List.map
     (fun (w : W.t) ->
-      { r_workload = w.W.name; r_result = check_workload ?memory_kind ?seed w })
+      { r_workload = w.W.name; r_result = check_workload ?memory_kind ?seed ?mode w })
     workloads

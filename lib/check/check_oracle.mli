@@ -27,6 +27,13 @@ type divergence = {
 
 type failure =
   | Divergence of divergence
+  | Mode_divergence of divergence
+      (** compiled-vs-dynamic buffer divergence; [d_interp] holds the
+          dynamic-mode word, [d_engine] the compiled-mode word, and the
+          provenance still names the last interpreter store *)
+  | Mode_mismatch of string
+      (** compiled-vs-dynamic: cycle counts, statistics, return value or
+          trace event streams differ *)
   | Interp_golden_failed
   | Engine_golden_failed
   | Cache_invariants of string list
@@ -46,6 +53,7 @@ val run_interp :
 val check_workload :
   ?memory_kind:Check_harness.memory_kind ->
   ?seed:int64 ->
+  ?mode:Salam_engine.Engine.mode ->
   ?func:Salam_ir.Ast.func ->
   ?engine_func:Salam_ir.Ast.func ->
   ?trace:Salam_obs.Trace.sink ->
@@ -53,13 +61,30 @@ val check_workload :
   (unit, failure) result
 (** Run both sides from identical initial memory and compare: buffers
     word-for-word, then cache invariants, then both sides against the
-    workload's golden model. [?func] substitutes a pre-compiled function
+    workload's golden model. [?mode] selects the engine-side scheduling
+    implementation; [?func] substitutes a pre-compiled function
     on both sides (used by the fuzzer); [?engine_func] overrides the
     engine side only (used to plant bugs that the oracle must catch);
     [?trace] installs a trace sink on the engine-side system. *)
 
+val check_modes :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?seed:int64 ->
+  ?func:Salam_ir.Ast.func ->
+  ?trace:Salam_obs.Trace.sink ->
+  Salam_workloads.Workload.t ->
+  (unit, failure) result
+(** Compiled-vs-dynamic differential: run the engine in both scheduling
+    modes from identical initial memory and require bit-identical
+    results — store contents word-for-word (divergences carry
+    interpreter store provenance, like {!check_workload}), return value,
+    full run statistics including the cycle count, and the default-
+    category trace event streams. [?trace] additionally installs the
+    given sink on the compiled-mode run. *)
+
 val check_all :
   ?memory_kind:Check_harness.memory_kind ->
   ?seed:int64 ->
+  ?mode:Salam_engine.Engine.mode ->
   Salam_workloads.Workload.t list ->
   report list

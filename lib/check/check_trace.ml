@@ -107,20 +107,30 @@ let run_dma sink =
 
 (* --- scenario registry --------------------------------------------------- *)
 
+(* (name, sink categories, runner); [None] means the default category
+   set. The [engine_compile] scenario opts in to the schedule-
+   specialization pre-pass events, locking the region partition (counts,
+   per-region ops, boundary reasons) into the golden suite alongside the
+   timing stream. *)
 let scenarios =
   [
-    ("spm_vecadd", run_vecadd ~memory_kind:Check_harness.Spm);
-    ("cache_vecadd", run_vecadd ~memory_kind:(Check_harness.Cache { size = 1024; ways = 2 }));
-    ("dma_copy", run_dma);
+    ("spm_vecadd", None, run_vecadd ~memory_kind:Check_harness.Spm);
+    ( "cache_vecadd",
+      None,
+      run_vecadd ~memory_kind:(Check_harness.Cache { size = 1024; ways = 2 }) );
+    ("dma_copy", None, run_dma);
+    ( "engine_compile_vecadd",
+      Some (Trace.Engine_compile :: Trace.default_categories),
+      run_vecadd ~memory_kind:Check_harness.Spm );
   ]
 
-let names = List.map fst scenarios
+let names = List.map (fun (name, _, _) -> name) scenarios
 
 let capture name =
-  match List.assoc_opt name scenarios with
+  match List.find_opt (fun (n, _, _) -> n = name) scenarios with
   | None -> invalid_arg ("Check_trace.capture: unknown scenario " ^ name)
-  | Some run ->
-      let sink = Trace.create () in
+  | Some (_, categories, run) ->
+      let sink = Trace.create ?categories () in
       if not (run sink) then
         failwith ("Check_trace.capture: scenario " ^ name ^ " computed a wrong result");
       Trace.to_text sink

@@ -4,6 +4,15 @@ open Salam_sim
 module Datapath = Salam_cdfg.Datapath
 module Trace = Salam_obs.Trace
 
+type mode = Dynamic | Compiled
+
+let mode_to_string = function Dynamic -> "dynamic" | Compiled -> "compiled"
+
+let mode_of_string = function
+  | "dynamic" -> Some Dynamic
+  | "compiled" -> Some Compiled
+  | _ -> None
+
 type config = {
   fu_limits : (Fu.cls * int) list;
   read_queue_depth : int;
@@ -13,6 +22,7 @@ type config = {
   enforce_waw : bool;
   enforce_war : bool;
   check : bool;
+  mode : mode;
 }
 
 let default_config =
@@ -25,7 +35,14 @@ let default_config =
     enforce_waw = true;
     enforce_war = true;
     check = false;
+    mode = Compiled;
   }
+
+(* Placeholder for [tick_thunk] until the first [schedule_tick]; a
+   top-level closure so the lazy-init check is a stable pointer compare
+   ([ignore] is a primitive and eta-expands to a fresh closure per use
+   site). *)
+let unset_thunk () = ()
 
 exception Invariant_violation of string
 
@@ -71,7 +88,7 @@ type dstate = Waiting | Issued | Done
    ([dependents] for values delivered at commit, [issue_dependents] for
    hazards released at issue) are what deliver the wake-ups. *)
 type dyn = {
-  seq : int;
+  mutable seq : int;  (** mutable so compiled mode can recycle instances *)
   node : Datapath.node;
   operands : Bits.t option array;
   producers : dyn option array;
@@ -90,6 +107,31 @@ type dyn = {
   mutable branch_target : string option;
   mutable mem_node : dyn Ilist.node option;  (** membership in live_mem *)
   mutable ready_node : dyn Ilist.node option;  (** membership in ready *)
+  (* compiled-mode recycling: retired instances return to a per-node pool
+     and are replayed with their arrays and intrusive-list nodes intact,
+     so steady-state imports allocate nothing *)
+  mutable row : Schedule.row option;  (** originating template; [None] in dynamic mode *)
+  mutable pool_next : dyn option;  (** intrusive per-node free list *)
+  mutable retired : bool;  (** popped from the reservation while still in flight *)
+  mutable cn_ready : dyn Ilist.node option;  (** cached ready-list node *)
+  mutable cn_mem : dyn Ilist.node option;  (** cached live-mem node *)
+  mutable k_commit : (unit -> unit) option;
+      (** cached [commit] continuation (compute latency events and store
+          acknowledgements); valid across pool reuses — the instance's
+          identity is stable *)
+  mutable k_load : (Salam_ir.Bits.t -> unit) option;
+      (** cached load-response continuation *)
+  (* compiled-mode value dependents as an intrusive linked structure:
+     producer [dep_head]/[dep_head_slot] point at the first (consumer,
+     slot) link; each consumer chains onward through its own
+     [dep_next]/[dep_slot] at that slot. Registration and the commit
+     walk allocate nothing. Links die when the producer commits; stale
+     per-slot entries are overwritten at the consumer's next
+     registration and never read in between. *)
+  mutable dep_head : dyn option;
+  mutable dep_head_slot : int;
+  dep_next : dyn option array;  (** parallel to [operands] *)
+  dep_slot : int array;  (** parallel to [operands] *)
 }
 
 (* Static per-node facts, precomputed once at [create] and indexed by the
@@ -125,7 +167,24 @@ type t = {
   mutable waiting_count : int;  (** reservation entries still Waiting *)
   ready : dyn Ilist.t;
       (** seq-ordered wake-up queue: Waiting dyns with no pending value or
-          hazard dependencies. Only these are scanned by [tick]. *)
+          hazard dependencies. Only these are scanned by [tick]. In
+          [Compiled] mode this holds only the non-memory ops; loads and
+          stores go to [ready_l]/[ready_s]. *)
+  sched : Schedule.t option;  (** [Some] iff [config.mode = Compiled] *)
+  pools : dyn option array;
+      (** compiled mode: per-static-node free lists of retired instances,
+          indexed by [Datapath.n_id]; empty in dynamic mode *)
+  ready_l : dyn Ilist.t;  (** compiled mode: ready loads, seq-ordered *)
+  ready_s : dyn Ilist.t;  (** compiled mode: ready stores, seq-ordered *)
+  mutable finger_l : dyn Ilist.node option;
+  mutable finger_s : dyn Ilist.node option;
+  (* compiled-mode scan state: one cursor per ready list, live only while
+     [scanning]. A wake-up landing before a cursor rewinds it so the
+     merge still examines the node this pass (see [wake_compiled]). *)
+  mutable scanning : bool;
+  mutable scan_c : dyn Ilist.node option;
+  mutable scan_l : dyn Ilist.node option;
+  mutable scan_s : dyn Ilist.node option;
   live_mem : dyn Ilist.t;
       (** Waiting (imported, not yet issued) memory ops in program order.
           Issued ops can never conflict, so they leave at issue time —
@@ -153,10 +212,10 @@ type t = {
   mutable ret_value : Bits.t option;
   mutable on_finish : (Bits.t option -> unit) option;
   mutable tick_scheduled : bool;
-  mutable start_cycle : int64;
+  mutable start_cycle : int;
   (* per-cycle accumulation, finalised when the clock advances (several
      tick events can run within one cycle due to zero-latency commits) *)
-  mutable cur_cycle : int64;
+  mutable cur_cycle : int;
   mutable cyc_active : bool;
   mutable cyc_issued : bool;
   mutable cyc_load : bool;
@@ -187,12 +246,26 @@ type t = {
   mutable s_issued_other : int;
   s_busy_integral : float array;  (** by [Fu.index] *)
   s_issued_by_class : int array;  (** by [Fu.index] *)
-  mutable s_fu_energy : float;
-  mutable s_reg_energy : float;
+  s_energy : float array;
+      (** [0] = functional-unit pJ, [1] = register-file pJ. A float array
+          so the per-issue accumulation stays unboxed — a mutable [float]
+          field in this mixed record would box on every assignment. *)
+  (* compiled-mode stall-classification memo: when nothing issued and no
+     import/issue/commit has touched engine state since the last
+     classification, the walk's inputs are unchanged and the cached flags
+     are exact (see [tick]) *)
+  mutable stall_cached : bool;
+  mutable stall_l : bool;
+  mutable stall_s : bool;
+  mutable stall_c : bool;
+  mutable tick_thunk : unit -> unit;
+      (** the [tick] closure, allocated once — [schedule_tick] runs every
+          active cycle *)
 }
 
 let create kernel clock stats_group ?(config = default_config) ~datapath ~mem () =
   ignore stats_group;
+  let t =
   let block_lists = Hashtbl.create 16 in
   Array.iter
     (fun (n : Datapath.node) ->
@@ -282,6 +355,19 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     reservation = Deque.create ~capacity:(config.reservation_slots + 8) ();
     waiting_count = 0;
     ready = Ilist.create ();
+    sched = (match config.mode with Compiled -> Some (Schedule.compile datapath) | Dynamic -> None);
+    pools =
+      (match config.mode with
+      | Compiled -> Array.make (Array.length datapath.Datapath.nodes) None
+      | Dynamic -> [||]);
+    ready_l = Ilist.create ();
+    ready_s = Ilist.create ();
+    finger_l = None;
+    finger_s = None;
+    scanning = false;
+    scan_c = None;
+    scan_l = None;
+    scan_s = None;
     live_mem = Ilist.create ();
     ready_finger = None;
     last_writer = Array.make nregs None;
@@ -307,8 +393,8 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     ret_value = None;
     on_finish = None;
     tick_scheduled = false;
-    start_cycle = 0L;
-    cur_cycle = -1L;
+    start_cycle = 0;
+    cur_cycle = -1;
     cyc_active = false;
     cyc_issued = false;
     cyc_load = false;
@@ -338,9 +424,18 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     s_issued_other = 0;
     s_busy_integral = Array.make Fu.count 0.0;
     s_issued_by_class = Array.make Fu.count 0;
-    s_fu_energy = 0.0;
-    s_reg_energy = 0.0;
+    s_energy = Array.make 2 0.0;
+    stall_cached = false;
+    stall_l = false;
+    stall_s = false;
+    stall_c = false;
+    tick_thunk = unset_thunk;
   }
+  in
+  (match (t.tr, t.sched) with
+  | Some tr, Some sc -> Schedule.emit_trace sc tr ~tick:(Kernel.now kernel) ~comp:t.tr_comp
+  | _ -> ());
+  t
 
 let fu_allocated t cls = t.fu_units.(Fu.index cls)
 
@@ -397,18 +492,23 @@ let in_range addr (base, size) =
   Int64.compare addr base >= 0
   && Int64.compare addr (Int64.add base (Int64.of_int size)) < 0
 
+let rec ordered_hit addr = function
+  | [] -> false
+  | r :: tl -> in_range addr r || ordered_hit addr tl
+
+let set_addr t dyn a =
+  let addr = Bits.to_int64 a in
+  dyn.mem_addr <- Some addr;
+  dyn.is_device <- ordered_hit addr t.ordered_ranges
+
 let resolve_addr t dyn =
-  if dyn.mem_addr = None then begin
-    let set a =
-      let addr = Bits.to_int64 a in
-      dyn.mem_addr <- Some addr;
-      dyn.is_device <- List.exists (in_range addr) t.ordered_ranges
-    in
-    if dyn.is_load then
-      match dyn.operands.(0) with Some a -> set a | None -> ()
-    else if dyn.is_store then
-      match dyn.operands.(1) with Some a -> set a | None -> ()
-  end
+  match dyn.mem_addr with
+  | Some _ -> ()
+  | None ->
+      if dyn.is_load then (
+        match dyn.operands.(0) with Some a -> set_addr t dyn a | None -> ())
+      else if dyn.is_store then (
+        match dyn.operands.(1) with Some a -> set_addr t dyn a | None -> ())
 
 let add_ordered_range t ~base ~size = t.ordered_ranges <- (base, size) :: t.ordered_ranges
 
@@ -418,35 +518,94 @@ let add_ordered_range t ~base ~size = t.ordered_ranges <- (base, size) :: t.orde
    only decrease, and it leaves the queue only by issuing), so insertion
    scans from the tail, where fresh wake-ups — always the youngest ready
    instructions — land immediately. *)
+let sorted_insert lst ~finger n seq =
+  (* find the rightmost node with a smaller seq, starting from the
+     last insertion point (wake-ups arrive in nearly sorted bursts) *)
+  let start =
+    match finger with
+    | Some f when Ilist.linked f -> Some f
+    | Some _ | None -> Ilist.tail lst
+  in
+  let rec back = function
+    | None -> None
+    | Some a -> if (Ilist.value a).seq < seq then Some a else back (Ilist.prev a)
+  in
+  let rec fwd a =
+    match Ilist.next a with
+    | Some nx when (Ilist.value nx).seq < seq -> fwd nx
+    | _ -> a
+  in
+  match back start with
+  | None -> Ilist.push_front lst n
+  | Some a -> Ilist.insert_after lst ~anchor:(fwd a) n
+
+(* Cursor rewind: a node spliced at or before a scan cursor would be
+   missed by the rest of this pass, so pull the cursor back onto it.
+   Wake-ups always carry a seq greater than the op the scan is currently
+   issuing (producers and hazard blockers are older than their
+   dependents), so the merge's picks still arrive in strictly increasing
+   seq order — identical to the single-list scan. *)
+let rewind cursor n seq =
+  match cursor with
+  | None -> Some n
+  | Some c when seq < (Ilist.value c).seq -> Some n
+  | some -> some
+
+let wake_compiled t dyn =
+  let n =
+    match dyn.cn_ready with
+    | Some n -> n
+    | None ->
+        let n = Ilist.node dyn in
+        dyn.cn_ready <- Some n;
+        n
+  in
+  dyn.ready_node <- Some n;
+  if dyn.is_load then begin
+    sorted_insert t.ready_l ~finger:t.finger_l n dyn.seq;
+    t.finger_l <- Some n;
+    if t.scanning then t.scan_l <- rewind t.scan_l n dyn.seq
+  end
+  else if dyn.is_store then begin
+    sorted_insert t.ready_s ~finger:t.finger_s n dyn.seq;
+    t.finger_s <- Some n;
+    if t.scanning then t.scan_s <- rewind t.scan_s n dyn.seq
+  end
+  else begin
+    sorted_insert t.ready ~finger:t.ready_finger n dyn.seq;
+    t.ready_finger <- Some n;
+    if t.scanning then t.scan_c <- rewind t.scan_c n dyn.seq
+  end
+
 let try_wake t dyn =
   if
     dyn.st = Waiting && dyn.missing = 0 && dyn.hazards = 0 && dyn.ready_node = None
-  then begin
-    let n = Ilist.node dyn in
-    dyn.ready_node <- Some n;
-    (* find the rightmost node with a smaller seq, starting from the
-       last insertion point (wake-ups arrive in nearly sorted bursts) *)
-    let start =
-      match t.ready_finger with
-      | Some f when Ilist.linked f -> Some f
-      | Some _ | None -> Ilist.tail t.ready
-    in
-    let rec back = function
-      | None -> None
-      | Some a ->
-          if (Ilist.value a).seq < dyn.seq then Some a else back (Ilist.prev a)
-    in
-    let rec fwd a =
-      match Ilist.next a with
-      | Some nx when (Ilist.value nx).seq < dyn.seq ->
-          fwd nx
-      | _ -> a
-    in
-    (match back start with
-    | None -> Ilist.push_front t.ready n
-    | Some a -> Ilist.insert_after t.ready ~anchor:(fwd a) n);
-    t.ready_finger <- Some n
-  end
+  then
+    if t.sched <> None then wake_compiled t dyn
+    else begin
+      let n = Ilist.node dyn in
+      dyn.ready_node <- Some n;
+      sorted_insert t.ready ~finger:t.ready_finger n dyn.seq;
+      t.ready_finger <- Some n
+    end
+
+(* Return a retired compiled-mode instance to its node's pool. Safe only
+   once the instance is [Done] *and* popped from the reservation: by then
+   it has been purged from every reader list (at issue), [last_writer]
+   dropped it (at commit), its value dependents were all delivered, and
+   any remaining [last_instance]/[producers] references guard on state
+   that a recycled instance can never satisfy. *)
+let recycle t dyn =
+  let nid = dyn.node.Datapath.n_id in
+  dyn.pool_next <- t.pools.(nid);
+  t.pools.(nid) <- Some dyn
+
+(* Drop one occurrence of [dyn] from a reader list (physical equality);
+   registration consed one entry per operand occurrence, and issue purges
+   exactly as many. The instance is nearly always at or near the head. *)
+let rec drop_reader dyn = function
+  | [] -> []
+  | r :: tl -> if r == dyn then tl else r :: drop_reader dyn tl
 
 (* --- timing invariants (active when [config.check]) -------------------- *)
 
@@ -481,6 +640,10 @@ let check_completion t =
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   if not (Ilist.is_empty t.ready) then
     err "ready queue holds %d entries at completion" (Ilist.length t.ready);
+  if not (Ilist.is_empty t.ready_l) then
+    err "ready load queue holds %d entries at completion" (Ilist.length t.ready_l);
+  if not (Ilist.is_empty t.ready_s) then
+    err "ready store queue holds %d entries at completion" (Ilist.length t.ready_s);
   if not (Ilist.is_empty t.live_mem) then
     err "live memory queue holds %d entries at completion" (Ilist.length t.live_mem);
   let waiting = ref 0 in
@@ -518,10 +681,16 @@ let check_completion t =
 let rec schedule_tick t ~cycles =
   if not t.tick_scheduled then begin
     t.tick_scheduled <- true;
-    Clock.schedule_cycles t.clock ~cycles (fun () -> tick t)
+    if t.tick_thunk == unset_thunk then t.tick_thunk <- (fun () -> tick t);
+    Clock.schedule_cycles t.clock ~cycles t.tick_thunk
   end
 
 and import_block t ~label ~pred =
+  match t.sched with
+  | Some sc -> import_block_compiled t sc ~label ~pred
+  | None -> import_block_dynamic t ~label ~pred
+
+and import_block_dynamic t ~label ~pred =
   let nodes =
     match Hashtbl.find_opt t.block_nodes label with
     | Some ns -> ns
@@ -553,6 +722,166 @@ and import_block t ~label ~pred =
     schedule_tick t ~cycles:0
   end
 
+(* Compiled import: replay the block's precompiled row array. Decisions
+   the dynamic path re-derives per instance — phi incoming search,
+   constant truncation, reader-registration operand matching — were made
+   once by [Schedule.compile]; only the genuinely dynamic state (producer
+   links, hazards, address resolution) is computed here, in exactly the
+   order [make_dyn] computes it. *)
+and import_block_compiled t sc ~label ~pred =
+  t.stall_cached <- false;
+  let bs = Schedule.find sc label in
+  let room = t.cfg.reservation_slots - t.waiting_count in
+  if room < Schedule.block_size bs then t.pending_import <- Some (label, pred)
+  else begin
+    t.pending_import <- None;
+    let rows = Schedule.rows bs ~pred in
+    Array.iter
+      (fun row ->
+        let dyn = make_dyn_compiled t row in
+        Deque.push_back t.reservation dyn;
+        t.waiting_count <- t.waiting_count + 1)
+      rows;
+    schedule_tick t ~cycles:0
+  end
+
+and make_dyn_compiled t (row : Schedule.row) =
+  let node = row.Schedule.r_node in
+  let nid = node.Datapath.n_id in
+  (* Read the WAW predecessor before any pool reset: the pooled instance
+     about to be reused may itself be this node's previous dynamic
+     instance (then its state is [Done] and no hazard applies). Nothing
+     between this read and the hazard registration below can change the
+     predecessor's state. *)
+  let waw_prev =
+    if t.cfg.enforce_waw then
+      match t.last_instance.(nid) with
+      | Some prev when prev.st = Waiting -> Some prev
+      | Some _ | None -> None
+    else None
+  in
+  let dyn =
+    match t.pools.(nid) with
+    | Some d ->
+        t.pools.(nid) <- d.pool_next;
+        d.pool_next <- None;
+        d.seq <- t.next_seq;
+        Array.fill d.operands 0 (Array.length d.operands) None;
+        Array.fill d.producers 0 (Array.length d.producers) None;
+        d.missing <- 0;
+        d.hazards <- 0;
+        d.st <- Waiting;
+        (* [dependents] is never written in compiled mode and [dep_head]
+           was cleared when this instance committed *)
+        d.issue_dependents <- [];
+        d.result <- None;
+        d.mem_addr <- None;
+        d.is_device <- false;
+        d.branch_target <- None;
+        d.retired <- false;
+        d.row <- Some row;
+        d
+    | None ->
+        let n_ops = Array.length row.Schedule.r_plans in
+        {
+          seq = t.next_seq;
+          node;
+          operands = Array.make n_ops None;
+          producers = Array.make n_ops None;
+          missing = 0;
+          hazards = 0;
+          st = Waiting;
+          dependents = [];
+          issue_dependents = [];
+          result = None;
+          mem_addr = None;
+          mem_size = row.Schedule.r_mem_size;
+          mem_ty = row.Schedule.r_mem_ty;
+          is_load = row.Schedule.r_kind = Schedule.Kload;
+          is_store = row.Schedule.r_kind = Schedule.Kstore;
+          is_device = false;
+          branch_target = None;
+          mem_node = None;
+          ready_node = None;
+          row = Some row;
+          pool_next = None;
+          retired = false;
+          cn_ready = None;
+          cn_mem = None;
+          k_commit = None;
+          k_load = None;
+          dep_head = None;
+          dep_head_slot = 0;
+          dep_next = Array.make n_ops None;
+          dep_slot = Array.make n_ops 0;
+        }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.s_dyn <- t.s_dyn + 1;
+  (* operand capture from the precompiled plans; same order and energy
+     accounting as the dynamic path. In-flight producers get an intrusive
+     link pushed at their chain head — same LIFO delivery order as the
+     dynamic path's cons. *)
+  let plans = row.Schedule.r_plans in
+  for i = 0 to Array.length plans - 1 do
+    match plans.(i) with
+    | Schedule.Pimm b -> dyn.operands.(i) <- Some b
+    | Schedule.Preg { var; read_pj } -> (
+        match t.last_writer.(var.Ast.id) with
+        | Some producer when producer.st <> Done ->
+            dyn.producers.(i) <- Some producer;
+            dyn.missing <- dyn.missing + 1;
+            dyn.dep_next.(i) <- producer.dep_head;
+            dyn.dep_slot.(i) <- producer.dep_head_slot;
+            producer.dep_head <- Some dyn;
+            producer.dep_head_slot <- i
+        | Some _ | None ->
+            t.s_energy.(1) <- t.s_energy.(1) +. read_pj;
+            dyn.operands.(i) <- Some (regfile_value t var))
+  done;
+  resolve_addr t dyn;
+  (match waw_prev with
+  | Some prev ->
+      dyn.hazards <- dyn.hazards + 1;
+      prev.issue_dependents <- dyn :: prev.issue_dependents
+  | None -> ());
+  t.last_instance.(nid) <- Some dyn;
+  (match row.Schedule.r_def with
+  | Some dst ->
+      (* purge-at-issue keeps this list holding exactly the still-Waiting
+         readers, so the dynamic path's Waiting filter would return it
+         unchanged: register against it directly, no rebuild *)
+      (if t.cfg.enforce_war then
+         let rec block = function
+           | [] -> ()
+           | r :: tl ->
+               dyn.hazards <- dyn.hazards + 1;
+               r.issue_dependents <- dyn :: r.issue_dependents;
+               block tl
+         in
+         block t.readers.(dst.Ast.id));
+      t.last_writer.(dst.Ast.id) <- Some dyn
+  | None -> ());
+  let rds = row.Schedule.r_readers in
+  for i = 0 to Array.length rds - 1 do
+    let v = rds.(i) in
+    t.readers.(v.Ast.id) <- dyn :: t.readers.(v.Ast.id)
+  done;
+  if dyn.is_load || dyn.is_store then begin
+    let n =
+      match dyn.cn_mem with
+      | Some n -> n
+      | None ->
+          let n = Ilist.node dyn in
+          dyn.cn_mem <- Some n;
+          n
+    in
+    dyn.mem_node <- Some n;
+    Ilist.push_back t.live_mem n
+  end;
+  try_wake t dyn;
+  dyn
+
 and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
   let info = t.infos.(node.Datapath.n_id) in
   let n_ops = Array.length sources in
@@ -577,6 +906,17 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
       branch_target = None;
       mem_node = None;
       ready_node = None;
+      row = None;
+      pool_next = None;
+      retired = false;
+      cn_ready = None;
+      cn_mem = None;
+      k_commit = None;
+      k_load = None;
+      dep_head = None;
+      dep_head_slot = 0;
+      dep_next = [||];
+      dep_slot = [||];
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -597,7 +937,7 @@ and make_dyn t (node : Datapath.node) (sources : Ast.value array) =
               dyn.missing <- dyn.missing + 1;
               producer.dependents <- (dyn, i) :: producer.dependents
           | Some _ | None ->
-              t.s_reg_energy <- t.s_reg_energy +. reg_read_energy t v.ty;
+              t.s_energy.(1) <- t.s_energy.(1) +. reg_read_energy t v.ty;
               dyn.operands.(i) <- Some (regfile_value t v)))
     sources;
   resolve_addr t dyn;
@@ -660,16 +1000,13 @@ and eval_compute t dyn : Bits.t option =
       Some (Bits.eval_cast cop ~src_ty:(Ast.value_ty src) ~dst_ty:dst.ty (op 0))
   | Ast.Select _ -> Some (if Bits.to_bool (op 0) then op 1 else op 2)
   | Ast.Gep { offsets; _ } ->
-      let base = Bits.to_int64 (op 0) in
-      let addr =
-        List.fold_left
-          (fun (acc, i) (scale, idx_v) ->
+      let rec go acc i = function
+        | [] -> acc
+        | (scale, idx_v) :: tl ->
             let idx = Bits.signed (Ast.value_ty idx_v) (Bits.to_int64 (op i)) in
-            (Int64.add acc (Int64.mul (Int64.of_int scale) idx), i + 1))
-          (base, 1) offsets
-        |> fst
+            go (Int64.add acc (Int64.mul (Int64.of_int scale) idx)) (i + 1) tl
       in
-      Some (Bits.Int addr)
+      Some (Bits.Int (go (Bits.to_int64 (op 0)) 1 offsets))
   | Ast.Phi _ -> Some (op 0)
   | Ast.Call { callee; args; _ } -> (
       match List.assoc_opt callee t.intrinsics with
@@ -688,6 +1025,7 @@ and eval_compute t dyn : Bits.t option =
   | Ast.Load _ | Ast.Store _ -> assert false
 
 and commit t dyn =
+  t.stall_cached <- false;
   dyn.st <- Done;
   (match t.infos.(dyn.node.Datapath.n_id).si_def with
   | Some dst ->
@@ -697,16 +1035,38 @@ and commit t dyn =
         | None -> invalid_arg "Engine: commit without result"
       in
       t.regfile.(dst.id) <- Some v;
-      t.s_reg_energy <- t.s_reg_energy +. reg_write_energy t dst.ty;
+      t.s_energy.(1) <- t.s_energy.(1) +. reg_write_energy t dst.ty;
       dyn.result <- Some v;
-      (* wake value dependents *)
-      List.iter
-        (fun (consumer, i) ->
-          consumer.operands.(i) <- Some v;
-          consumer.missing <- consumer.missing - 1;
-          if consumer.is_load || consumer.is_store then resolve_addr t consumer;
-          try_wake t consumer)
-        dyn.dependents;
+      (* wake value dependents; compiled mode walks the intrusive chain
+         (same LIFO order as the list), dynamic mode the cons list *)
+      (match dyn.row with
+      | Some _ ->
+          let rec walk consumer slot =
+            (* read the onward link before waking: recycling cannot touch
+               [consumer] during this walk, but the read order keeps the
+               traversal independent of anything try_wake does *)
+            let nxt = consumer.dep_next.(slot) in
+            let nslot = consumer.dep_slot.(slot) in
+            consumer.operands.(slot) <- Some v;
+            consumer.missing <- consumer.missing - 1;
+            if consumer.is_load || consumer.is_store then resolve_addr t consumer;
+            try_wake t consumer;
+            match nxt with Some c -> walk c nslot | None -> ()
+          in
+          (match dyn.dep_head with
+          | Some c ->
+              let slot = dyn.dep_head_slot in
+              dyn.dep_head <- None;
+              walk c slot
+          | None -> ())
+      | None ->
+          List.iter
+            (fun (consumer, i) ->
+              consumer.operands.(i) <- Some v;
+              consumer.missing <- consumer.missing - 1;
+              if consumer.is_load || consumer.is_store then resolve_addr t consumer;
+              try_wake t consumer)
+            dyn.dependents);
       (match t.last_writer.(dst.id) with
       | Some w when w == dyn -> t.last_writer.(dst.id) <- None
       | Some _ | None -> ())
@@ -743,7 +1103,16 @@ and commit t dyn =
       | None -> assert false)
   | Ast.Ret _ -> t.ret_committed <- true
   | _ -> ());
-  schedule_tick t ~cycles:0
+  schedule_tick t ~cycles:0;
+  if dyn.retired then recycle t dyn
+
+and commit_k t dyn =
+  match dyn.k_commit with
+  | Some k -> k
+  | None ->
+      let k () = commit t dyn in
+      dyn.k_commit <- Some k;
+      k
 
 (* memory ordering: an op may issue once every older live memory
    operation either has issued or provably does not conflict *)
@@ -813,7 +1182,20 @@ and issue t dyn =
       Trace.emit tr ~tick:(Kernel.now t.kernel) ~comp:t.tr_comp ~cat:Trace.Engine_issue
         ~detail:(mnemonic dyn.node.Datapath.instr) args
   | None -> ());
+  t.stall_cached <- false;
   dyn.st <- Issued;
+  (* issued readers can never constrain a later writer again; dropping
+     them now (compiled mode) keeps reader lists free of instances headed
+     for the recycling pool. The WAR filter in [make_dyn] would discard
+     them anyway, so the filtered lists are unchanged. *)
+  (match dyn.row with
+  | Some row ->
+      let rds = row.Schedule.r_readers in
+      for i = 0 to Array.length rds - 1 do
+        let id = rds.(i).Ast.id in
+        t.readers.(id) <- drop_reader dyn t.readers.(id)
+      done
+  | None -> ());
   t.waiting_count <- t.waiting_count - 1;
   t.inflight_total <- t.inflight_total + 1;
   (match dyn.mem_node with
@@ -836,9 +1218,18 @@ and issue t dyn =
     t.s_loads <- t.s_loads + 1;
     t.s_issued_mem <- t.s_issued_mem + 1;
     let addr = match dyn.mem_addr with Some a -> a | None -> assert false in
-    t.mem.read ~addr ~ty:dyn.mem_ty ~on_value:(fun v ->
-        dyn.result <- Some v;
-        commit t dyn)
+    let k =
+      match dyn.k_load with
+      | Some k -> k
+      | None ->
+          let k v =
+            dyn.result <- Some v;
+            commit t dyn
+          in
+          dyn.k_load <- Some k;
+          k
+    in
+    t.mem.read ~addr ~ty:dyn.mem_ty ~on_value:k
   end
   else if dyn.is_store then begin
     t.writes_outstanding <- t.writes_outstanding + 1;
@@ -846,7 +1237,7 @@ and issue t dyn =
     t.s_issued_mem <- t.s_issued_mem + 1;
     let addr = match dyn.mem_addr with Some a -> a | None -> assert false in
     let value = operand dyn 0 in
-    t.mem.write ~addr ~ty:dyn.mem_ty ~value ~on_done:(fun () -> commit t dyn)
+    t.mem.write ~addr ~ty:dyn.mem_ty ~value ~on_done:(commit_k t dyn)
   end
   else begin
     (match dyn.node.Datapath.fu with
@@ -857,7 +1248,7 @@ and issue t dyn =
         t.in_flight.(i) <- t.in_flight.(i) + 1;
         let spec = t.specs.(i) in
         if not spec.Profile.pipelined then t.fu_held.(i) <- t.fu_held.(i) + 1;
-        t.s_fu_energy <- t.s_fu_energy +. spec.Profile.dynamic_pj;
+        t.s_energy.(0) <- t.s_energy.(0) +. spec.Profile.dynamic_pj;
         if Fu.is_fp cls then t.s_issued_fp <- t.s_issued_fp + 1
         else t.s_issued_int <- t.s_issued_int + 1
     | None -> t.s_issued_other <- t.s_issued_other + 1);
@@ -881,7 +1272,7 @@ and issue t dyn =
           ]
     | None -> ());
     if latency = 0 then commit t dyn
-    else Clock.schedule_cycles t.clock ~cycles:latency (fun () -> commit t dyn)
+    else Clock.schedule_cycles t.clock ~cycles:latency (commit_k t dyn)
   end
 
 (* classify what an un-issuable instruction is waiting on, for the stall
@@ -919,7 +1310,7 @@ and stall_sources t dyn (loads, stores, computes) =
   (!loads, !stores, !computes)
 
 and finalize_cycle t =
-  if t.cur_cycle >= 0L && t.cyc_active then begin
+  if t.cur_cycle >= 0 && t.cyc_active then begin
     t.s_active <- t.s_active + 1;
     if t.cyc_issued then t.s_issue_cycles <- t.s_issue_cycles + 1
     else begin
@@ -942,7 +1333,7 @@ and finalize_cycle t =
        with the cycle-start tick, the canonical sort restores order *)
     match t.tr with
     | Some tr ->
-        let tick = Int64.mul t.cur_cycle (Clock.period_ticks t.clock) in
+        let tick = Int64.mul (Int64.of_int t.cur_cycle) (Clock.period_ticks t.clock) in
         if not t.cyc_issued then begin
           let cause =
             match (t.cyc_wait_load, t.cyc_wait_store, t.cyc_wait_compute) with
@@ -971,49 +1362,127 @@ and finalize_cycle t =
   t.cyc_wait_store <- false;
   t.cyc_wait_compute <- false
 
+(* issue scan, dynamic mode: walk only the ready queue, in program
+   order. A zero-latency issue can commit inline and wake dependents;
+   their nodes are spliced in seq order after the current one (dependents
+   are always younger), so the walk sees them in this same pass — exactly
+   the cascaded same-cycle issue the full rescan used to produce. The
+   node is unlinked only after [issue] returns so those splices anchor
+   correctly. *)
+and scan_dynamic t issued_any =
+  let cur = ref (Ilist.head t.ready) in
+  while !cur <> None do
+    let node = match !cur with Some n -> n | None -> assert false in
+    let dyn = Ilist.value node in
+    if can_issue t dyn then begin
+      issue t dyn;
+      issued_any := true;
+      t.cyc_issued <- true;
+      if dyn.is_load then t.cyc_load <- true;
+      if dyn.is_store then t.cyc_store <- true;
+      (match dyn.node.Datapath.fu with
+      | Some cls when Fu.is_fp cls -> t.cyc_fp <- true
+      | Some _ | None -> ());
+      cur := Ilist.next node;
+      Ilist.remove t.ready node;
+      dyn.ready_node <- None
+    end
+    else cur := Ilist.next node
+  done
+
+(* issue scan, compiled mode: merge the three ready lists by minimum seq
+   — the visit order is exactly the single-list scan's program order.
+   The win is gating: when the read (write) queue is full, every ready
+   load (store) would fail [can_issue] without side effects, so the
+   whole list is excluded from the merge instead of being re-examined
+   one node at a time. Exclusion is monotone within a pass — outstanding
+   counters never decrease between issues because memory completions are
+   always delivered through deferred events — so a gated list stays
+   gated and no issue opportunity is missed. Wake-ups during an issue
+   splice into the lists and rewind the affected cursor (see
+   [wake_compiled]), preserving the same-pass cascade. *)
+and scan_compiled t issued_any =
+  t.scan_c <- Ilist.head t.ready;
+  t.scan_l <- Ilist.head t.ready_l;
+  t.scan_s <- Ilist.head t.ready_s;
+  t.scanning <- true;
+  let running = ref true in
+  while !running do
+    let c = t.scan_c in
+    let l = if t.reads_outstanding < t.cfg.read_queue_depth then t.scan_l else None in
+    let s = if t.writes_outstanding < t.cfg.write_queue_depth then t.scan_s else None in
+    let cseq = match c with Some n -> (Ilist.value n).seq | None -> max_int in
+    let lseq = match l with Some n -> (Ilist.value n).seq | None -> max_int in
+    let sseq = match s with Some n -> (Ilist.value n).seq | None -> max_int in
+    let best =
+      if cseq <= lseq then if cseq <= sseq then c else s
+      else if lseq <= sseq then l
+      else s
+    in
+    match best with
+    | None -> running := false
+    | Some node ->
+        let dyn = Ilist.value node in
+        if can_issue t dyn then begin
+          issue t dyn;
+          issued_any := true;
+          t.cyc_issued <- true;
+          if dyn.is_load then t.cyc_load <- true;
+          if dyn.is_store then t.cyc_store <- true;
+          (match dyn.node.Datapath.fu with
+          | Some cls when Fu.is_fp cls -> t.cyc_fp <- true
+          | Some _ | None -> ());
+          (* read the successor only after [issue] so same-pass splices
+             directly after the node are visited *)
+          if dyn.is_load then begin
+            t.scan_l <- Ilist.next node;
+            Ilist.remove t.ready_l node
+          end
+          else if dyn.is_store then begin
+            t.scan_s <- Ilist.next node;
+            Ilist.remove t.ready_s node
+          end
+          else begin
+            t.scan_c <- Ilist.next node;
+            Ilist.remove t.ready node
+          end;
+          dyn.ready_node <- None
+        end
+        else if dyn.is_load then t.scan_l <- Ilist.next node
+        else if dyn.is_store then t.scan_s <- Ilist.next node
+        else t.scan_c <- Ilist.next node
+  done;
+  t.scanning <- false
+
 and tick t =
   t.tick_scheduled <- false;
   if t.is_running then begin
-    let now_cycle = Clock.current_cycle t.clock in
-    if not (Int64.equal now_cycle t.cur_cycle) then begin
+    let now_cycle = Clock.current_cycle_i t.clock in
+    if now_cycle <> t.cur_cycle then begin
       finalize_cycle t;
       t.cur_cycle <- now_cycle
     end;
-    (* retire issued/committed entries from the reservation head *)
-    while
-      (not (Deque.is_empty t.reservation))
-      && (Deque.peek_front t.reservation).st <> Waiting
-    do
-      ignore (Deque.pop_front t.reservation)
-    done;
+    (* retire issued/committed entries from the reservation head; in
+       compiled mode a fully committed instance returns to its pool, an
+       in-flight one is recycled by its own commit *)
+    (if t.sched != None then
+       while
+         (not (Deque.is_empty t.reservation))
+         && (Deque.peek_front t.reservation).st <> Waiting
+       do
+         let dyn = Deque.pop_front t.reservation in
+         if dyn.st = Done then recycle t dyn else dyn.retired <- true
+       done
+     else
+       while
+         (not (Deque.is_empty t.reservation))
+         && (Deque.peek_front t.reservation).st <> Waiting
+       do
+         ignore (Deque.pop_front t.reservation)
+       done);
     Array.fill t.scratch_issued 0 Fu.count 0;
     let issued_any = ref false in
-    (* issue scan: walk only the ready queue, in program order. A
-       zero-latency issue can commit inline and wake dependents; their
-       nodes are spliced in seq order after the current one (dependents
-       are always younger), so the walk sees them in this same pass —
-       exactly the cascaded same-cycle issue the full rescan used to
-       produce. The node is unlinked only after [issue] returns so those
-       splices anchor correctly. *)
-    let cur = ref (Ilist.head t.ready) in
-    while !cur <> None do
-      let node = match !cur with Some n -> n | None -> assert false in
-      let dyn = Ilist.value node in
-      if can_issue t dyn then begin
-        issue t dyn;
-        issued_any := true;
-        t.cyc_issued <- true;
-        if dyn.is_load then t.cyc_load <- true;
-        if dyn.is_store then t.cyc_store <- true;
-        (match dyn.node.Datapath.fu with
-        | Some cls when Fu.is_fp cls -> t.cyc_fp <- true
-        | Some _ | None -> ());
-        cur := Ilist.next node;
-        Ilist.remove t.ready node;
-        dyn.ready_node <- None
-      end
-      else cur := Ilist.next node
-    done;
+    if t.sched <> None then scan_compiled t issued_any else scan_dynamic t issued_any;
     if t.cfg.check then check_cycle t;
     (match t.pending_import with
     | Some (label, pred) -> import_block t ~label ~pred
@@ -1021,35 +1490,52 @@ and tick t =
     let work_pending = t.waiting_count > 0 || t.inflight_total > 0 in
     if work_pending || !issued_any then begin
       t.cyc_active <- true;
-      if not !issued_any then begin
-        (* nothing issued: classify the stall over every waiting
-           instruction. Only three booleans are accumulated, so the walk
-           stops as soon as all are set. *)
-        let l = ref false and s = ref false and c = ref false in
-        Deque.iter_while
-          (fun dyn ->
-            if dyn.st = Waiting then begin
-              let l', s', c' = stall_sources t dyn (!l, !s, !c) in
-              l := l';
-              s := s';
-              c := c'
-            end;
-            not (!l && !s && !c))
-          t.reservation;
-        if !l then t.cyc_wait_load <- true;
-        if !s then t.cyc_wait_store <- true;
-        if !c then t.cyc_wait_compute <- true
-      end
+      if not !issued_any then
+        if t.stall_cached then begin
+          (* compiled mode: nothing issued this pass and no import, issue
+             or commit ran since the walk below last classified — every
+             input it reads (operand/producer state, live memory queue) is
+             unchanged, so the cached flags are exactly what a fresh walk
+             would produce *)
+          if t.stall_l then t.cyc_wait_load <- true;
+          if t.stall_s then t.cyc_wait_store <- true;
+          if t.stall_c then t.cyc_wait_compute <- true
+        end
+        else begin
+          (* nothing issued: classify the stall over every waiting
+             instruction. Only three booleans are accumulated, so the walk
+             stops as soon as all are set. *)
+          let l = ref false and s = ref false and c = ref false in
+          Deque.iter_while
+            (fun dyn ->
+              if dyn.st = Waiting then begin
+                let l', s', c' = stall_sources t dyn (!l, !s, !c) in
+                l := l';
+                s := s';
+                c := c'
+              end;
+              not (!l && !s && !c))
+            t.reservation;
+          if !l then t.cyc_wait_load <- true;
+          if !s then t.cyc_wait_store <- true;
+          if !c then t.cyc_wait_compute <- true;
+          if t.sched != None then begin
+            t.stall_cached <- true;
+            t.stall_l <- !l;
+            t.stall_s <- !s;
+            t.stall_c <- !c
+          end
+        end
     end;
     if t.waiting_count > 0 || t.inflight_total > 0 || t.pending_import <> None then
       schedule_tick t ~cycles:1
     else if t.ret_committed then begin
       finalize_cycle t;
-      t.cur_cycle <- -1L;
+      t.cur_cycle <- -1;
       t.is_running <- false;
       t.ret_committed <- false;
       t.s_cycles <-
-        Int64.add t.s_cycles (Int64.sub (Clock.current_cycle t.clock) t.start_cycle);
+        Int64.add t.s_cycles (Int64.of_int (Clock.current_cycle_i t.clock - t.start_cycle));
       if t.cfg.check then check_completion t;
       match t.on_finish with
       | Some k ->
@@ -1071,10 +1557,11 @@ let start t ~args ~on_finish =
        (Printf.sprintf "Engine.start: %s expects %d arguments"
           t.dp.Datapath.func.Ast.fname (List.length params)));
   t.is_running <- true;
+  t.stall_cached <- false;
   t.ret_committed <- false;
   t.ret_value <- None;
   t.on_finish <- Some on_finish;
-  t.start_cycle <- Clock.current_cycle t.clock;
+  t.start_cycle <- Clock.current_cycle_i t.clock;
   Array.fill t.last_writer 0 (Array.length t.last_writer) None;
   Array.fill t.last_instance 0 (Array.length t.last_instance) None;
   Array.fill t.readers 0 (Array.length t.readers) [];
@@ -1114,6 +1601,6 @@ let stats t =
           let v = t.s_issued_by_class.(Fu.index cls) in
           if v > 0 then Some (cls, v) else None)
         Fu.all;
-    dynamic_fu_energy_pj = t.s_fu_energy;
-    dynamic_reg_energy_pj = t.s_reg_energy;
+    dynamic_fu_energy_pj = t.s_energy.(0);
+    dynamic_reg_energy_pj = t.s_energy.(1);
   }

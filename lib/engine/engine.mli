@@ -26,7 +26,30 @@
     Terminators evaluate like single-cycle ops and trigger the import of
     the successor block, which is what produces loop pipelining: the next
     iteration's instructions enter the reservation queue while the
-    current iteration's long-latency operations are still in flight. *)
+    current iteration's long-latency operations are still in flight.
+
+    The engine has two scheduling implementations selected by
+    [config.mode], both producing bit-identical results (same statistics,
+    trace event stream and memory contents):
+
+    - [Dynamic] derives every import and issue decision from the IR at
+      run time — the reference implementation;
+    - [Compiled] (the default) runs the {!Schedule} pre-pass once per
+      datapath and replays its dense per-(block, predecessor) templates:
+      imports walk precompiled rows, and the issue scan merges three
+      seq-sorted ready lists (compute / loads / stores) so a full read or
+      write queue excludes the whole corresponding list instead of
+      re-examining blocked entries one at a time. Region boundaries —
+      loads, stores, conditional branches, returns — still go through
+      the fully dynamic issue logic (disambiguation walks, queue depths,
+      branch evaluation). *)
+
+(** Scheduling implementation; see the module documentation. *)
+type mode = Dynamic | Compiled
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
 
 type config = {
   fu_limits : (Salam_hw.Fu.cls * int) list;
@@ -49,6 +72,7 @@ type config = {
           counters zero, stall breakdown sums to stall cycles). Checks
           are read-only — they never perturb scheduling — and raise
           {!Invariant_violation} on failure. Off by default. *)
+  mode : mode;  (** scheduling implementation; [Compiled] by default *)
 }
 
 val default_config : config

@@ -16,8 +16,14 @@ let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
 
 let truncate ty v =
   match (v, ty) with
-  | Int i, _ when Ty.is_integer ty || Ty.equal ty Ty.Ptr -> Int (mask ty i)
-  | Float f, Ty.F32 -> Float (round_f32 f)
+  | Int i, _ when Ty.is_integer ty || Ty.equal ty Ty.Ptr ->
+      (* most values already fit their type (memory loads, re-truncated
+         commits): return the argument unchanged instead of reboxing *)
+      let m = mask ty i in
+      if Int64.equal m i then v else Int m
+  | Float f, Ty.F32 ->
+      let r = round_f32 f in
+      if r = f then v else Float r
   | Float _, Ty.F64 -> v
   | _ -> v
 

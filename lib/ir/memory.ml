@@ -1,21 +1,42 @@
-type t = { data : Bytes.t; mutable brk : int }
+(* The backing store is allocated lazily: [limit] is the logical size every
+   bounds check enforces, while [data] holds only the physically allocated
+   prefix and doubles on demand. Bytes past the physical prefix are
+   implicitly zero, so growing preserves contents exactly. This keeps
+   [create ~size:(64 * 1024 * 1024)] from paying a 64 MB memset per
+   simulation when a workload touches a few hundred KB. *)
 
-let create ~size = { data = Bytes.make size '\000'; brk = 8 }
+type t = { mutable data : Bytes.t; mutable limit : int; mutable brk : int }
 
-let size t = Bytes.length t.data
+let initial_capacity = 64 * 1024
+
+let create ~size = { data = Bytes.make (min size initial_capacity) '\000'; limit = size; brk = 8 }
+
+let size t = t.limit
 
 let align_up v align = (v + align - 1) / align * align
 
 let alloc t ~bytes ~align =
   let base = align_up t.brk align in
-  if base + bytes > Bytes.length t.data then failwith "Memory.alloc: out of memory";
+  if base + bytes > t.limit then failwith "Memory.alloc: out of memory";
   t.brk <- base + bytes;
   Int64.of_int base
 
+(* Slow path of [check]: either the access is genuinely out of bounds, or
+   it lands past the physical prefix and the store must grow. *)
+let grow_or_fail t a len addr =
+  if a < 0 || a + len > t.limit then
+    invalid_arg (Printf.sprintf "Memory: access at %Ld size %d out of bounds" addr len);
+  let cap = ref (Bytes.length t.data) in
+  while !cap < a + len do
+    cap := min t.limit (!cap * 2)
+  done;
+  let fresh = Bytes.make !cap '\000' in
+  Bytes.blit t.data 0 fresh 0 (Bytes.length t.data);
+  t.data <- fresh
+
 let check t addr len =
   let a = Int64.to_int addr in
-  if a < 0 || a + len > Bytes.length t.data then
-    invalid_arg (Printf.sprintf "Memory: access at %Ld size %d out of bounds" addr len);
+  if a < 0 || a + len > Bytes.length t.data then grow_or_fail t a len addr;
   a
 
 let load t ty addr =
@@ -43,9 +64,14 @@ let store t ty addr v =
 let snapshot t = Bytes.copy t.data
 
 let restore t snap =
-  if Bytes.length snap <> Bytes.length t.data then
+  if Bytes.length snap > t.limit then
     invalid_arg "Memory.restore: snapshot size does not match memory size";
-  Bytes.blit snap 0 t.data 0 (Bytes.length snap)
+  let len = Bytes.length snap in
+  if len > Bytes.length t.data then grow_or_fail t 0 len 0L;
+  Bytes.blit snap 0 t.data 0 len;
+  (* the snapshot's physical prefix may be shorter than ours; everything
+     past it was zero when the snapshot was taken *)
+  Bytes.fill t.data len (Bytes.length t.data - len) '\000'
 
 let load_bytes t addr len =
   let a = check t addr len in

@@ -7,22 +7,29 @@
 type t
 
 val create : size:int -> t
+(** [size] is the logical size every bounds check enforces. The physical
+    backing store is allocated lazily and grows on demand, so creating a
+    large memory is cheap until it is actually touched. *)
 
 val size : t -> int
+(** Logical size in bytes (the [create] argument, not the physically
+    allocated prefix). *)
 
 val alloc : t -> bytes:int -> align:int -> int64
 (** Bump allocation; raises [Failure] when full. Never returns address 0
     (address 0 is reserved so null pointers trap). *)
 
 val snapshot : t -> bytes
-(** Copy of the entire backing store. Allocation state ([brk]) is not
-    captured: a snapshot records contents, not layout. The differential
-    validation harness uses this to replay runs on identical initial
-    memory. *)
+(** Copy of the physically allocated prefix; bytes past it are implicitly
+    zero. Allocation state ([brk]) is not captured: a snapshot records
+    contents, not layout. The differential validation harness uses this to
+    replay runs on identical initial memory. *)
 
 val restore : t -> bytes -> unit
-(** Overwrite the contents with a snapshot taken from a memory of the
-    same size; raises [Invalid_argument] on a size mismatch. *)
+(** Overwrite the contents with a snapshot. Bytes past the snapshot's
+    length are zeroed (they were implicitly zero when it was taken).
+    Raises [Invalid_argument] if the snapshot is larger than this
+    memory's logical size. *)
 
 val load : t -> Ty.t -> int64 -> Bits.t
 

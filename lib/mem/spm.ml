@@ -17,13 +17,21 @@ type config = {
 
 type pending = { pkt : Packet.t; on_complete : unit -> unit; mutable delayed : bool }
 
+(* Placeholder for [service_thunk] until the first [schedule_service]; a
+   top-level closure so the lazy-init check is a stable pointer compare. *)
+let unset_thunk () = ()
+
 type t = {
   kernel : Kernel.t;
   clock : Clock.t;
   tr : Trace.sink option;  (** captured at [create]; [None] = tracing off *)
   cfg : config;
-  queue : pending Queue.t;
+  queue : pending Deque.t;
+  banks_busy : bool array;  (** scratch, cleared at each service pass *)
   mutable service_scheduled : bool;
+  mutable service_thunk : unit -> unit;
+      (** cached [fun () -> service t]; built on first use so every
+          arbitration pass reuses one closure *)
   cacti : Salam_hw.Cacti_lite.result;
   s_reads : Stats.scalar;
   s_writes : Stats.scalar;
@@ -64,53 +72,53 @@ let emit t cat ~detail (pkt : Packet.t) ~bank =
         ]
   | None -> ()
 
+(* One arbitration pass. The pending deque is rotated in place — each
+   entry is popped once and either serviced or pushed back — so survivors
+   keep their arrival order and the pass allocates nothing. *)
 let rec service t =
   t.service_scheduled <- false;
   let reads_left = ref t.cfg.read_ports in
   let writes_left = ref t.cfg.write_ports in
-  let banks_busy = Array.make t.cfg.banks false in
-  let still_waiting = Queue.create () in
-  let serviced = ref 0 in
-  Queue.iter
-    (fun p ->
-      let bank = bank_of t p.pkt.Packet.addr in
-      let port_ok =
-        match p.pkt.Packet.op with Packet.Read -> !reads_left > 0 | Packet.Write -> !writes_left > 0
-      in
-      if port_ok && not banks_busy.(bank) then begin
-        banks_busy.(bank) <- true;
-        (match p.pkt.Packet.op with
-        | Packet.Read ->
-            decr reads_left;
-            Stats.incr t.s_reads
-        | Packet.Write ->
-            decr writes_left;
-            Stats.incr t.s_writes);
-        emit t Trace.Spm_access
-          ~detail:(match p.pkt.Packet.op with Packet.Read -> "read" | Packet.Write -> "write")
-          p.pkt ~bank;
-        incr serviced;
-        Clock.schedule_cycles t.clock ~cycles:t.cfg.latency p.on_complete
-      end
-      else begin
-        if not p.delayed then begin
-          p.delayed <- true;
-          Stats.incr t.s_conflicts;
-          emit t Trace.Spm_conflict
-            ~detail:(if banks_busy.(bank) then "bank" else "port")
-            p.pkt ~bank
-        end;
-        Queue.add p still_waiting
-      end)
-    t.queue;
-  Queue.clear t.queue;
-  Queue.transfer still_waiting t.queue;
-  if not (Queue.is_empty t.queue) then schedule_service t ~cycles:1
+  let banks_busy = t.banks_busy in
+  Array.fill banks_busy 0 (Array.length banks_busy) false;
+  for _ = 1 to Deque.length t.queue do
+    let p = Deque.pop_front t.queue in
+    let bank = bank_of t p.pkt.Packet.addr in
+    let port_ok =
+      match p.pkt.Packet.op with Packet.Read -> !reads_left > 0 | Packet.Write -> !writes_left > 0
+    in
+    if port_ok && not banks_busy.(bank) then begin
+      banks_busy.(bank) <- true;
+      (match p.pkt.Packet.op with
+      | Packet.Read ->
+          decr reads_left;
+          Stats.incr t.s_reads
+      | Packet.Write ->
+          decr writes_left;
+          Stats.incr t.s_writes);
+      emit t Trace.Spm_access
+        ~detail:(match p.pkt.Packet.op with Packet.Read -> "read" | Packet.Write -> "write")
+        p.pkt ~bank;
+      Clock.schedule_cycles t.clock ~cycles:t.cfg.latency p.on_complete
+    end
+    else begin
+      if not p.delayed then begin
+        p.delayed <- true;
+        Stats.incr t.s_conflicts;
+        emit t Trace.Spm_conflict
+          ~detail:(if banks_busy.(bank) then "bank" else "port")
+          p.pkt ~bank
+      end;
+      Deque.push_back t.queue p
+    end
+  done;
+  if not (Deque.is_empty t.queue) then schedule_service t ~cycles:1
 
 and schedule_service t ~cycles =
   if not t.service_scheduled then begin
     t.service_scheduled <- true;
-    Clock.schedule_cycles t.clock ~cycles (fun () -> service t)
+    if t.service_thunk == unset_thunk then t.service_thunk <- (fun () -> service t);
+    Clock.schedule_cycles t.clock ~cycles t.service_thunk
   end
 
 let create kernel clock stats cfg =
@@ -132,8 +140,10 @@ let create kernel clock stats cfg =
       clock;
       tr = Kernel.trace kernel;
       cfg;
-      queue = Queue.create ();
+      queue = Deque.create ();
+      banks_busy = Array.make cfg.banks false;
       service_scheduled = false;
+      service_thunk = unset_thunk;
       cacti;
       s_reads = Stats.scalar group "reads";
       s_writes = Stats.scalar group "writes";
@@ -148,7 +158,7 @@ let create kernel clock stats cfg =
       invalid_arg
         (Printf.sprintf "%s: access %Ld+%d outside [%Ld, %Ld)" cfg.name pkt.Packet.addr
            pkt.Packet.size cfg.base limit);
-    Queue.add { pkt; on_complete; delayed = false } t.queue;
+    Deque.push_back t.queue { pkt; on_complete; delayed = false };
     schedule_service t ~cycles:0
   in
   t.port <- Some (Port.make ~name:cfg.name handler);

@@ -1,27 +1,30 @@
-type t = { kernel : Kernel.t; period : int64; freq_mhz : float }
+type t = { kernel : Kernel.t; period : int; period64 : int64; freq_mhz : float }
 
 let create kernel ~freq_mhz =
   if freq_mhz <= 0.0 then invalid_arg "Clock.create: frequency must be positive";
-  let period = Int64.of_float (Float.round (1e6 /. freq_mhz)) in
-  let period = if Int64.compare period 1L < 0 then 1L else period in
-  { kernel; period; freq_mhz }
+  let period = int_of_float (Float.round (1e6 /. freq_mhz)) in
+  let period = if period < 1 then 1 else period in
+  { kernel; period; period64 = Int64.of_int period; freq_mhz }
 
-let period_ticks t = t.period
+let period_ticks t = t.period64
 
 let freq_mhz t = t.freq_mhz
 
-let cycle_of_tick t tick = Int64.div tick t.period
+let cycle_of_tick t tick = Int64.of_int (Int64.to_int tick / t.period)
 
-let current_cycle t = cycle_of_tick t (Kernel.now t.kernel)
+let current_cycle_i t = Kernel.now_i t.kernel / t.period
 
-let next_edge t =
-  let now = Kernel.now t.kernel in
-  let rem = Int64.rem now t.period in
-  if Int64.equal rem 0L then now else Int64.add now (Int64.sub t.period rem)
+let current_cycle t = Int64.of_int (current_cycle_i t)
+
+let next_edge_i t =
+  let now = Kernel.now_i t.kernel in
+  let rem = now mod t.period in
+  if rem = 0 then now else now + (t.period - rem)
+
+let next_edge t = Int64.of_int (next_edge_i t)
 
 let schedule_cycles t ~cycles action =
   assert (cycles >= 0);
-  let tick = Int64.add (next_edge t) (Int64.mul (Int64.of_int cycles) t.period) in
-  Kernel.schedule_at t.kernel ~tick action
+  Kernel.schedule_at_i t.kernel ~tick:(next_edge_i t + (cycles * t.period)) action
 
 let seconds_of_cycles t cycles = Int64.to_float cycles /. (t.freq_mhz *. 1e6)

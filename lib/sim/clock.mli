@@ -20,6 +20,9 @@ val cycle_of_tick : t -> int64 -> int64
 
 val current_cycle : t -> int64
 
+val current_cycle_i : t -> int
+(** {!current_cycle} as a native int — no boxing; for hot paths. *)
+
 val next_edge : t -> int64
 (** First tick [>= now] that lies on a clock edge of this domain. *)
 

@@ -1,5 +1,5 @@
 type event = {
-  tick : int64;
+  tick : int;
   priority : int;
   seq : int;
   action : unit -> unit;
@@ -10,17 +10,17 @@ type t = {
   (* [heap.(0)] is unused padding once empty; elements live in [0, size). *)
   mutable size : int;
   mutable next_seq : int;
-  mutable now : int64;
+  mutable now : int;
 }
 
-let dummy = { tick = 0L; priority = 0; seq = 0; action = ignore }
+let dummy = { tick = 0; priority = 0; seq = 0; action = ignore }
 
-let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; now = 0L }
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; now = 0 }
 
 let before a b =
-  match Int64.compare a.tick b.tick with
-  | 0 -> ( match compare a.priority b.priority with 0 -> a.seq < b.seq | c -> c < 0)
-  | c -> c < 0
+  if a.tick <> b.tick then a.tick < b.tick
+  else if a.priority <> b.priority then a.priority < b.priority
+  else a.seq < b.seq
 
 let swap h i j =
   let tmp = h.(i) in
@@ -51,9 +51,9 @@ let grow t =
   t.heap <- bigger
 
 let schedule t ~tick ?(priority = 0) action =
-  if Int64.compare tick t.now < 0 then
+  if tick < t.now then
     invalid_arg
-      (Printf.sprintf "Event_queue.schedule: tick %Ld is before now %Ld" tick t.now);
+      (Printf.sprintf "Event_queue.schedule: tick %d is before now %d" tick t.now);
   if t.size = Array.length t.heap then grow t;
   let ev = { tick; priority; seq = t.next_seq; action } in
   t.next_seq <- t.next_seq + 1;
@@ -74,6 +74,9 @@ let pop t =
   end
 
 let peek_tick t = if t.size = 0 then None else Some t.heap.(0).tick
+
+(* allocation-free peek for the kernel's run loop *)
+let next_tick t = if t.size = 0 then max_int else t.heap.(0).tick
 
 let is_empty t = t.size = 0
 

@@ -1,23 +1,28 @@
 type t = {
   queue : Event_queue.t;
-  mutable now : int64;
+  mutable now : int;  (* native int, mirroring the queue's tick repr *)
   mutable executed : int;
   mutable trace : Salam_obs.Trace.sink option;
 }
 
 let create () =
-  { queue = Event_queue.create (); now = 0L; executed = 0; trace = None }
+  { queue = Event_queue.create (); now = 0; executed = 0; trace = None }
 
-let now t = t.now
+let now t = Int64.of_int t.now
+
+let now_i t = t.now
 
 let trace t = t.trace
 
 let set_trace t sink = t.trace <- sink
 
-let schedule_at t ~tick ?priority action = Event_queue.schedule t.queue ~tick ?priority action
+let schedule_at t ~tick ?priority action =
+  Event_queue.schedule t.queue ~tick:(Int64.to_int tick) ?priority action
+
+let schedule_at_i t ~tick ?priority action = Event_queue.schedule t.queue ~tick ?priority action
 
 let schedule_after t ~delay ?priority action =
-  Event_queue.schedule t.queue ~tick:(Int64.add t.now delay) ?priority action
+  Event_queue.schedule t.queue ~tick:(t.now + Int64.to_int delay) ?priority action
 
 let step t =
   match Event_queue.pop t.queue with
@@ -29,18 +34,27 @@ let step t =
       true
 
 let run ?(max_ticks = Int64.max_int) t =
+  (* clamp below the queue's empty sentinel so the comparison stays exact *)
+  let lim =
+    if Int64.compare max_ticks (Int64.of_int (max_int - 1)) >= 0 then max_int - 1
+    else Int64.to_int max_ticks
+  in
   let rec loop () =
-    match Event_queue.peek_tick t.queue with
-    | None -> t.now
-    | Some tick when Int64.compare tick max_ticks > 0 -> t.now
-    | Some _ ->
-        ignore (step t);
-        loop ()
+    let tick = Event_queue.next_tick t.queue in
+    if tick > lim then Int64.of_int t.now
+    else begin
+      ignore (step t);
+      loop ()
+    end
   in
   loop ()
 
 let run_until t done_ =
-  let rec loop () = if done_ () then t.now else if step t then loop () else t.now in
+  let rec loop () =
+    if done_ () then Int64.of_int t.now
+    else if step t then loop ()
+    else Int64.of_int t.now
+  in
   loop ()
 
 let events_executed t = t.executed

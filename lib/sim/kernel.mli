@@ -12,6 +12,9 @@ val create : unit -> t
 val now : t -> int64
 (** Current simulation tick. *)
 
+val now_i : t -> int
+(** {!now} as a native int — no boxing; for hot paths. *)
+
 val trace : t -> Salam_obs.Trace.sink option
 (** The system-wide trace sink, if tracing is enabled. Components
     capture this once at construction; [None] (the default) makes every
@@ -23,6 +26,10 @@ val set_trace : t -> Salam_obs.Trace.sink option -> unit
     creation time. *)
 
 val schedule_at : t -> tick:int64 -> ?priority:int -> (unit -> unit) -> unit
+
+val schedule_at_i : t -> tick:int -> ?priority:int -> (unit -> unit) -> unit
+(** {!schedule_at} with a native-int tick — the allocation-free path
+    clock domains use. *)
 
 val schedule_after : t -> delay:int64 -> ?priority:int -> (unit -> unit) -> unit
 (** [schedule_after t ~delay f] runs [f] at [now t + delay]. *)

@@ -1,4 +1,7 @@
-type scalar = { s_name : string; mutable v : float }
+(* The value lives behind a [float ref] — a single-field float record is
+   flat, so updates mutate in place. A [mutable v : float] directly in
+   this mixed record would box a fresh float on every [incr]. *)
+type scalar = { s_name : string; v : float ref }
 
 type distribution = {
   d_name : string;
@@ -24,17 +27,17 @@ let group ?parent name =
   g
 
 let scalar g name =
-  let s = { s_name = name; v = 0.0 } in
+  let s = { s_name = name; v = ref 0.0 } in
   g.scalars <- s :: g.scalars;
   s
 
-let incr s = s.v <- s.v +. 1.0
+let incr s = s.v := !(s.v) +. 1.0
 
-let add s x = s.v <- s.v +. x
+let add s x = s.v := !(s.v) +. x
 
-let set s x = s.v <- x
+let set s x = s.v := x
 
-let value s = s.v
+let value s = !(s.v)
 
 let distribution g name =
   let d = { d_name = name; count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity } in
@@ -58,7 +61,7 @@ let dist_min d = if d.count = 0 then 0.0 else d.min_v
 let dist_total d = d.total
 
 let rec reset_group g =
-  List.iter (fun s -> s.v <- 0.0) g.scalars;
+  List.iter (fun s -> s.v := 0.0) g.scalars;
   List.iter
     (fun d ->
       d.count <- 0;
@@ -84,7 +87,7 @@ let fold g ~init ~f =
     let scoped name = if prefix = "" then name else prefix ^ "." ^ name in
     let acc =
       List.fold_left
-        (fun acc s -> f acc ~path:(scoped s.s_name) s.v)
+        (fun acc s -> f acc ~path:(scoped s.s_name) !(s.v))
         acc (List.rev g.scalars)
     in
     let acc =
@@ -106,7 +109,7 @@ let find g path =
   let rec go g = function
     | [] -> None
     | [ last ] ->
-        List.find_opt (fun s -> s.s_name = last) g.scalars |> Option.map (fun s -> s.v)
+        List.find_opt (fun s -> s.s_name = last) g.scalars |> Option.map (fun s -> !(s.v))
     | child :: rest -> (
         match List.find_opt (fun c -> c.g_name = child) g.children with
         | Some c -> go c rest
@@ -125,7 +128,7 @@ let pp ppf g =
   let rec go prefix g =
     let scoped name = if prefix = "" then name else prefix ^ "." ^ name in
     List.iter
-      (fun s -> Format.fprintf ppf "%s = %g@." (scoped s.s_name) s.v)
+      (fun s -> Format.fprintf ppf "%s = %g@." (scoped s.s_name) !(s.v))
       (List.rev g.scalars);
     List.iter
       (fun d ->

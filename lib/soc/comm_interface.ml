@@ -133,10 +133,13 @@ let map_stream_pop t ~base ~size buffer =
 let map_stream_push t ~base ~size buffer =
   t.stream_pushes <- { s_base = base; s_size = size; buffer } :: t.stream_pushes
 
+(* closure-free route lookup for the per-access fast path *)
+let rec find_range addr = function
+  | [] -> None
+  | r :: tl -> if in_range ~base:r.r_base ~size:r.r_size addr then Some r else find_range addr tl
+
 let route t addr =
-  match
-    List.find_opt (fun r -> in_range ~base:r.r_base ~size:r.r_size addr) t.ranges
-  with
+  match find_range addr t.ranges with
   | Some r -> Some r.target
   | None -> t.default
 
@@ -150,11 +153,16 @@ let bytes_of_bits ty v =
   Memory.store scratch ty 8L v;
   Memory.load_bytes scratch 8L (Ty.size_bytes ty)
 
+(* closure-free stream lookup for the per-access fast path *)
+let rec find_stream addr = function
+  | [] -> None
+  | s :: tl -> if in_range ~base:s.s_base ~size:s.s_size addr then Some s else find_stream addr tl
+
 let mem_iface t : Salam_engine.Engine.mem_iface =
   let backing = System.backing t.system in
   let read ~addr ~ty ~on_value =
     Stats.incr t.s_loads;
-    match List.find_opt (fun s -> in_range ~base:s.s_base ~size:s.s_size addr) t.stream_pops with
+    match find_stream addr t.stream_pops with
     | Some s ->
         Stream_buffer.pop s.buffer ~size:(Ty.size_bytes ty) ~on_data:(fun data ->
             on_value (bits_of_bytes ty data))
@@ -169,9 +177,7 @@ let mem_iface t : Salam_engine.Engine.mem_iface =
   in
   let write ~addr ~ty ~value ~on_done =
     Stats.incr t.s_stores;
-    match
-      List.find_opt (fun s -> in_range ~base:s.s_base ~size:s.s_size addr) t.stream_pushes
-    with
+    match find_stream addr t.stream_pushes with
     | Some s -> Stream_buffer.push s.buffer (bytes_of_bits ty value) ~on_accepted:on_done
     | None -> (
         Memory.store backing ty addr value;

@@ -8,6 +8,7 @@ let () =
       ("cdfg", Test_cdfg.suite);
       ("mem", Test_mem.suite);
       ("engine", Test_engine.suite);
+      ("schedule", Test_schedule.suite);
       ("soc", Test_soc.suite);
       ("aladdin", Test_aladdin.suite);
       ("reference", Test_reference.suite);

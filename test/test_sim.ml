@@ -9,9 +9,9 @@ let test_event_queue_order () =
   let q = Event_queue.create () in
   let log = ref [] in
   let record tag () = log := tag :: !log in
-  Event_queue.schedule q ~tick:30L (record "c");
-  Event_queue.schedule q ~tick:10L (record "a");
-  Event_queue.schedule q ~tick:20L (record "b");
+  Event_queue.schedule q ~tick:30 (record "c");
+  Event_queue.schedule q ~tick:10 (record "a");
+  Event_queue.schedule q ~tick:20 (record "b");
   let rec drain () =
     match Event_queue.pop q with
     | Some ev ->
@@ -26,9 +26,9 @@ let test_event_queue_priority_and_seq () =
   let q = Event_queue.create () in
   let log = ref [] in
   let record tag () = log := tag :: !log in
-  Event_queue.schedule q ~tick:5L ~priority:1 (record "low");
-  Event_queue.schedule q ~tick:5L ~priority:0 (record "hi1");
-  Event_queue.schedule q ~tick:5L ~priority:0 (record "hi2");
+  Event_queue.schedule q ~tick:5 ~priority:1 (record "low");
+  Event_queue.schedule q ~tick:5 ~priority:0 (record "hi1");
+  Event_queue.schedule q ~tick:5 ~priority:0 (record "hi2");
   let rec drain () =
     match Event_queue.pop q with
     | Some ev ->
@@ -42,25 +42,25 @@ let test_event_queue_priority_and_seq () =
 
 let test_event_queue_past_rejected () =
   let q = Event_queue.create () in
-  Event_queue.schedule q ~tick:100L ignore;
+  Event_queue.schedule q ~tick:100 ignore;
   ignore (Event_queue.pop q);
   Alcotest.check_raises "scheduling in the past"
     (Invalid_argument "Event_queue.schedule: tick 50 is before now 100") (fun () ->
-      Event_queue.schedule q ~tick:50L ignore)
+      Event_queue.schedule q ~tick:50 ignore)
 
 let qcheck_event_queue_sorted =
   QCheck.Test.make ~name:"event queue pops sorted" ~count:200
     QCheck.(list (int_bound 10_000))
     (fun ticks ->
       let q = Event_queue.create () in
-      List.iter (fun t -> Event_queue.schedule q ~tick:(Int64.of_int t) ignore) ticks;
+      List.iter (fun t -> Event_queue.schedule q ~tick:t ignore) ticks;
       let rec drain last =
         match Event_queue.pop q with
         | Some ev ->
-            if Int64.compare ev.Event_queue.tick last < 0 then false else drain ev.Event_queue.tick
+            if ev.Event_queue.tick < last then false else drain ev.Event_queue.tick
         | None -> true
       in
-      drain Int64.min_int)
+      drain min_int)
 
 let test_event_queue_tiebreak () =
   (* same tick: priority wins, then insertion (seq) order; mixing in
@@ -69,13 +69,13 @@ let test_event_queue_tiebreak () =
   let log = ref [] in
   let record tag () = log := tag :: !log in
   for i = 0 to 63 do
-    Event_queue.schedule q ~tick:(Int64.of_int (1000 - i)) (record (Printf.sprintf "t%d" (1000 - i)))
+    Event_queue.schedule q ~tick:(1000 - i) (record (Printf.sprintf "t%d" (1000 - i)))
   done;
-  Event_queue.schedule q ~tick:5L ~priority:2 (record "p2a");
-  Event_queue.schedule q ~tick:5L ~priority:0 (record "p0a");
-  Event_queue.schedule q ~tick:5L ~priority:2 (record "p2b");
-  Event_queue.schedule q ~tick:5L ~priority:1 (record "p1");
-  Event_queue.schedule q ~tick:5L ~priority:0 (record "p0b");
+  Event_queue.schedule q ~tick:5 ~priority:2 (record "p2a");
+  Event_queue.schedule q ~tick:5 ~priority:0 (record "p0a");
+  Event_queue.schedule q ~tick:5 ~priority:2 (record "p2b");
+  Event_queue.schedule q ~tick:5 ~priority:1 (record "p1");
+  Event_queue.schedule q ~tick:5 ~priority:0 (record "p0b");
   let rec drain () =
     match Event_queue.pop q with
     | Some ev ->

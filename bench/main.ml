@@ -6,7 +6,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig10 table4 ...   # a subset
    Experiment names: table1 table2 table3 table4 fig4 fig10 fig11 fig12
-   fig13 fig14 fig15 fig16 ablation micro *)
+   fig13 fig14 fig15 fig16 ablation micro speedup ff *)
 
 (* Machine-readable mirror of the micro results, for tracking simulator
    throughput across commits. *)
@@ -63,6 +63,38 @@ let speedup () =
   Printf.printf "engine_gemm16: dynamic %.1f ms, compiled %.1f ms, speedup %.2fx\n\n"
     (1000. *. !dmin) (1000. *. !cmin) (!dmin /. !cmin)
 
+(* Fast-forward warm-start win on the same gemm16 point: an
+   uninterrupted 3-invocation detailed run against interpreter warm-up
+   to the roadmark after invocation 2 plus the one remaining detailed
+   invocation. The two are bit-identical (snapshot oracle); this times
+   the wall-clock side of the trade, interleaved min-of-N like the
+   engine-mode gate above. *)
+let ff_speedup () =
+  Bench_util.section "FF — fast-forward warm-start vs cold detailed (gemm16)";
+  let gemm16 = Exp_dse.gemm_dse_workload () in
+  let config = dynamic_config in
+  let invocations = 3 and roadmark = 2 in
+  let cold () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Salam.simulate ~config ~invocations gemm16);
+    Unix.gettimeofday () -. t0
+  in
+  let warm () =
+    let t0 = Unix.gettimeofday () in
+    let from = Salam.warm_up ~config ~invocations:roadmark gemm16 in
+    ignore (Salam.simulate ~config ~invocations ~from gemm16);
+    Unix.gettimeofday () -. t0
+  in
+  ignore (cold ());
+  ignore (warm ());
+  let cmin = ref infinity and wmin = ref infinity in
+  for _ = 1 to 8 do
+    cmin := min !cmin (cold ());
+    wmin := min !wmin (warm ())
+  done;
+  Printf.printf "ff_gemm16: cold %.1f ms, fast-forward %.1f ms, speedup %.2fx\n\n"
+    (1000. *. !cmin) (1000. *. !wmin) (!cmin /. !wmin)
+
 let micro () =
   Bench_util.section "MICRO — simulator throughput (Bechamel)";
   let open Bechamel in
@@ -83,6 +115,13 @@ let micro () =
           (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic gemm16)));
         Test.make ~name:"engine_gemm16_compiled"
           (Staged.stage (fun () -> ignore (Salam.simulate ~config:compiled gemm16)));
+        (* fast-forward restore: the one remaining detailed invocation
+           of a 3-invocation schedule, forked from a pre-taken
+           roadmark-2 snapshot *)
+        (let ff_snap = Salam.warm_up ~config:dynamic ~invocations:2 gemm16 in
+         Test.make ~name:"engine_gemm16_ff"
+           (Staged.stage (fun () ->
+                ignore (Salam.simulate ~config:dynamic ~invocations:3 ~from:ff_snap gemm16))));
         Test.make ~name:"engine_nw16"
           (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic nw)));
         Test.make ~name:"engine_nw16_compiled"
@@ -135,6 +174,7 @@ let experiments =
     ("ablation", Exp_dse.ablation);
     ("micro", micro);
     ("speedup", speedup);
+    ("ff", ff_speedup);
   ]
 
 let () =

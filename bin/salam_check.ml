@@ -66,6 +66,37 @@ let run_modes ~suite ~memory_kind ~seed =
     (List.length workloads);
   !failed = 0
 
+let run_snapshot ~suite ~memory_kind =
+  let workloads =
+    match suite with
+    | "quick" -> Salam_workloads.Suite.quick ()
+    | "standard" -> Salam_workloads.Suite.standard ()
+    | other ->
+        Printf.eprintf "unknown suite %s (quick|standard)\n" other;
+        exit 1
+  in
+  (* one cnn_pipeline stage rides along: convolution exercises the
+     fast-forward path on a workload the DSE sweeps care about *)
+  let workloads = workloads @ [ Salam_workloads.Cnn.conv () ] in
+  let reports =
+    Check_snapshot.check_all ~memory_kinds:[ memory_kind ]
+      ~modes:[ Salam_engine.Engine.Dynamic; Salam_engine.Engine.Compiled ]
+      workloads
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun (r : Check_snapshot.report) ->
+      match r.Check_snapshot.r_result with
+      | Ok () -> Printf.printf "PASS %s\n" (Check_snapshot.report_to_string r)
+      | Error _ ->
+          incr failed;
+          Printf.printf "FAIL %s\n" (Check_snapshot.report_to_string r))
+    reports;
+  Printf.printf "%d/%d fast-forward points bit-identical (snapshot oracle)\n"
+    (List.length reports - !failed)
+    (List.length reports);
+  !failed = 0
+
 let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
   let mutate = if plant_bug then Some Check_fuzz.plant_float_bug else None in
   Printf.printf "fuzzing %d kernels (seed %Ld%s)...\n%!" count seed
@@ -93,7 +124,7 @@ let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
     failures = []
   end
 
-let main all modes fuzz suite memory seed plant_bug engine_mode =
+let main all modes snapshot fuzz suite memory seed plant_bug engine_mode =
   match memory_of_string memory with
   | Error msg ->
       Printf.eprintf "%s\n" msg;
@@ -114,13 +145,17 @@ let main all modes fuzz suite memory seed plant_bug engine_mode =
             ran := true;
             ok := run_modes ~suite ~memory_kind ~seed && !ok
           end;
+          if snapshot then begin
+            ran := true;
+            ok := run_snapshot ~suite ~memory_kind && !ok
+          end;
           (match fuzz with
           | Some count when count > 0 ->
               ran := true;
               ok := run_fuzz ~count ~memory_kind ~seed ~plant_bug && !ok
           | Some _ | None -> ());
           if not !ran then begin
-            Printf.eprintf "nothing to do: pass --all, --modes and/or --fuzz N\n";
+            Printf.eprintf "nothing to do: pass --all, --modes, --snapshot and/or --fuzz N\n";
             exit 2
           end;
           if not !ok then exit 1)
@@ -159,6 +194,14 @@ let cmd =
                    scheduling implementations must be bit-identical (buffers, statistics, \
                    trace streams).")
   in
+  let snapshot =
+    Arg.(value & flag
+         & info [ "snapshot" ]
+             ~doc:"Run the fast-forward snapshot oracle on every suite workload plus a \
+                   cnn_pipeline stage: interpreter warm-up, detailed capture and \
+                   uninterrupted runs must be bit-identical past the roadmark (memory, \
+                   statistics, trace stream), in both engine modes.")
+  in
   let engine_mode =
     Arg.(value & opt string "compiled"
          & info [ "engine-mode" ] ~docv:"MODE"
@@ -168,6 +211,8 @@ let cmd =
   let doc = "differential validation: interpreter-vs-engine oracle, kernel fuzzer" in
   Cmd.v
     (Cmd.info "salam_check" ~version:"1.0.0" ~doc)
-    Term.(const main $ all $ modes $ fuzz $ suite $ memory $ seed $ plant_bug $ engine_mode)
+    Term.(
+      const main $ all $ modes $ snapshot $ fuzz $ suite $ memory $ seed $ plant_bug
+      $ engine_mode)
 
 let () = exit (Cmd.eval cmd)

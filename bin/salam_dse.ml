@@ -113,10 +113,16 @@ let print_report ~verbose ~csv ~store report =
   end
 
 let run_sweep ~require_store workload n store_path mems ports write_ports banks fu
-    cache_sizes unrolls junrolls clocks strategy samples rounds seed domains csv quiet =
+    cache_sizes unrolls junrolls clocks strategy samples rounds seed domains csv quiet
+    invocations fast_forward =
   let target = target_of ~workload ~n in
   if workload <> "gemm" && (unrolls <> [ 1 ] || junrolls <> [ 1 ]) then
     die "--unroll/--junroll only apply to the gemm target";
+  if invocations < 1 then die "--invocations must be at least 1";
+  (match fast_forward with
+  | Some k when k < 0 || k >= invocations ->
+      die "--fast-forward must name a roadmark inside the schedule: 0 <= K < %d" invocations
+  | Some _ | None -> ());
   let spaces =
     spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks
   in
@@ -142,7 +148,7 @@ let run_sweep ~require_store workload n store_path mems ports write_ports banks 
         if require_store then die "resume requires --store";
         None
   in
-  let report = Explore.run ?store ?domains ~target ~strategy spaces in
+  let report = Explore.run ?store ?domains ?fast_forward ~invocations ~target ~strategy spaces in
   print_report ~verbose:(not quiet) ~csv ~store report;
   Option.iter Store.close store
 
@@ -282,13 +288,27 @@ let csv_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Print only the front and the summary line.")
 
+let invocations_arg =
+  Arg.(value & opt int 1
+       & info [ "invocations" ] ~docv:"N"
+           ~doc:"Run each design point's kernel $(docv) times back-to-back.")
+
+let fast_forward_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fast-forward" ] ~docv:"K"
+           ~doc:
+             "Interpret-once/simulate-many: reach the roadmark after invocation $(docv) \
+              with the functional interpreter once per workload and memory kind, then fork \
+              every detailed simulation from that shared snapshot. Measurements cover the \
+              post-roadmark epoch.")
+
 let sweep_term ~require_store =
   Term.(
     const (run_sweep ~require_store)
     $ workload_arg $ n_arg $ store_arg $ mems_arg $ ports_arg $ write_ports_arg
     $ banks_arg $ fu_arg $ cache_sizes_arg $ unroll_arg $ junroll_arg $ clock_arg
     $ strategy_arg $ samples_arg $ rounds_arg $ seed_arg $ domains_arg $ csv_arg
-    $ quiet_arg)
+    $ quiet_arg $ invocations_arg $ fast_forward_arg)
 
 let run_cmd =
   let doc =

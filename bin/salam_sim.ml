@@ -3,10 +3,15 @@
 
      dune exec bin/salam_sim.exe -- list
      dune exec bin/salam_sim.exe -- run gemm --ports 8 --clock 500
-     dune exec bin/salam_sim.exe -- run stencil2d --memory cache --cache-size 4096 *)
+     dune exec bin/salam_sim.exe -- run stencil2d --memory cache --cache-size 4096
+     dune exec bin/salam_sim.exe -- run gemm --invocations 4 --fast-forward 3
+
+   Exit status: 0 on success, 2 when the simulated output fails the
+   workload's golden model; argument errors are Cmdliner's. *)
 
 open Cmdliner
 module Engine = Salam_engine.Engine
+module W = Salam_workloads.Workload
 
 let workloads () = Salam_workloads.Suite.standard ()
 
@@ -14,84 +19,106 @@ let list_cmd =
   let doc = "List the available workloads." in
   let run () =
     List.iter
-      (fun (w : Salam_workloads.Workload.t) ->
-        Printf.printf "%-24s (%d buffers, %d bytes)\n" w.Salam_workloads.Workload.name
-          (List.length w.Salam_workloads.Workload.buffers)
-          (Salam_workloads.Workload.total_buffer_bytes w))
-      (workloads ())
+      (fun (w : W.t) ->
+        Printf.printf "%-24s (%d buffers, %d bytes)\n" w.W.name
+          (List.length w.W.buffers)
+          (W.total_buffer_bytes w))
+      (workloads ());
+    0
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_workload name clock_mhz memory cache_size ports write_ports banks fadd_limit
-    engine_mode =
-  match Salam_workloads.Suite.by_name name with
-  | None ->
-      Printf.eprintf "unknown workload %s; try `salam_sim list`\n" name;
-      exit 1
-  | Some w ->
-      let mode =
-        match Engine.mode_of_string engine_mode with
-        | Some m -> m
-        | None ->
-            Printf.eprintf "unknown engine mode %s (dynamic|compiled)\n" engine_mode;
-            exit 1
-      in
-      let memory =
-        match memory with
-        | "spm" ->
-            Salam.Config.Spm { read_ports = ports; write_ports; banks; latency = 1 }
-        | "cache" ->
-            Salam.Config.Cache
-              { size = cache_size; line_bytes = 64; ways = 4; hit_latency = 2 }
-        | "dram" -> Salam.Config.Dram_direct
-        | other ->
-            Printf.eprintf "unknown memory kind %s (spm|cache|dram)\n" other;
-            exit 1
-      in
-      let fu_limits =
-        if fadd_limit > 0 then
-          [ (Salam_hw.Fu.Fp_add_dp, fadd_limit); (Salam_hw.Fu.Fp_mul_dp, fadd_limit) ]
-        else []
-      in
-      let config =
-        {
-          Salam.Config.default with
-          Salam.Config.clock_mhz;
-          memory;
-          fu_limits;
-          engine = { Engine.default_config with Engine.fu_limits; Engine.mode };
-        }
-      in
-      let r = Salam.simulate ~config w in
-      let s = r.Salam.stats in
-      Printf.printf "workload            : %s\n" r.Salam.name;
-      Printf.printf "correct             : %b\n" r.Salam.correct;
-      Printf.printf "cycles              : %Ld (%.3f us at %.0f MHz)\n" r.Salam.cycles
-        (r.Salam.seconds *. 1e6) clock_mhz;
-      Printf.printf "dynamic instructions: %d\n" s.Engine.dynamic_instructions;
-      Printf.printf "loads / stores      : %d / %d\n" s.Engine.loads_issued
-        s.Engine.stores_issued;
-      Printf.printf "stall cycles        : %d of %d active\n" s.Engine.stall_cycles
-        s.Engine.active_cycles;
-      Printf.printf "total power         : %.3f mW\n" (Salam.total_mw r.Salam.power);
-      Printf.printf "area                : %.0f um^2\n" r.Salam.area_um2;
-      (match r.Salam.spm_accesses with
-      | Some (reads, writes) -> Printf.printf "SPM reads / writes  : %d / %d\n" reads writes
-      | None -> ());
-      (match r.Salam.cache_hits_misses with
-      | Some (h, m) -> Printf.printf "cache hits / misses : %d / %d\n" h m
-      | None -> ());
-      Printf.printf "host wall time      : %.3f s\n" r.Salam.wall_seconds;
-      if not r.Salam.correct then exit 2
+(* Bad values are Cmdliner parse errors with a usage message, not ad-hoc
+   mid-run exits. *)
+let workload_conv =
+  let parse s =
+    match Salam_workloads.Suite.by_name s with
+    | Some w -> Ok w
+    | None -> Error (`Msg (Printf.sprintf "unknown workload %s; try `salam_sim list'" s))
+  in
+  let print ppf (w : W.t) = Format.pp_print_string ppf w.W.name in
+  Arg.conv (parse, print)
+
+let memory_conv = Arg.enum [ ("spm", `Spm); ("cache", `Cache); ("dram", `Dram) ]
+
+let mode_conv = Arg.enum [ ("dynamic", Engine.Dynamic); ("compiled", Engine.Compiled) ]
+
+let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks fadd_limit mode
+    invocations fast_forward =
+  if invocations < 1 then Error (`Msg "--invocations must be at least 1")
+  else if
+    match fast_forward with Some k -> k < 0 || k >= invocations | None -> false
+  then
+    Error
+      (`Msg
+        (Printf.sprintf "--fast-forward must name a roadmark inside the schedule: 0 <= K < %d"
+           invocations))
+  else begin
+    let memory =
+      match memory with
+      | `Spm -> Salam.Config.Spm { read_ports = ports; write_ports; banks; latency = 1 }
+      | `Cache ->
+          Salam.Config.Cache { size = cache_size; line_bytes = 64; ways = 4; hit_latency = 2 }
+      | `Dram -> Salam.Config.Dram_direct
+    in
+    let fu_limits =
+      if fadd_limit > 0 then
+        [ (Salam_hw.Fu.Fp_add_dp, fadd_limit); (Salam_hw.Fu.Fp_mul_dp, fadd_limit) ]
+      else []
+    in
+    let config =
+      {
+        Salam.Config.default with
+        Salam.Config.clock_mhz;
+        memory;
+        fu_limits;
+        engine = { Engine.default_config with Engine.fu_limits; Engine.mode };
+      }
+    in
+    let from =
+      match fast_forward with
+      | None -> None
+      | Some k ->
+          let snap = Salam.warm_up ~config ~invocations:k w in
+          Printf.printf "fast-forward        : interpreter to %s, then %d detailed\n"
+            (Salam.roadmark_name k) (invocations - k);
+          Some snap
+    in
+    let r = Salam.simulate ~config ~invocations ?from w in
+    let s = r.Salam.stats in
+    Printf.printf "workload            : %s\n" r.Salam.name;
+    if invocations > 1 then Printf.printf "invocations         : %d\n" invocations;
+    Printf.printf "correct             : %b\n" r.Salam.correct;
+    Printf.printf "cycles              : %Ld (%.3f us at %.0f MHz)\n" r.Salam.cycles
+      (r.Salam.seconds *. 1e6) clock_mhz;
+    Printf.printf "dynamic instructions: %d\n" s.Engine.dynamic_instructions;
+    Printf.printf "loads / stores      : %d / %d\n" s.Engine.loads_issued s.Engine.stores_issued;
+    Printf.printf "stall cycles        : %d of %d active\n" s.Engine.stall_cycles
+      s.Engine.active_cycles;
+    Printf.printf "total power         : %.3f mW\n" (Salam.total_mw r.Salam.power);
+    Printf.printf "area                : %.0f um^2\n" r.Salam.area_um2;
+    (match r.Salam.spm_accesses with
+    | Some (reads, writes) -> Printf.printf "SPM reads / writes  : %d / %d\n" reads writes
+    | None -> ());
+    (match r.Salam.cache_hits_misses with
+    | Some (h, m) -> Printf.printf "cache hits / misses : %d / %d\n" h m
+    | None -> ());
+    Printf.printf "host wall time      : %.3f s\n" r.Salam.wall_seconds;
+    (* statistics cover the post-roadmark epoch only; correctness covers
+       the whole schedule's final buffers *)
+    Ok (if r.Salam.correct then 0 else 2)
+  end
 
 let run_cmd =
   let doc = "Simulate one workload end to end." in
-  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let wname = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
   let clock =
     Arg.(value & opt float 500.0 & info [ "clock" ] ~docv:"MHZ" ~doc:"Accelerator clock.")
   in
   let memory =
-    Arg.(value & opt string "spm" & info [ "memory" ] ~docv:"KIND" ~doc:"spm, cache or dram.")
+    Arg.(value & opt memory_conv `Spm
+         & info [ "memory" ] ~docv:"KIND" ~doc:"Memory attachment: $(b,spm), $(b,cache) or \
+                                               $(b,dram).")
   in
   let cache_size =
     Arg.(value & opt int 4096 & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Cache capacity.")
@@ -111,19 +138,37 @@ let run_cmd =
   in
   let engine_mode =
     Arg.(
-      value & opt string "compiled"
+      value & opt mode_conv Engine.default_config.Engine.mode
       & info [ "engine-mode" ] ~docv:"MODE"
           ~doc:
             "Engine scheduling implementation: $(b,compiled) replays the \
              schedule-specialization pre-pass, $(b,dynamic) derives every decision at run \
              time. Results are bit-identical.")
   in
+  let invocations =
+    Arg.(
+      value & opt int 1
+      & info [ "invocations" ] ~docv:"N"
+          ~doc:"Run the kernel $(docv) times back-to-back on the same buffers.")
+  in
+  let fast_forward =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fast-forward" ] ~docv:"K"
+          ~doc:
+            "Reach the roadmark after invocation $(docv) through the functional interpreter \
+             (orders of magnitude faster than detailed simulation), snapshot, and run only \
+             the remaining invocations in the detailed engine. Statistics then cover the \
+             post-roadmark epoch; results are bit-identical to an uninterrupted detailed \
+             run.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports $ banks
-      $ fadd $ engine_mode)
+      term_result
+        (const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports
+       $ banks $ fadd $ engine_mode $ invocations $ fast_forward))
 
 let () =
   let doc = "gem5-SALAM reproduction: LLVM-based accelerator simulation" in
   let info = Cmd.info "salam_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd ]))

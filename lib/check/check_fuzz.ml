@@ -289,7 +289,11 @@ let shrink ~max_attempts ~still_fails (k : Lang.kernel) =
 
 (* --- campaign ---------------------------------------------------------- *)
 
-type failure_kind = Compile_failure of string | Oracle of Check_oracle.failure
+type failure_kind =
+  | Compile_failure of string
+  | Oracle of Check_oracle.failure
+  | Snapshot of string
+      (** a fast-forwarded run diverged from the uninterrupted one *)
 
 type case_failure = {
   cf_case : int;
@@ -306,6 +310,7 @@ let trace_ring_capacity = 32
 let failure_kind_to_string = function
   | Compile_failure msg -> "frontend rejected generated kernel: " ^ msg
   | Oracle f -> Check_oracle.failure_to_string f
+  | Snapshot msg -> "snapshot: " ^ msg
 
 (* Run one generated kernel through the oracle: the interpreter-vs-engine
    leg first, then — when it agrees — the compiled-vs-dynamic engine leg,
@@ -335,8 +340,18 @@ let run_kernel ?mutate ?(memory_kind = Check_harness.Spm) ?trace ~data_seed kern
           match
             Check_oracle.check_modes ~memory_kind ~seed:data_seed ~func:mode_func ?trace w
           with
-          | Ok () -> None
-          | Error f -> Some (Oracle f)))
+          | Error f -> Some (Oracle f)
+          | Ok () -> (
+              (* snapshot leg: fast-forwarding to a mid-schedule roadmark
+                 must be bit-identical. Runs on the same (possibly
+                 mutated) function — the leg is self-consistent, so a
+                 planted functional bug stays the interp leg's catch. *)
+              match
+                Check_snapshot.check_fast_forward ~memory_kind ~seed:data_seed ~func:mode_func
+                  ~roadmark:1 ~invocations:2 w
+              with
+              | Ok () -> None
+              | Error msg -> Some (Snapshot msg))))
 
 (* Replay a failing (shrunk) kernel under a bounded ring sink and return
    the tail of the engine-side event stream — the crash-dump context a
@@ -359,9 +374,12 @@ let run ?mutate ?(memory_kind = Check_harness.Spm) ?on_case ~seed ~count () =
         (* a shrink candidate must reproduce the same kind of failure:
            deleting a declaration that is still referenced produces a
            compile error, which must not pass for an oracle divergence *)
-        let same_kind = function
-          | Compile_failure _ -> (match failure with Compile_failure _ -> true | Oracle _ -> false)
-          | Oracle _ -> ( match failure with Oracle _ -> true | Compile_failure _ -> false)
+        let same_kind f =
+          match (f, failure) with
+          | Compile_failure _, Compile_failure _ -> true
+          | Oracle _, Oracle _ -> true
+          | Snapshot _, Snapshot _ -> true
+          | (Compile_failure _ | Oracle _ | Snapshot _), _ -> false
         in
         let still_fails k =
           match run_kernel ?mutate ~memory_kind ~data_seed k with

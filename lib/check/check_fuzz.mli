@@ -35,6 +35,9 @@ val kernel_to_string : Salam_frontend.Lang.kernel -> string
 type failure_kind =
   | Compile_failure of string  (** frontend rejected a generated kernel *)
   | Oracle of Check_oracle.failure
+  | Snapshot of string
+      (** fast-forwarding to a mid-schedule roadmark was not
+          bit-identical to the uninterrupted run (see {!Check_snapshot}) *)
 
 type case_failure = {
   cf_case : int;

@@ -1,0 +1,308 @@
+(* Snapshot oracle: a fast-forwarded run must be indistinguishable from
+   an uninterrupted one.
+
+   For a workload, a memory attachment, an engine mode and a roadmark
+   [k] (1 <= k < invocations) it runs three journeys to the end of the
+   same [invocations]-long schedule and cross-checks them:
+
+   - [U], uninterrupted: all invocations in the detailed engine, with a
+     probe recording statistics and the trace high-water mark at the
+     roadmark boundary.
+   - [F], capture round-trip: [k] detailed invocations, checkpoint at
+     the boundary ({!Salam.capture}), restore into a freshly built
+     system and run the remainder.
+   - [W], interpreter warm-up: [k] functional invocations
+     ({!Salam.warm_up}), checkpoint, restore, run the remainder.
+
+   Bit-identity demands: final memory images byte-equal across all
+   three; F's post-roadmark statistics equal to U's end-minus-probe
+   deltas (exact for counters, relative tolerance for energy floats,
+   whose accumulation is not associative); F's trace stream exactly
+   equal to U's post-roadmark suffix at the same absolute ticks; W's
+   run exactly equal to F's; and the warm-up checkpoint's memory
+   section byte-equal to the capture checkpoint's. A disk round-trip of
+   the warm-up snapshot must reproduce it structurally. *)
+
+module W = Salam_workloads.Workload
+module Engine = Salam_engine.Engine
+module Memory = Salam_ir.Memory
+module Trace = Salam_obs.Trace
+module Ckpt = Salam_sim.Checkpoint
+module Config = Salam.Config
+
+type report = {
+  r_workload : string;
+  r_memory : Check_harness.memory_kind;
+  r_mode : Engine.mode;
+  r_roadmark : int;
+  r_invocations : int;
+  r_result : (unit, string) result;
+}
+
+let memory_kind_label = function
+  | Check_harness.Spm -> "spm"
+  | Check_harness.Cache _ -> "cache"
+  | Check_harness.Dram -> "dram"
+
+let config_of memory_kind mode =
+  let memory =
+    match memory_kind with
+    | Check_harness.Spm -> Config.default.Config.memory
+    | Check_harness.Cache { size; ways } ->
+        Config.Cache { size; line_bytes = 64; ways; hit_latency = 2 }
+    | Check_harness.Dram -> Config.Dram_direct
+  in
+  { Config.default with Config.memory; engine = { Engine.default_config with Engine.mode } }
+
+(* Energy accumulators are float sums: (a +. b) -. a is not exactly b,
+   so delta comparisons get a relative tolerance. Everything counted in
+   integers must match exactly. *)
+let approx a b = abs_float (a -. b) <= 1e-9 *. (1.0 +. max (abs_float a) (abs_float b))
+
+let assoc0_f cls xs = match List.assoc_opt cls xs with Some v -> v | None -> 0.0
+
+let assoc0_i cls xs = match List.assoc_opt cls xs with Some v -> v | None -> 0
+
+(* Compare F's post-roadmark engine statistics against U's end-of-run
+   totals minus the probe's roadmark totals, field by field. *)
+let diff_engine_stats ~errs (u : Engine.run_stats) (p : Engine.run_stats) (f : Engine.run_stats) =
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let int name u p f =
+    if u - p <> f then err "engine %s: uninterrupted delta %d, fast-forwarded %d" name (u - p) f
+  in
+  if not (Int64.equal (Int64.sub u.Engine.cycles p.Engine.cycles) f.Engine.cycles) then
+    err "engine cycles: uninterrupted delta %Ld, fast-forwarded %Ld"
+      (Int64.sub u.Engine.cycles p.Engine.cycles)
+      f.Engine.cycles;
+  int "dynamic_instructions" u.Engine.dynamic_instructions p.Engine.dynamic_instructions
+    f.Engine.dynamic_instructions;
+  int "loads_issued" u.Engine.loads_issued p.Engine.loads_issued f.Engine.loads_issued;
+  int "stores_issued" u.Engine.stores_issued p.Engine.stores_issued f.Engine.stores_issued;
+  int "active_cycles" u.Engine.active_cycles p.Engine.active_cycles f.Engine.active_cycles;
+  int "issue_cycles" u.Engine.issue_cycles p.Engine.issue_cycles f.Engine.issue_cycles;
+  int "stall_cycles" u.Engine.stall_cycles p.Engine.stall_cycles f.Engine.stall_cycles;
+  int "stall_load_only" u.Engine.stall_load_only p.Engine.stall_load_only f.Engine.stall_load_only;
+  int "stall_load_compute" u.Engine.stall_load_compute p.Engine.stall_load_compute
+    f.Engine.stall_load_compute;
+  int "stall_load_store_compute" u.Engine.stall_load_store_compute
+    p.Engine.stall_load_store_compute f.Engine.stall_load_store_compute;
+  int "stall_other" u.Engine.stall_other p.Engine.stall_other f.Engine.stall_other;
+  int "cycles_with_load" u.Engine.cycles_with_load p.Engine.cycles_with_load
+    f.Engine.cycles_with_load;
+  int "cycles_with_store" u.Engine.cycles_with_store p.Engine.cycles_with_store
+    f.Engine.cycles_with_store;
+  int "cycles_with_load_and_store" u.Engine.cycles_with_load_and_store
+    p.Engine.cycles_with_load_and_store f.Engine.cycles_with_load_and_store;
+  int "cycles_with_fp" u.Engine.cycles_with_fp p.Engine.cycles_with_fp f.Engine.cycles_with_fp;
+  int "issued_fp" u.Engine.issued_fp p.Engine.issued_fp f.Engine.issued_fp;
+  int "issued_int" u.Engine.issued_int p.Engine.issued_int f.Engine.issued_int;
+  int "issued_mem" u.Engine.issued_mem p.Engine.issued_mem f.Engine.issued_mem;
+  int "issued_other" u.Engine.issued_other p.Engine.issued_other f.Engine.issued_other;
+  let classes =
+    List.sort_uniq compare
+      (List.map fst u.Engine.issued_by_class
+      @ List.map fst f.Engine.issued_by_class
+      @ List.map fst u.Engine.fu_busy_integral
+      @ List.map fst f.Engine.fu_busy_integral)
+  in
+  List.iter
+    (fun cls ->
+      let name = Salam_hw.Fu.to_string cls in
+      let du =
+        assoc0_i cls u.Engine.issued_by_class - assoc0_i cls p.Engine.issued_by_class
+      in
+      let df = assoc0_i cls f.Engine.issued_by_class in
+      if du <> df then
+        err "engine issued_by_class[%s]: uninterrupted delta %d, fast-forwarded %d" name du df;
+      let bu =
+        assoc0_f cls u.Engine.fu_busy_integral -. assoc0_f cls p.Engine.fu_busy_integral
+      in
+      let bf = assoc0_f cls f.Engine.fu_busy_integral in
+      if not (approx bu bf) then
+        err "engine fu_busy_integral[%s]: uninterrupted delta %g, fast-forwarded %g" name bu bf)
+    classes;
+  let flt name u p f =
+    if not (approx (u -. p) f) then
+      err "engine %s: uninterrupted delta %g, fast-forwarded %g" name (u -. p) f
+  in
+  flt "dynamic_fu_energy_pj" u.Engine.dynamic_fu_energy_pj p.Engine.dynamic_fu_energy_pj
+    f.Engine.dynamic_fu_energy_pj;
+  flt "dynamic_reg_energy_pj" u.Engine.dynamic_reg_energy_pj p.Engine.dynamic_reg_energy_pj
+    f.Engine.dynamic_reg_energy_pj
+
+(* Derived histogram statistics (.mean/.min/.max) are not additive over
+   epochs — a delta of means is meaningless — so only the counter paths
+   participate in the delta comparison. *)
+let derived_path path =
+  List.exists (fun suf -> Filename.check_suffix path suf) [ ".mean"; ".min"; ".max" ]
+
+let diff_sim_stats ~errs u_end probe f =
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let lookup path xs = match List.assoc_opt path xs with Some v -> v | None -> 0.0 in
+  List.iter
+    (fun (path, uv) ->
+      if not (derived_path path) then begin
+        let du = uv -. lookup path probe in
+        let fv = lookup path f in
+        if not (approx du fv) then
+          err "system stat %s: uninterrupted delta %g, fast-forwarded %g" path du fv
+      end)
+    u_end;
+  (* a path F has but U lacks would mean the topologies differ *)
+  List.iter
+    (fun (path, _) ->
+      if not (List.mem_assoc path u_end) then
+        err "system stat %s: present in fast-forwarded run only" path)
+    f
+
+let rec drop n = function _ :: tl when n > 0 -> drop (n - 1) tl | l -> l
+
+let mem_section_snapshot label ckpt =
+  match Ckpt.section ckpt "memory" with
+  | Some s ->
+      Memory.snapshot_of_parts
+        ~size:(Int64.to_int (Ckpt.find_int s "size"))
+        ~brk:(Int64.to_int (Ckpt.find_int s "brk"))
+        ~data:(Ckpt.find_blob s "data")
+  | None -> failwith (label ^ ": checkpoint has no memory section")
+
+(* Whether running the kernel [invocations] times back-to-back on one
+   buffer set still satisfies the golden model — false for in-place
+   workloads (FFT, md_grid) whose second run consumes its own output.
+   Decided by the functional model alone; non-idempotent workloads keep
+   every bit-identity leg but skip the golden assertions, which belong
+   to the interpreter-vs-engine oracle anyway. *)
+let idempotent ~seed ?func ~invocations (w : W.t) =
+  let func = match func with Some f -> f | None -> W.compile w in
+  let mem = Memory.create ~size:(max (1 lsl 22) (4 * W.total_buffer_bytes w)) in
+  let bases = W.alloc_buffers w mem in
+  w.W.init (Salam_sim.Rng.create seed) mem bases;
+  let modul = { Salam_ir.Ast.funcs = [ func ]; globals = [] } in
+  for _ = 1 to invocations do
+    ignore
+      (Salam_ir.Interp.run mem modul ~entry:func.Salam_ir.Ast.fname ~args:(W.args w ~bases))
+  done;
+  w.W.check mem bases
+
+let check_fast_forward ?(memory_kind = Check_harness.Spm)
+    ?(mode = Engine.default_config.Engine.mode) ?seed ?func ?(roadmark = 1) ?(invocations = 2)
+    (w : W.t) =
+  if roadmark < 1 || roadmark >= invocations then
+    invalid_arg "check_fast_forward: need 1 <= roadmark < invocations";
+  let config = config_of memory_kind mode in
+  let config =
+    match seed with Some s -> { config with Config.seed = s } | None -> config
+  in
+  match
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let idem = idempotent ~seed:config.Config.seed ?func ~invocations w in
+    (* U: the uninterrupted reference, probed at the roadmark *)
+    let tr_u = Trace.create () in
+    let probe = ref None in
+    let mem_u = ref None in
+    let r_u =
+      Salam.simulate ~config ~trace:tr_u ?func ~invocations
+        ~probe:(roadmark, fun p -> probe := Some p)
+        ~inspect:(fun m -> mem_u := Some (Memory.snapshot m))
+        w
+    in
+    let p = match !probe with Some p -> p | None -> failwith "probe never fired" in
+    (* F: detailed capture at the roadmark, restore, finish *)
+    let capture_snap = Salam.capture ~config ?func ~invocations:roadmark w in
+    let tr_f = Trace.create () in
+    let mem_f = ref None in
+    let r_f =
+      Salam.simulate ~config ~trace:tr_f ?func ~invocations ~from:capture_snap
+        ~inspect:(fun m -> mem_f := Some (Memory.snapshot m))
+        w
+    in
+    (* W: interpreter warm-up to the same roadmark, restore, finish *)
+    let warm_snap = Salam.warm_up ~config ?func ~invocations:roadmark w in
+    let mem_w = ref None in
+    let r_w =
+      Salam.simulate ~config ?func ~invocations ~from:warm_snap
+        ~inspect:(fun m -> mem_w := Some (Memory.snapshot m))
+        w
+    in
+    let mem_u = Option.get !mem_u and mem_f = Option.get !mem_f and mem_w = Option.get !mem_w in
+    (* golden models: only meaningful when repeated invocations are *)
+    if idem then begin
+      if not r_u.Salam.correct then err "uninterrupted run fails the workload's golden model";
+      if not r_f.Salam.correct then err "capture round-trip fails the workload's golden model";
+      if not r_w.Salam.correct then err "warm-up round-trip fails the workload's golden model"
+    end;
+    (* final memory images: buffers, MMRs (status and return value) and
+       allocator state all live here *)
+    if not (Memory.snapshot_equal mem_u mem_f) then
+      err "final memory differs: uninterrupted vs capture round-trip";
+    if not (Memory.snapshot_equal mem_f mem_w) then
+      err "final memory differs: capture round-trip vs interpreter warm-up";
+    (* post-roadmark statistics *)
+    diff_engine_stats ~errs r_u.Salam.stats p.Salam.pr_stats r_f.Salam.stats;
+    diff_sim_stats ~errs r_u.Salam.sim_stats p.Salam.pr_sim_stats r_f.Salam.sim_stats;
+    (* the two restored runs start from bit-identical state and must be
+       indistinguishable from each other, floats included *)
+    if r_f.Salam.stats <> r_w.Salam.stats then
+      err "capture-restored and warm-up-restored engine statistics differ";
+    if r_f.Salam.sim_stats <> r_w.Salam.sim_stats then
+      err "capture-restored and warm-up-restored system statistics differ";
+    (* trace: F runs at the same absolute ticks as U past the roadmark,
+       so its stream must equal U's suffix with no normalization *)
+    let u_suffix = drop p.Salam.pr_trace_events (Trace.to_lines tr_u) in
+    (match Trace.first_divergence u_suffix (Trace.to_lines tr_f) with
+    | Some d -> err "trace streams diverge: %s" (Trace.divergence_to_string d)
+    | None -> ());
+    (* warm-up fidelity at the checkpoint level: the interpreter and the
+       detailed engine must reach byte-identical memory (the checkpoints
+       as a whole differ only in tick) *)
+    let cap_mem = mem_section_snapshot "capture" capture_snap.Salam.snap_ckpt in
+    let warm_mem = mem_section_snapshot "warm-up" warm_snap.Salam.snap_ckpt in
+    if not (Memory.snapshot_equal cap_mem warm_mem) then
+      err "roadmark memory differs: detailed capture vs interpreter warm-up";
+    (* disk round-trip *)
+    let path = Filename.temp_file "salam_snapshot" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Salam.save_snapshot warm_snap path;
+        let loaded = Salam.load_snapshot path in
+        if loaded <> warm_snap then err "snapshot changed across a save/load round-trip");
+    match List.rev !errs with [] -> Ok () | es -> Error (String.concat "; " es)
+  with
+  | result -> result
+  | exception Ckpt.Invalid msg -> Error ("invalid checkpoint: " ^ msg)
+  | exception Salam_ir.Interp.Trap msg -> Error ("interpreter trap: " ^ msg)
+  | exception Engine.Invariant_violation msg -> Error ("engine invariant violation: " ^ msg)
+  | exception Engine.Runtime_error msg -> Error ("engine runtime error: " ^ msg)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error ("invalid argument: " ^ msg)
+
+let check_workload ?memory_kind ?mode ?func ?roadmark ?invocations (w : W.t) =
+  let memory_kind = Option.value memory_kind ~default:Check_harness.Spm in
+  let mode = Option.value mode ~default:Engine.default_config.Engine.mode in
+  let roadmark = Option.value roadmark ~default:1 in
+  let invocations = Option.value invocations ~default:2 in
+  {
+    r_workload = w.W.name;
+    r_memory = memory_kind;
+    r_mode = mode;
+    r_roadmark = roadmark;
+    r_invocations = invocations;
+    r_result = check_fast_forward ~memory_kind ~mode ?func ~roadmark ~invocations w;
+  }
+
+let check_all ?(memory_kinds = [ Check_harness.Spm ]) ?(modes = [ Engine.Dynamic; Engine.Compiled ])
+    ?roadmark ?invocations workloads =
+  List.concat_map
+    (fun w ->
+      List.concat_map
+        (fun memory_kind ->
+          List.map (fun mode -> check_workload ~memory_kind ~mode ?roadmark ?invocations w) modes)
+        memory_kinds)
+    workloads
+
+let report_to_string r =
+  Printf.sprintf "%-14s %-5s %-8s ff@%d/%d %s" r.r_workload (memory_kind_label r.r_memory)
+    (Engine.mode_to_string r.r_mode) r.r_roadmark r.r_invocations
+    (match r.r_result with Ok () -> "ok" | Error msg -> "FAIL: " ^ msg)

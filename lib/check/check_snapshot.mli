@@ -1,0 +1,68 @@
+(** Snapshot oracle: proves fast-forwarded runs bit-identical to
+    uninterrupted ones.
+
+    For each (workload, memory attachment, engine mode, roadmark) point
+    it runs the same multi-invocation schedule three ways — detailed
+    throughout, detailed-capture-then-restore, and
+    interpreter-warm-up-then-restore — and demands byte-equal final
+    memory, exactly matching post-roadmark statistics (end-of-run minus
+    roadmark probe; counters exact, energy floats within relative
+    tolerance), an exactly matching post-roadmark trace stream at the
+    same absolute ticks, byte-equal roadmark memory between the warm-up
+    and capture checkpoints, and a lossless disk round-trip of the
+    snapshot. *)
+
+type report = {
+  r_workload : string;
+  r_memory : Check_harness.memory_kind;
+  r_mode : Salam_engine.Engine.mode;
+  r_roadmark : int;  (** invocation count covered by the snapshot *)
+  r_invocations : int;  (** total schedule length *)
+  r_result : (unit, string) result;
+}
+
+val memory_kind_label : Check_harness.memory_kind -> string
+(** ["spm"], ["cache"] or ["dram"]. *)
+
+val config_of : Check_harness.memory_kind -> Salam_engine.Engine.mode -> Salam.Config.t
+(** The {!Salam.Config.t} the oracle simulates under — the default
+    configuration with the memory attachment and engine mode swapped
+    in. *)
+
+val check_fast_forward :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?mode:Salam_engine.Engine.mode ->
+  ?seed:int64 ->
+  ?func:Salam_ir.Ast.func ->
+  ?roadmark:int ->
+  ?invocations:int ->
+  Salam_workloads.Workload.t ->
+  (unit, string) result
+(** Run all legs for one point. Defaults: SPM, the engine's default
+    mode, the default dataset seed, [roadmark = 1], [invocations = 2].
+    [?func] substitutes an
+    already-compiled kernel, bypassing the name-keyed compile cache —
+    required for generated fuzz kernels. Raises [Invalid_argument]
+    unless [1 <= roadmark < invocations]; every failure of the checked
+    system itself is reported as [Error]. *)
+
+val check_workload :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?mode:Salam_engine.Engine.mode ->
+  ?func:Salam_ir.Ast.func ->
+  ?roadmark:int ->
+  ?invocations:int ->
+  Salam_workloads.Workload.t ->
+  report
+
+val check_all :
+  ?memory_kinds:Check_harness.memory_kind list ->
+  ?modes:Salam_engine.Engine.mode list ->
+  ?roadmark:int ->
+  ?invocations:int ->
+  Salam_workloads.Workload.t list ->
+  report list
+(** The full matrix: every workload under every memory kind (default
+    SPM only) and every engine mode (default both). *)
+
+val report_to_string : report -> string

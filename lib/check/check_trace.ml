@@ -105,6 +105,33 @@ let run_dma sink =
       done;
       !ok)
 
+(* --- fast-forwarded vecadd ---------------------------------------------- *)
+
+(* Two invocations with the first covered by a checkpoint at the
+   roadmark: the traced stream is the post-roadmark epoch only, at the
+   same absolute ticks an uninterrupted run would emit — the golden file
+   pins both the restore path and the roadmark alignment. The second
+   invocation accumulates, so the workload carries its own golden
+   model. *)
+let vecadd_ff_workload : W.t =
+  {
+    vecadd_workload with
+    W.name = "trace_vecadd4_ff";
+    check =
+      (fun mem bases ->
+        let a = Memory.read_f64_array mem bases.(0) n in
+        let ok = ref true in
+        Array.iteri
+          (fun i got -> if got <> a_init.(i) +. (2.0 *. b_init.(i)) then ok := false)
+          a;
+        !ok);
+  }
+
+let run_ff_vecadd sink =
+  let from = Salam.capture ~invocations:1 vecadd_ff_workload in
+  let r = Salam.simulate ~invocations:2 ~from ~trace:sink vecadd_ff_workload in
+  r.Salam.correct
+
 (* --- scenario registry --------------------------------------------------- *)
 
 (* (name, sink categories, runner); [None] means the default category
@@ -122,6 +149,7 @@ let scenarios =
     ( "engine_compile_vecadd",
       Some (Trace.Engine_compile :: Trace.default_categories),
       run_vecadd ~memory_kind:Check_harness.Spm );
+    ("ff_vecadd", None, run_ff_vecadd);
   ]
 
 let names = List.map (fun (name, _, _) -> name) scenarios

@@ -65,9 +65,45 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 256
 
-let simulate ?(config = Config.default) ?trace (w : W.t) =
-  let wall_start = Unix.gettimeofday () in
-  let func = W.compile w in
+(* --- fast-forward machinery -------------------------------------------- *)
+
+let memory_kind_name = function
+  | Config.Spm _ -> "spm"
+  | Config.Cache _ -> "cache"
+  | Config.Dram_direct -> "dram"
+
+let roadmark_name k = if k = 0 then "start" else Printf.sprintf "after-invocation-%d" k
+
+type snapshot = {
+  snap_workload : string;
+  snap_memory : string;  (* "spm" | "cache" | "dram" *)
+  snap_invocations : int;
+  snap_bases : int64 array;
+  snap_ckpt : Salam_sim.Checkpoint.t;
+}
+
+type probe = {
+  pr_tick : int64;
+  pr_stats : Engine.run_stats;
+  pr_sim_stats : (string * float) list;
+  pr_trace_events : int;
+}
+
+type built = {
+  b_sys : System.t;
+  b_acc : Accelerator.t;
+  b_spm : Salam_mem.Spm.t option;
+  b_cache : Salam_mem.Cache.t option;
+  b_bases : int64 array;
+}
+
+(* Assemble the standard single-accelerator topology. Construction is
+   fully determined by (workload shape, config), including the backing
+   allocator's state — which is what lets a snapshot taken on one system
+   restore into a freshly built twin: the address map reproduces
+   exactly. *)
+let build ~config ?trace ?func (w : W.t) =
+  let func = match func with Some f -> f | None -> W.compile w in
   let sys = System.create ?trace () in
   let fabric = Fabric.create sys () in
   let cluster = Cluster.create sys fabric ~name:"cluster0" ~clock_mhz:config.Config.clock_mhz () in
@@ -110,11 +146,81 @@ let simulate ?(config = Config.default) ?trace (w : W.t) =
         W.alloc_buffers w (System.backing sys)
     | Config.Dram_direct -> W.alloc_buffers w (System.backing sys)
   in
-  w.W.init (Salam_sim.Rng.create config.Config.seed) (System.backing sys) bases;
-  let finished = ref false in
-  Accelerator.launch acc ~args:(W.args w ~bases) ~on_done:(fun _ -> finished := true);
-  ignore (System.run sys);
-  if not !finished then failwith ("simulate: " ^ w.W.name ^ " did not finish");
+  { b_sys = sys; b_acc = acc; b_spm = !spm; b_cache = !cache; b_bases = bases }
+
+(* A kernel-invocation boundary, made into a synchronization point:
+   advance the idle kernel to the next hyperperiod multiple (every clock
+   domain's phase becomes zero) and flush the cache (tags are excluded
+   from snapshots, so both the restored and the uninterrupted system
+   must go cold here). Returns the aligned tick. Single-invocation runs
+   without probes never reach this, so their timing is untouched. *)
+let boundary b =
+  let tick = System.align b.b_sys in
+  (match b.b_cache with Some c -> Salam_mem.Cache.flush c | None -> ());
+  tick
+
+let sim_stats_of b =
+  List.rev
+    (Salam_sim.Stats.fold (System.stats b.b_sys) ~init:[] ~f:(fun acc ~path v ->
+         (path, v) :: acc))
+
+let check_from ~config ~invocations (w : W.t) (snap : snapshot) =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if snap.snap_workload <> w.W.name then
+    fail "simulate: snapshot is for workload %s, not %s" snap.snap_workload w.W.name;
+  let kind = memory_kind_name config.Config.memory in
+  if snap.snap_memory <> kind then
+    fail "simulate: snapshot was taken on a %s memory attachment, this config uses %s"
+      snap.snap_memory kind;
+  if snap.snap_invocations >= invocations then
+    fail "simulate: snapshot already covers %d invocation(s), %d requested"
+      snap.snap_invocations invocations
+
+let simulate ?(config = Config.default) ?trace ?func ?(invocations = 1) ?from ?probe ?inspect
+    (w : W.t) =
+  let wall_start = Unix.gettimeofday () in
+  if invocations < 1 then invalid_arg "simulate: invocations must be at least 1";
+  Option.iter (check_from ~config ~invocations w) from;
+  let b = build ~config ?trace ?func w in
+  let sys = b.b_sys and acc = b.b_acc and bases = b.b_bases in
+  let first =
+    match from with
+    | None ->
+        w.W.init (Salam_sim.Rng.create config.Config.seed) (System.backing sys) bases;
+        1
+    | Some snap ->
+        if snap.snap_bases <> bases then
+          invalid_arg
+            ("simulate: snapshot buffer layout does not match this system (workload shape \
+              changed?): " ^ w.W.name);
+        System.restore sys snap.snap_ckpt;
+        snap.snap_invocations + 1
+  in
+  for k = first to invocations do
+    let finished = ref false in
+    Accelerator.launch acc ~args:(W.args w ~bases) ~on_done:(fun _ -> finished := true);
+    ignore (System.run sys);
+    if not !finished then
+      failwith (Printf.sprintf "simulate: %s did not finish (invocation %d)" w.W.name k);
+    let at_probe = match probe with Some (pk, _) -> pk = k | None -> false in
+    if k < invocations || at_probe then begin
+      let tick = boundary b in
+      match probe with
+      | Some (pk, f) when pk = k ->
+          f
+            {
+              pr_tick = tick;
+              pr_stats = Accelerator.stats acc;
+              pr_sim_stats = sim_stats_of b;
+              pr_trace_events =
+                (match trace with Some s -> Salam_obs.Trace.count s | None -> 0);
+            }
+      | _ -> ()
+    end
+  done;
+  (match inspect with Some f -> f (System.backing sys) | None -> ());
+  let spm = ref b.b_spm in
+  let cache = ref b.b_cache in
   let correct = w.W.check (System.backing sys) bases in
   let stats = Accelerator.stats acc in
   let seconds =
@@ -176,6 +282,137 @@ let simulate ?(config = Config.default) ?trace (w : W.t) =
              (path, v) :: acc));
   }
 
+(* --- snapshots: interpreter warm-up and detailed capture --------------- *)
+
+(* The MMR end-state a detailed invocation leaves behind: status DONE
+   plus the encoded return value. The functional warm-up must mirror it
+   or the restored system's memory-mapped words would betray how it got
+   to the roadmark. *)
+let mirror_mmr_end_state acc ret =
+  let comm = Accelerator.comm acc in
+  (match ret with
+  | Some v ->
+      Comm_interface.write_mmr comm Comm_interface.Layout.ret_value (Accelerator.encode_ret v)
+  | None -> ());
+  Comm_interface.write_mmr comm Comm_interface.Layout.status 2L
+
+let make_snapshot ~config ~invocations (w : W.t) b =
+  {
+    snap_workload = w.W.name;
+    snap_memory = memory_kind_name config.Config.memory;
+    snap_invocations = invocations;
+    snap_bases = b.b_bases;
+    snap_ckpt = System.checkpoint b.b_sys ~roadmark:(roadmark_name invocations);
+  }
+
+(* Fast path to a roadmark: run [invocations] complete kernel
+   invocations through the functional interpreter (no events, no timing)
+   on an identically built system, then checkpoint. The checkpoint's
+   tick stays 0, which is hyperperiod-aligned by construction — the
+   restored run's clock phases match an uninterrupted detailed run's at
+   any aligned boundary. [invocations = 0] checkpoints the initialized
+   state ("start"). *)
+let warm_up ?(config = Config.default) ?func ~invocations (w : W.t) =
+  if invocations < 0 then invalid_arg "warm_up: invocations must be non-negative";
+  let func = match func with Some f -> f | None -> W.compile w in
+  let b = build ~config ~func w in
+  let backing = System.backing b.b_sys in
+  w.W.init (Salam_sim.Rng.create config.Config.seed) backing b.b_bases;
+  let modul = { Salam_ir.Ast.funcs = [ func ]; globals = [] } in
+  for _ = 1 to invocations do
+    let ret =
+      Salam_ir.Interp.run backing modul ~entry:func.Salam_ir.Ast.fname ~args:(W.args w ~bases:b.b_bases)
+    in
+    mirror_mmr_end_state b.b_acc ret
+  done;
+  make_snapshot ~config ~invocations w b
+
+(* Detailed-engine path to the same roadmark: run [invocations] timed
+   invocations and checkpoint at the aligned boundary after the last.
+   Exists so the oracle can prove capture/restore round-trips and that
+   the interpreter warm-up reaches a bit-identical state. *)
+let capture ?(config = Config.default) ?trace ?func ~invocations (w : W.t) =
+  if invocations < 1 then invalid_arg "capture: invocations must be at least 1";
+  let b = build ~config ?trace ?func w in
+  let bases = b.b_bases in
+  w.W.init (Salam_sim.Rng.create config.Config.seed) (System.backing b.b_sys) bases;
+  for k = 1 to invocations do
+    let finished = ref false in
+    Accelerator.launch b.b_acc ~args:(W.args w ~bases) ~on_done:(fun _ -> finished := true);
+    ignore (System.run b.b_sys);
+    if not !finished then
+      failwith (Printf.sprintf "capture: %s did not finish (invocation %d)" w.W.name k);
+    ignore (boundary b)
+  done;
+  make_snapshot ~config ~invocations w b
+
+(* --- snapshot persistence ---------------------------------------------- *)
+
+(* On disk, the workload-level metadata rides as one extra checkpoint
+   section; it is stripped on load so [System.restore]'s strict
+   section/agent matching never sees it. *)
+let meta_section = "salam.meta"
+
+let save_snapshot snap path =
+  let meta =
+    {
+      Salam_sim.Checkpoint.sec_name = meta_section;
+      fields =
+        [
+          ("workload", Salam_sim.Checkpoint.Str snap.snap_workload);
+          ("memory", Salam_sim.Checkpoint.Str snap.snap_memory);
+          ("invocations", Salam_sim.Checkpoint.Int (Int64.of_int snap.snap_invocations));
+          ( "bases",
+            Salam_sim.Checkpoint.Str
+              (String.concat "," (List.map Int64.to_string (Array.to_list snap.snap_bases))) );
+        ];
+    }
+  in
+  let ckpt = snap.snap_ckpt in
+  Salam_sim.Checkpoint.save
+    { ckpt with Salam_sim.Checkpoint.sections = meta :: ckpt.Salam_sim.Checkpoint.sections }
+    path
+
+let load_snapshot path =
+  let ckpt = Salam_sim.Checkpoint.load path in
+  let meta =
+    match Salam_sim.Checkpoint.section ckpt meta_section with
+    | Some s -> s
+    | None ->
+        raise
+          (Salam_sim.Checkpoint.Invalid
+             (path ^ ": not a salam snapshot (missing " ^ meta_section ^ " section)"))
+  in
+  let bases_str = Salam_sim.Checkpoint.find_str meta "bases" in
+  let bases =
+    if bases_str = "" then [||]
+    else
+      Array.of_list
+        (List.map
+           (fun s ->
+             match Int64.of_string_opt s with
+             | Some v -> v
+             | None ->
+                 raise
+                   (Salam_sim.Checkpoint.Invalid
+                      (path ^ ": malformed buffer base " ^ String.escaped s)))
+           (String.split_on_char ',' bases_str))
+  in
+  {
+    snap_workload = Salam_sim.Checkpoint.find_str meta "workload";
+    snap_memory = Salam_sim.Checkpoint.find_str meta "memory";
+    snap_invocations = Int64.to_int (Salam_sim.Checkpoint.find_int meta "invocations");
+    snap_bases = bases;
+    snap_ckpt =
+      {
+        ckpt with
+        Salam_sim.Checkpoint.sections =
+          List.filter
+            (fun s -> s.Salam_sim.Checkpoint.sec_name <> meta_section)
+            ckpt.Salam_sim.Checkpoint.sections;
+      };
+  }
+
 (* --- domain-parallel sweeps ------------------------------------------- *)
 
 let default_domains () =
@@ -219,11 +456,28 @@ let parallel_map ?domains f xs =
          | None -> assert false)
   end
 
-let simulate_batch ?domains jobs =
+type job = {
+  job_config : Config.t;
+  job_workload : W.t;
+  job_invocations : int;
+  job_from : snapshot option;
+}
+
+let job ?(invocations = 1) ?from config w =
+  { job_config = config; job_workload = w; job_invocations = invocations; job_from = from }
+
+let simulate_jobs ?domains jobs =
   (* compile every kernel up front: compilation is memoised in a shared
      cache, and doing it here keeps the parallel phase contention-free *)
-  List.iter (fun (_, w) -> ignore (W.compile w)) jobs;
-  parallel_map ?domains (fun (config, w) -> simulate ~config w) jobs
+  List.iter (fun j -> ignore (W.compile j.job_workload)) jobs;
+  parallel_map ?domains
+    (fun j ->
+      simulate ~config:j.job_config ~invocations:j.job_invocations ?from:j.job_from
+        j.job_workload)
+    jobs
+
+let simulate_batch ?domains jobs =
+  simulate_jobs ?domains (List.map (fun (config, w) -> job config w) jobs)
 
 let fu_occupancy ?allocated result cls =
   let allocated =

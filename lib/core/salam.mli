@@ -69,12 +69,104 @@ type result = {
           pairs, in registration order — the source for stats.txt dumps *)
 }
 
+type snapshot = {
+  snap_workload : string;
+  snap_memory : string;  (** "spm", "cache" or "dram" *)
+  snap_invocations : int;  (** complete invocations the snapshot covers *)
+  snap_bases : int64 array;
+  snap_ckpt : Salam_sim.Checkpoint.t;
+}
+(** Architectural state of the standard single-accelerator system at a
+    roadmark — the boundary after [snap_invocations] complete kernel
+    invocations. Restores only into an identically shaped system (same
+    workload, same memory kind); timing knobs (ports, banks, cache
+    geometry, clock, FU limits, engine mode) may differ, which is what
+    lets one snapshot seed many design points. *)
+
+type probe = {
+  pr_tick : int64;  (** the aligned boundary tick *)
+  pr_stats : Salam_engine.Engine.run_stats;
+  pr_sim_stats : (string * float) list;
+  pr_trace_events : int;  (** events emitted up to the boundary *)
+}
+(** Observation of an uninterrupted run at an invocation boundary; the
+    snapshot oracle subtracts it from end-of-run totals to compare
+    against a fast-forwarded run's post-roadmark statistics. *)
+
+val roadmark_name : int -> string
+(** ["start"] for 0, ["after-invocation-k"] otherwise. *)
+
 val simulate :
-  ?config:Config.t -> ?trace:Salam_obs.Trace.sink -> Salam_workloads.Workload.t -> result
+  ?config:Config.t ->
+  ?trace:Salam_obs.Trace.sink ->
+  ?func:Salam_ir.Ast.func ->
+  ?invocations:int ->
+  ?from:snapshot ->
+  ?probe:int * (probe -> unit) ->
+  ?inspect:(Salam_ir.Memory.t -> unit) ->
+  Salam_workloads.Workload.t ->
+  result
 (** [?trace] installs a system-wide trace sink before any component is
     built; every timing component then emits structured events into it
     (see {!Salam_obs.Trace}). Omitted, tracing is off and costs one
-    untaken branch per emission site. *)
+    untaken branch per emission site.
+
+    [?func] overrides the compiled kernel — required when distinct
+    generated kernels share a workload name (the compile cache is
+    name-keyed).
+
+    [?invocations] (default 1) runs the kernel that many times
+    back-to-back on the same buffers. Each inter-invocation boundary is
+    a synchronization point: the kernel advances to the next clock
+    hyperperiod multiple and the cache (if any) is flushed, so a run
+    fast-forwarded to any boundary is bit-identical to an uninterrupted
+    one from there on. Single-invocation runs never hit a boundary and
+    are byte-for-byte the pre-fast-forward behaviour.
+
+    [?from] restores a snapshot (see {!warm_up}/{!capture}) instead of
+    initializing buffers, then runs the remaining
+    [invocations - snap_invocations] detailed invocations. Statistics,
+    cycles and the trace stream cover only the post-roadmark epoch.
+    Raises [Invalid_argument] on workload/memory-kind/layout mismatch.
+
+    [?probe:(k, f)] calls [f] once at the boundary after invocation [k]
+    of an uninterrupted run.
+
+    [?inspect] receives the system backing store after the last
+    invocation completes, before the result is assembled — the snapshot
+    oracle uses it to compare final memory images byte for byte. *)
+
+val warm_up :
+  ?config:Config.t ->
+  ?func:Salam_ir.Ast.func ->
+  invocations:int ->
+  Salam_workloads.Workload.t ->
+  snapshot
+(** Reach the roadmark through the functional interpreter — no events,
+    no timing, orders of magnitude faster than the detailed engine — and
+    checkpoint. The resulting state is bit-identical to {!capture}'s
+    (enforced by the snapshot oracle): memory contents, allocation brk,
+    and MMR end-state all mirror a detailed run's. [invocations = 0]
+    snapshots the freshly initialized state. *)
+
+val capture :
+  ?config:Config.t ->
+  ?trace:Salam_obs.Trace.sink ->
+  ?func:Salam_ir.Ast.func ->
+  invocations:int ->
+  Salam_workloads.Workload.t ->
+  snapshot
+(** Reach the same roadmark through the detailed engine. Slower than
+    {!warm_up}; exists to validate round-trips and warm-up fidelity. *)
+
+val save_snapshot : snapshot -> string -> unit
+(** Persist to the versioned checkpoint format (see
+    {!Salam_sim.Checkpoint}); workload metadata rides as an extra
+    section stripped again on load. *)
+
+val load_snapshot : string -> snapshot
+(** Raises {!Salam_sim.Checkpoint.Invalid} on malformed or foreign
+    files. *)
 
 val default_domains : unit -> int
 (** Worker count used by {!parallel_map} and {!simulate_batch} when
@@ -88,6 +180,21 @@ val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     [domains <= 1] (or fewer than two elements) it degenerates to
     [List.map]. If any application raises, the first such exception (in
     input order) is re-raised after all workers finish. *)
+
+type job = {
+  job_config : Config.t;
+  job_workload : Salam_workloads.Workload.t;
+  job_invocations : int;
+  job_from : snapshot option;
+}
+
+val job : ?invocations:int -> ?from:snapshot -> Config.t -> Salam_workloads.Workload.t -> job
+(** A batch entry; [?from] makes it a fast-forwarded run. Snapshots are
+    immutable values and safe to share across every job in a batch —
+    the interpret-once/simulate-many pattern. *)
+
+val simulate_jobs : ?domains:int -> job list -> result list
+(** {!simulate_batch} generalized to fast-forwarded runs. *)
 
 val simulate_batch :
   ?domains:int -> (Config.t * Salam_workloads.Workload.t) list -> result list

@@ -33,11 +33,13 @@ type report = {
   cache_hits : int;
   simulated : int;
   candidates : int;
+  snapshots : int;
 }
 
 let summary_line r ~store =
-  Printf.sprintf "[dse] candidates=%d evaluated=%d cache_hits=%d simulated=%d front=%d store=%s"
-    r.candidates r.evaluated r.cache_hits r.simulated (List.length r.front)
+  Printf.sprintf
+    "[dse] candidates=%d evaluated=%d cache_hits=%d simulated=%d front=%d snapshots=%d store=%s"
+    r.candidates r.evaluated r.cache_hits r.simulated (List.length r.front) r.snapshots
     (match store with
     | Some s -> ( match Store.path s with Some p -> p | None -> "memory")
     | None -> "none")
@@ -63,12 +65,44 @@ type evaluator = {
   trace : Trace.sink option;
   domains : int option;
   target : target;
+  invocations : int;
+  fast_forward : int option;  (** roadmark: interpreter invocations *)
+  snapshots : (string, Salam.snapshot) Hashtbl.t;
+      (** interpret-once/simulate-many: keyed by workload identity and
+          memory kind, the only axes a snapshot is shaped by — every
+          timing knob shares one warm-up *)
+  mutable warmed : int;
   mutable hits : int;
   mutable sims : int;
   mutable ticks : int64;  (** progress-event tick = evaluation order *)
   mutable acc : Measurement.t list;  (** newest first *)
   evaluated : (int64, unit) Hashtbl.t;
 }
+
+(* Fast-forwarded (or multi-invocation) measurements cover a different
+   epoch than plain ones, so they get their own fingerprint identity —
+   a store can hold both without collision. *)
+let measured_id ev workload =
+  let id =
+    if ev.invocations = 1 then workload
+    else Printf.sprintf "%s#inv%d" workload ev.invocations
+  in
+  match ev.fast_forward with None -> id | Some k -> Printf.sprintf "%s#ff%d" id k
+
+let memory_kind_name = function
+  | Salam.Config.Spm _ -> "spm"
+  | Salam.Config.Cache _ -> "cache"
+  | Salam.Config.Dram_direct -> "dram"
+
+let snapshot_for ev ~config ~roadmark p =
+  let key = ev.target.workload_id p ^ "|" ^ memory_kind_name config.Salam.Config.memory in
+  match Hashtbl.find_opt ev.snapshots key with
+  | Some s -> s
+  | None ->
+      let s = Salam.warm_up ~config ~invocations:roadmark (ev.target.build p) in
+      ev.warmed <- ev.warmed + 1;
+      Hashtbl.add ev.snapshots key s;
+      s
 
 let emit_progress ev ~detail args =
   match ev.trace with
@@ -83,7 +117,7 @@ let evaluate ev points =
   let keyed =
     List.map
       (fun p ->
-        let workload = ev.target.workload_id p in
+        let workload = measured_id ev (ev.target.workload_id p) in
         (p, workload, Point.fingerprint ~workload p))
       points
   in
@@ -96,8 +130,19 @@ let evaluate ev points =
       keyed
   in
   let misses = List.filter (fun (_, _, _, m) -> m = None) cached in
+  (* warm-ups run sequentially here (memoised per workload/memory-kind
+     key); the parallel phase below then shares the immutable snapshots *)
   let jobs =
-    List.map (fun (p, _, _, _) -> (Point.to_config p, ev.target.build p)) misses
+    List.map
+      (fun (p, _, _, _) ->
+        let config = Point.to_config p in
+        let from =
+          match ev.fast_forward with
+          | None -> None
+          | Some roadmark -> Some (snapshot_for ev ~config ~roadmark p)
+        in
+        Salam.job ~invocations:ev.invocations ?from config (ev.target.build p))
+      misses
   in
   let fresh =
     if jobs = [] then []
@@ -109,7 +154,7 @@ let evaluate ev points =
           (match ev.store with Some s -> Store.add s m | None -> ());
           (fp, m))
         misses
-        (Salam.simulate_batch ?domains:ev.domains jobs)
+        (Salam.simulate_jobs ?domains:ev.domains jobs)
   in
   List.map
     (fun (_, _, fp, cached_m) ->
@@ -134,7 +179,7 @@ let evaluate ev points =
     cached
 
 let seen ev (target : target) p =
-  let workload = target.workload_id p in
+  let workload = measured_id ev (target.workload_id p) in
   Hashtbl.mem ev.evaluated (Point.fingerprint ~workload p)
 
 let sample rng n xs =
@@ -142,7 +187,12 @@ let sample rng n xs =
   Salam_sim.Rng.shuffle rng arr;
   Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
 
-let run ?store ?trace ?domains ~target ~strategy spaces =
+let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ~target ~strategy spaces =
+  if invocations < 1 then invalid_arg "Explore.run: invocations must be at least 1";
+  (match fast_forward with
+  | Some k when k < 0 || k >= invocations ->
+      invalid_arg "Explore.run: fast_forward must satisfy 0 <= roadmark < invocations"
+  | Some _ | None -> ());
   let all = Space.enumerate_all spaces in
   let ev =
     {
@@ -150,6 +200,10 @@ let run ?store ?trace ?domains ~target ~strategy spaces =
       trace;
       domains;
       target;
+      invocations;
+      fast_forward;
+      snapshots = Hashtbl.create 8;
+      warmed = 0;
       hits = 0;
       sims = 0;
       ticks = 0L;
@@ -194,4 +248,5 @@ let run ?store ?trace ?domains ~target ~strategy spaces =
     cache_hits = ev.hits;
     simulated = ev.sims;
     candidates = List.length all;
+    snapshots = ev.warmed;
   }

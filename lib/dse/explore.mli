@@ -46,17 +46,33 @@ type report = {
   cache_hits : int;
   simulated : int;
   candidates : int;  (** size of the deduplicated enumeration *)
+  snapshots : int;
+      (** warm-up snapshots taken under [?fast_forward] — one per
+          (workload identity, memory kind), shared by every timing
+          configuration of that pair *)
 }
 
 val summary_line : report -> store:Store.t option -> string
 (** The machine-readable one-liner printed by CLI/CI:
-    ["\[dse\] candidates=.. evaluated=.. cache_hits=.. simulated=.. front=.. store=.."]. *)
+    ["\[dse\] candidates=.. evaluated=.. cache_hits=.. simulated=.. front=.. snapshots=.. store=.."]. *)
 
 val run :
   ?store:Store.t ->
   ?trace:Salam_obs.Trace.sink ->
   ?domains:int ->
+  ?fast_forward:int ->
+  ?invocations:int ->
   target:target ->
   strategy:strategy ->
   Space.t list ->
   report
+(** [?invocations] (default 1) runs each design point's kernel that many
+    times back-to-back. [?fast_forward k] reaches the roadmark after
+    invocation [k] through the functional interpreter once per
+    (workload, memory-kind) pair — interpret-once/simulate-many — then
+    forks every detailed simulation of that pair from the shared
+    snapshot; measurements cover the post-roadmark epoch. Fast-forwarded
+    and multi-invocation measurements carry a distinct fingerprint
+    identity ([name#invN#ffK]), so a store holds them alongside plain
+    runs without collision. Raises [Invalid_argument] unless
+    [invocations >= 1] and [0 <= k < invocations]. *)

@@ -1562,6 +1562,10 @@ let start t ~args ~on_finish =
   t.ret_value <- None;
   t.on_finish <- Some on_finish;
   t.start_cycle <- Clock.current_cycle_i t.clock;
+  (* dynamic instructions are numbered per invocation: [seq] is program
+     order within one run of the function, and a fast-forwarded
+     invocation must see the same numbering as an uninterrupted one *)
+  t.next_seq <- 0;
   Array.fill t.last_writer 0 (Array.length t.last_writer) None;
   Array.fill t.last_instance 0 (Array.length t.last_instance) None;
   Array.fill t.readers 0 (Array.length t.readers) [];
@@ -1604,3 +1608,39 @@ let stats t =
     dynamic_fu_energy_pj = t.s_energy.(0);
     dynamic_reg_energy_pj = t.s_energy.(1);
   }
+
+(* Open a fresh statistics epoch. The flat mutable fields above are NOT
+   members of the Stats tree (see [create]: the group is ignored), so
+   [Stats.reset_group] alone cannot clear them — a checkpoint restore
+   must call this or warm-up runs would be double-counted. *)
+let reset_stats t =
+  t.s_cycles <- 0L;
+  t.s_dyn <- 0;
+  t.s_loads <- 0;
+  t.s_stores <- 0;
+  t.s_active <- 0;
+  t.s_issue_cycles <- 0;
+  t.s_stall <- 0;
+  t.s_stall_load <- 0;
+  t.s_stall_load_compute <- 0;
+  t.s_stall_lsc <- 0;
+  t.s_stall_other <- 0;
+  t.s_cyc_load <- 0;
+  t.s_cyc_store <- 0;
+  t.s_cyc_both <- 0;
+  t.s_cyc_fp <- 0;
+  t.s_issued_fp <- 0;
+  t.s_issued_int <- 0;
+  t.s_issued_mem <- 0;
+  t.s_issued_other <- 0;
+  Array.fill t.s_busy_integral 0 (Array.length t.s_busy_integral) 0.0;
+  Array.fill t.s_issued_by_class 0 (Array.length t.s_issued_by_class) 0;
+  Array.fill t.s_energy 0 (Array.length t.s_energy) 0.0
+
+let reset t =
+  if t.is_running then invalid_arg "Engine.reset: engine is running";
+  reset_stats t;
+  (* SSA registers are dead at invocation boundaries; [start] clears the
+     writer/instance/reader maps itself. Clearing the regfile here keeps
+     a restored engine bit-identical to a freshly created one. *)
+  Array.fill t.regfile 0 (Array.length t.regfile) None

@@ -150,7 +150,19 @@ val start : t -> args:Salam_ir.Bits.t list -> on_finish:(Salam_ir.Bits.t option 
 val running : t -> bool
 
 val stats : t -> run_stats
-(** Statistics accumulated since [create] (across restarts). *)
+(** Statistics accumulated since [create] or the last {!reset_stats}
+    (across restarts). *)
+
+val reset_stats : t -> unit
+(** Zero every accumulated statistic, opening a fresh epoch. The
+    engine's counters are flat mutable fields outside the [Stats] tree,
+    so [Stats.reset_group] does not reach them; checkpoint restore calls
+    this to keep warm-up work out of the measured run. *)
+
+val reset : t -> unit
+(** {!reset_stats} plus clearing the architectural register file, so a
+    restored engine is indistinguishable from a freshly created one.
+    Raises [Invalid_argument] while the engine is running. *)
 
 val fu_allocated : t -> Salam_hw.Fu.cls -> int
 (** Instantiated units of a class after applying the config limits. *)

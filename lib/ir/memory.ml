@@ -61,17 +61,49 @@ let store t ty addr v =
   | Ty.F64, Bits.Float f -> Bytes.set_int64_le t.data a (Int64.bits_of_float f)
   | _ -> invalid_arg "Memory.store: value does not match type"
 
-let snapshot t = Bytes.copy t.data
+(* A snapshot is a value: immutable string payload so it can cross
+   domain boundaries safely. [s_data] is the physical prefix only; bytes
+   past it were implicitly zero when the snapshot was taken. *)
+type snapshot = { s_data : string; s_brk : int; s_size : int }
+
+let snapshot t = { s_data = Bytes.to_string t.data; s_brk = t.brk; s_size = t.limit }
+
+let snapshot_size s = s.s_size
+
+let snapshot_brk s = s.s_brk
+
+let snapshot_data s = s.s_data
+
+let snapshot_of_parts ~size ~brk ~data =
+  if brk < 0 || brk > size then
+    invalid_arg (Printf.sprintf "Memory.snapshot_of_parts: brk %d outside [0, %d]" brk size);
+  if String.length data > size then
+    invalid_arg "Memory.snapshot_of_parts: data longer than logical size";
+  { s_data = data; s_brk = brk; s_size = size }
+
+(* Contents equality, zero-extended: the physical prefixes may differ in
+   length between two snapshots of logically identical memories. *)
+let snapshot_equal a b =
+  a.s_size = b.s_size && a.s_brk = b.s_brk
+  &&
+  let la = String.length a.s_data and lb = String.length b.s_data in
+  let shorter, longer = if la <= lb then (a.s_data, b.s_data) else (b.s_data, a.s_data) in
+  let ls = String.length shorter in
+  String.sub longer 0 ls = shorter
+  &&
+  let rec all_zero i = i >= String.length longer || (longer.[i] = '\000' && all_zero (i + 1)) in
+  all_zero ls
 
 let restore t snap =
-  if Bytes.length snap > t.limit then
+  if snap.s_size <> t.limit then
     invalid_arg "Memory.restore: snapshot size does not match memory size";
-  let len = Bytes.length snap in
+  let len = String.length snap.s_data in
   if len > Bytes.length t.data then grow_or_fail t 0 len 0L;
-  Bytes.blit snap 0 t.data 0 len;
+  Bytes.blit_string snap.s_data 0 t.data 0 len;
   (* the snapshot's physical prefix may be shorter than ours; everything
      past it was zero when the snapshot was taken *)
-  Bytes.fill t.data len (Bytes.length t.data - len) '\000'
+  Bytes.fill t.data len (Bytes.length t.data - len) '\000';
+  t.brk <- snap.s_brk
 
 let load_bytes t addr len =
   let a = check t addr len in

@@ -19,17 +19,40 @@ val alloc : t -> bytes:int -> align:int -> int64
 (** Bump allocation; raises [Failure] when full. Never returns address 0
     (address 0 is reserved so null pointers trap). *)
 
-val snapshot : t -> bytes
-(** Copy of the physically allocated prefix; bytes past it are implicitly
-    zero. Allocation state ([brk]) is not captured: a snapshot records
-    contents, not layout. The differential validation harness uses this to
-    replay runs on identical initial memory. *)
+type snapshot
+(** Immutable value capturing contents, logical size and allocation
+    state ([brk]). Safe to share across domains. *)
 
-val restore : t -> bytes -> unit
-(** Overwrite the contents with a snapshot. Bytes past the snapshot's
-    length are zeroed (they were implicitly zero when it was taken).
-    Raises [Invalid_argument] if the snapshot is larger than this
-    memory's logical size. *)
+val snapshot : t -> snapshot
+(** Capture contents of the physically allocated prefix (bytes past it
+    are implicitly zero), the logical size, and [brk]. The differential
+    validation harness uses this to replay runs on identical initial
+    memory; the checkpoint subsystem uses it to fast-forward detailed
+    simulations from a warm state. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite contents and allocation state with a snapshot. Bytes past
+    the snapshot's physical prefix are zeroed (they were implicitly zero
+    when it was taken). Raises [Invalid_argument] unless the snapshot's
+    logical size matches this memory's exactly — restoring into a
+    differently sized memory would silently corrupt subsequent
+    allocations. *)
+
+val snapshot_size : snapshot -> int
+
+val snapshot_brk : snapshot -> int
+
+val snapshot_data : snapshot -> string
+(** The physical prefix; bytes past it are implicitly zero. *)
+
+val snapshot_of_parts : size:int -> brk:int -> data:string -> snapshot
+(** Rebuild a snapshot from serialized parts; validates [brk] and data
+    length against [size]. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+(** Contents equality, zero-extended: two snapshots whose physical
+    prefixes differ in length compare equal when the extra tail is all
+    zero and size/brk agree. *)
 
 val load : t -> Ty.t -> int64 -> Bits.t
 

@@ -34,6 +34,10 @@ module Block : sig
 
   val busy : t -> bool
 
+  val checkpoint_agent : t -> Salam_sim.Checkpoint.agent
+  (** Empty section; capture and restore both require no transfer in
+      progress. *)
+
   val bytes_moved : t -> int
 end
 

@@ -22,6 +22,10 @@ val create : Salam_sim.Kernel.t -> Salam_sim.Clock.t -> Salam_sim.Stats.group ->
 
 val port : t -> Port.t
 
+val checkpoint_agent : t -> Salam_sim.Checkpoint.agent
+(** Section carries address-range identity only; the busy-until cycle is
+    timing state, required drained at capture and reset on restore. *)
+
 val bytes_read : t -> int
 
 val bytes_written : t -> int

@@ -39,6 +39,11 @@ val writes : t -> int
 val bank_conflicts : t -> int
 (** Accesses delayed at least one cycle by bank or port contention. *)
 
+val checkpoint_agent : t -> Salam_sim.Checkpoint.agent
+(** The SPM holds no data (contents live in the backing memory), so its
+    section carries layout identity only (base, size) — restore
+    validates it and both directions require an empty request queue. *)
+
 val energy_pj : t -> float
 (** Access energy so far, from the {!Salam_hw.Cacti_lite} model. *)
 

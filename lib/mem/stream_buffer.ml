@@ -96,6 +96,40 @@ let pop t ~size ~on_data =
   Queue.add (size, on_data) t.pending_pops;
   settle t
 
+(* --- checkpointing ----------------------------------------------------- *)
+
+(* The FIFO carries real payload bytes — the one component besides the
+   backing memory whose checkpoint section holds data. Pending handshake
+   halves are in-flight timing state and must have drained. *)
+let quiesce t ~what =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Checkpoint.Invalid s)) fmt in
+  if not (Queue.is_empty t.pending_pushes) then
+    fail "%s: %s with %d push(es) pending" t.buf_name what (Queue.length t.pending_pushes);
+  if not (Queue.is_empty t.pending_pops) then
+    fail "%s: %s with %d pop(s) pending" t.buf_name what (Queue.length t.pending_pops)
+
+let checkpoint_agent t =
+  {
+    Checkpoint.agent_name = t.buf_name;
+    capture =
+      (fun () ->
+        quiesce t ~what:"checkpoint capture";
+        let buf = Buffer.create (Queue.length t.fifo) in
+        Queue.iter (Buffer.add_char buf) t.fifo;
+        [ ("data", Checkpoint.Blob (Buffer.contents buf)) ]);
+    restore =
+      (fun sec ->
+        quiesce t ~what:"checkpoint restore";
+        let data = Checkpoint.find_blob sec "data" in
+        if String.length data > t.capacity_bytes then
+          raise
+            (Checkpoint.Invalid
+               (Printf.sprintf "%s: snapshot holds %d bytes but FIFO capacity is %d" t.buf_name
+                  (String.length data) t.capacity_bytes));
+        Queue.clear t.fifo;
+        String.iter (fun c -> Queue.add c t.fifo) data);
+  }
+
 let pushes t = int_of_float (Stats.value t.s_pushes)
 
 let pops t = int_of_float (Stats.value t.s_pops)

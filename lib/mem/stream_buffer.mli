@@ -34,6 +34,12 @@ val pop : t -> size:int -> on_data:(Bytes.t -> unit) -> unit
     available. Pops are served in arrival order. [size] must not exceed
     capacity. *)
 
+val checkpoint_agent : t -> Salam_sim.Checkpoint.agent
+(** FIFO payload bytes are architectural state and are captured
+    verbatim; pending push/pop handshakes must have drained in both
+    directions. Restore refuses a payload larger than this FIFO's
+    capacity. *)
+
 val pushes : t -> int
 
 val pops : t -> int

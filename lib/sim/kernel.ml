@@ -49,6 +49,15 @@ let run ?(max_ticks = Int64.max_int) t =
   in
   loop ()
 
+let idle t = Event_queue.is_empty t.queue
+
+let advance_to t ~tick =
+  let tick = Int64.to_int tick in
+  if not (Event_queue.is_empty t.queue) then
+    invalid_arg "Kernel.advance_to: event queue is not empty";
+  if tick < t.now then invalid_arg "Kernel.advance_to: cannot move time backwards";
+  t.now <- tick
+
 let run_until t done_ =
   let rec loop () =
     if done_ () then Int64.of_int t.now

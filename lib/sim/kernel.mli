@@ -39,6 +39,16 @@ val run : ?max_ticks:int64 -> t -> int64
     queue is empty or when the next event lies beyond [max_ticks].
     Returns the tick of the last executed event. *)
 
+val idle : t -> bool
+(** True when the event queue is empty — nothing is in flight anywhere
+    in the system. Checkpoints may only be captured while idle. *)
+
+val advance_to : t -> tick:int64 -> unit
+(** Jump current time forward to [tick] without executing anything. Only
+    legal while {!idle} and forward in time; raises [Invalid_argument]
+    otherwise. Used to align kernel-invocation boundaries to clock
+    hyperperiod multiples and to restore checkpoints. *)
+
 val run_until : t -> (unit -> bool) -> int64
 (** [run_until t done_] executes events until [done_ ()] becomes true
     (checked after every event) or the queue drains. *)

@@ -44,6 +44,29 @@ let create system ~name ~clock_mhz ?(profile = Salam_hw.Profile.default_40nm) ?(
       ~mem:(Comm_interface.mem_iface comm) ()
   in
   let t = { acc_name = name; system; comm; engine; datapath; clock } in
+  (* Roadmarks sit at invocation boundaries where SSA registers are dead
+     and the engine is stopped, so the section is empty. Restore opens a
+     fresh statistics epoch: the engine's counters are flat fields
+     outside the Stats tree, which System.restore's reset cannot reach —
+     without this, warm-up work would be double-counted. *)
+  System.register_agent system
+    {
+      Salam_sim.Checkpoint.agent_name = name ^ ".engine";
+      capture =
+        (fun () ->
+          if Engine.running engine then
+            raise
+              (Salam_sim.Checkpoint.Invalid
+                 (name ^ ".engine: checkpoint capture while the engine is running"));
+          []);
+      restore =
+        (fun _sec ->
+          if Engine.running engine then
+            raise
+              (Salam_sim.Checkpoint.Invalid
+                 (name ^ ".engine: checkpoint restore while the engine is running"));
+          Engine.reset engine);
+    };
   (* control-register starts: decode the argument MMRs and launch *)
   Comm_interface.on_control_write comm (fun value ->
       if Int64.logand value 1L = 1L && not (Engine.running engine) then begin

@@ -32,6 +32,11 @@ val name : t -> string
 
 val comm : t -> Comm_interface.t
 
+val encode_ret : Salam_ir.Bits.t -> int64
+(** The bit pattern a finished run leaves in the return-value MMR
+    (floats as their IEEE bits). Exposed so the interpreter warm-up can
+    mirror a detailed invocation's MMR end-state exactly. *)
+
 val engine : t -> Salam_engine.Engine.t
 
 val datapath : t -> Salam_cdfg.Datapath.t

@@ -22,6 +22,8 @@ let create system ?(clock_mhz = 800.0) ?(dram_latency = 30) ?(dram_bus_bytes = 8
       { Xbar.name = "global_xbar"; latency = xbar_latency; width = xbar_width }
   in
   Xbar.set_default xbar (Dram.port dram);
+  System.register_agent system (Dram.checkpoint_agent dram);
+  System.register_agent system (Xbar.checkpoint_agent xbar);
   { xbar; dram; clock }
 
 let port t = Xbar.port t.xbar

@@ -20,9 +20,40 @@ val stats : t -> Salam_sim.Stats.group
 val backing : t -> Salam_ir.Memory.t
 
 val clock : t -> mhz:float -> Salam_sim.Clock.t
+(** Creates a clock domain and records its period for {!hyperperiod}. *)
 
 val alloc_region : t -> bytes:int -> int64
 (** 64-byte-aligned region of the backing store. *)
+
+val register_agent : t -> Salam_sim.Checkpoint.agent -> unit
+(** Add a component's checkpoint agent. Components register themselves
+    at construction; the backing memory's agent is pre-registered by
+    {!create}. Agent names must be unique per system. *)
+
+val hyperperiod : t -> int
+(** Least common multiple of every clock period created so far, in
+    ticks. At a hyperperiod multiple every clock domain's phase is zero,
+    so two systems synced to such a tick behave identically afterwards
+    regardless of their histories. *)
+
+val align : t -> int64
+(** Advance the idle kernel to the next hyperperiod multiple and return
+    it. Kernel-invocation boundaries are aligned this way so a restored
+    system and an uninterrupted one agree on every clock's phase. Raises
+    [Invalid_argument] if events are still scheduled. *)
+
+val checkpoint : t -> roadmark:string -> Salam_sim.Checkpoint.t
+(** Capture every registered agent's architectural state at the current
+    tick. The system must be quiescent (event queue empty); raises
+    {!Salam_sim.Checkpoint.Invalid} otherwise, as do agents whose
+    components still hold in-flight state. *)
+
+val restore : t -> Salam_sim.Checkpoint.t -> unit
+(** Restore a checkpoint into this system: strict section/agent
+    matching, then jump time to the checkpoint's tick and reset the
+    statistics tree so the run's stats cover exactly the post-restore
+    epoch. The system must be freshly built or quiescent, and shaped
+    identically to the one that captured the checkpoint. *)
 
 val run : ?max_ticks:int64 -> t -> int64
 (** Drain all scheduled events; returns the final tick. *)

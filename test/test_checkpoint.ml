@@ -1,0 +1,173 @@
+(* Checkpoint format and fast-forward bit-identity tests. *)
+
+open Alcotest
+module Ckpt = Salam_sim.Checkpoint
+module Engine = Salam_engine.Engine
+
+let sample_ckpt () =
+  {
+    Ckpt.roadmark = "after-invocation-2";
+    tick = 123456789L;
+    sections =
+      [
+        {
+          Ckpt.sec_name = "memory";
+          fields =
+            [
+              ("size", Ckpt.Int 4096L);
+              ("brk", Ckpt.Int 128L);
+              (* binary payload with newlines and NULs: the format must
+                 carry it losslessly *)
+              ("data", Ckpt.Blob "\x00\x01\nraw\r\n\xff bytes\x00");
+            ];
+        };
+        { Ckpt.sec_name = "cluster0.spm"; fields = [ ("base", Ckpt.Int 0x10000L) ] };
+        { Ckpt.sec_name = "gemm.engine"; fields = [ ("note", Ckpt.Str "hello world") ] };
+      ];
+  }
+
+let test_serialize_round_trip () =
+  let c = sample_ckpt () in
+  let c' = Ckpt.deserialize (Ckpt.serialize c) in
+  check bool "round-trips structurally" true (c = c');
+  (* and through a file *)
+  let path = Filename.temp_file "salam_test_ckpt" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ckpt.save c path;
+      check bool "file round-trip" true (c = Ckpt.load path))
+
+let expect_invalid name f =
+  match f () with
+  | _ -> fail (name ^ ": expected Checkpoint.Invalid")
+  | exception Ckpt.Invalid _ -> ()
+
+let test_deserialize_rejects_corruption () =
+  let good = Ckpt.serialize (sample_ckpt ()) in
+  expect_invalid "bad magic" (fun () -> Ckpt.deserialize ("not a checkpoint\n" ^ good));
+  expect_invalid "future version" (fun () ->
+      Ckpt.deserialize "salam-checkpoint 99\nroadmark 5 start\ntick 0\n");
+  expect_invalid "truncated" (fun () ->
+      Ckpt.deserialize (String.sub good 0 (String.length good - 10)));
+  expect_invalid "trailing garbage" (fun () -> Ckpt.deserialize (good ^ "extra\n"));
+  expect_invalid "empty" (fun () -> Ckpt.deserialize "")
+
+let test_restore_matching_is_bidirectional () =
+  let agent name =
+    { Ckpt.agent_name = name; capture = (fun () -> []); restore = (fun _ -> ()) }
+  in
+  let ckpt = Ckpt.capture_all ~roadmark:"start" ~tick:0L [ agent "a"; agent "b" ] in
+  (* an agent the snapshot does not cover *)
+  expect_invalid "extra agent" (fun () ->
+      Ckpt.restore_all ckpt [ agent "a"; agent "b"; agent "c" ]);
+  (* a section no agent claims *)
+  expect_invalid "missing agent" (fun () -> Ckpt.restore_all ckpt [ agent "a" ]);
+  Ckpt.restore_all ckpt [ agent "a"; agent "b" ]
+
+(* --- fast-forward bit-identity ----------------------------------------- *)
+
+let test_ff_oracle_gemm_spm () =
+  match
+    Check_snapshot.check_fast_forward ~roadmark:1 ~invocations:2
+      (Salam_workloads.Gemm.workload ~n:8 ())
+  with
+  | Ok () -> ()
+  | Error msg -> fail ("fast-forward not bit-identical: " ^ msg)
+
+let test_ff_oracle_matrix () =
+  (* every memory attachment x both engine modes, snapshot mid-schedule *)
+  let reports =
+    Check_snapshot.check_all
+      ~memory_kinds:
+        [ Check_harness.Spm; Check_harness.Cache { size = 2048; ways = 2 }; Check_harness.Dram ]
+      ~modes:[ Engine.Dynamic; Engine.Compiled ]
+      ~roadmark:2 ~invocations:3
+      [ Salam_workloads.Gemm.workload ~n:8 () ]
+  in
+  check int "six points" 6 (List.length reports);
+  List.iter
+    (fun r ->
+      match r.Check_snapshot.r_result with
+      | Ok () -> ()
+      | Error msg -> fail (Check_snapshot.report_to_string r ^ ": " ^ msg))
+    reports
+
+let test_warm_up_zero_matches_cold_run () =
+  (* the "start" roadmark: restoring a freshly initialized snapshot must
+     reproduce a cold single-invocation run exactly *)
+  let w = Salam_workloads.Gemm.workload ~n:8 () in
+  let cold = Salam.simulate w in
+  let snap = Salam.warm_up ~invocations:0 w in
+  check string "roadmark name" "start" snap.Salam.snap_ckpt.Ckpt.roadmark;
+  let restored = Salam.simulate ~from:snap ~invocations:1 w in
+  check bool "correct" true restored.Salam.correct;
+  check int64 "cycles" cold.Salam.cycles restored.Salam.cycles;
+  check bool "engine stats" true (cold.Salam.stats = restored.Salam.stats);
+  check bool "system stats" true (cold.Salam.sim_stats = restored.Salam.sim_stats)
+
+let test_snapshot_shape_mismatches_rejected () =
+  let w = Salam_workloads.Gemm.workload ~n:8 () in
+  let snap = Salam.warm_up ~invocations:1 w in
+  let expect_invalid_arg name f =
+    match f () with
+    | _ -> fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid_arg "different workload" (fun () ->
+      Salam.simulate ~from:snap ~invocations:2 (Salam_workloads.Gemm.workload ~n:4 ()));
+  expect_invalid_arg "different memory kind" (fun () ->
+      Salam.simulate
+        ~config:{ Salam.Config.default with Salam.Config.memory = Salam.Config.Dram_direct }
+        ~from:snap ~invocations:2 w);
+  expect_invalid_arg "roadmark past the schedule" (fun () ->
+      Salam.simulate ~from:snap ~invocations:1 w)
+
+let test_snapshot_reusable_across_design_points () =
+  (* interpret once, simulate many: one snapshot seeds design points
+     that differ in every timing knob *)
+  let w = Salam_workloads.Gemm.workload ~n:8 ~unroll:4 () in
+  let snap = Salam.warm_up ~invocations:1 w in
+  let spm_config latency =
+    {
+      Salam.Config.default with
+      Salam.Config.memory =
+        Salam.Config.Spm { read_ports = 2; write_ports = 1; banks = 2; latency };
+    }
+  in
+  let results =
+    Salam.simulate_jobs
+      [
+        Salam.job ~invocations:2 ~from:snap (spm_config 1) w;
+        Salam.job ~invocations:2 ~from:snap (spm_config 8) w;
+      ]
+  in
+  List.iter (fun r -> check bool "correct" true r.Salam.correct) results;
+  match results with
+  | [ fast; slow ] ->
+      check bool "SPM latency changes timing" true
+        (Int64.compare slow.Salam.cycles fast.Salam.cycles > 0)
+  | _ -> fail "expected two results"
+
+let test_load_snapshot_rejects_foreign_file () =
+  let path = Filename.temp_file "salam_test_ckpt" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* a structurally valid checkpoint that is not a salam snapshot
+         (no metadata section) *)
+      Ckpt.save (sample_ckpt ()) path;
+      expect_invalid "no metadata" (fun () -> ignore (Salam.load_snapshot path)))
+
+let suite =
+  [
+    test_case "serialize round-trip" `Quick test_serialize_round_trip;
+    test_case "deserialize rejects corruption" `Quick test_deserialize_rejects_corruption;
+    test_case "restore matching is bidirectional" `Quick test_restore_matching_is_bidirectional;
+    test_case "ff oracle gemm spm" `Quick test_ff_oracle_gemm_spm;
+    test_case "ff oracle full matrix" `Slow test_ff_oracle_matrix;
+    test_case "warm-up at start matches cold run" `Quick test_warm_up_zero_matches_cold_run;
+    test_case "shape mismatches rejected" `Quick test_snapshot_shape_mismatches_rejected;
+    test_case "one snapshot, many design points" `Quick test_snapshot_reusable_across_design_points;
+    test_case "load rejects foreign file" `Quick test_load_snapshot_rejects_foreign_file;
+  ]

@@ -277,6 +277,58 @@ let test_resume_after_truncation () =
       Alcotest.(check bool) "resume equals fresh" true
         (fresh.Dse.measurements = resumed.Dse.measurements))
 
+(* --- exploration: interpret-once / simulate-many ------------------- *)
+
+let ff_spaces =
+  [ Space.create ~derive:Space.spm_balanced [ Space.Read_ports [ 2; 4 ] ] ]
+
+let test_fast_forward_shares_snapshot () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let plain = Dse.run ~store ~target:tiny_target ~strategy:Dse.Exhaustive ff_spaces in
+      Alcotest.(check int) "plain sweep has no snapshots" 0 plain.Dse.snapshots;
+      let ff =
+        Dse.run ~store ~invocations:2 ~fast_forward:1 ~target:tiny_target
+          ~strategy:Dse.Exhaustive ff_spaces
+      in
+      Store.close store;
+      Alcotest.(check int) "two design points simulated" 2 ff.Dse.simulated;
+      Alcotest.(check int) "one shared warm-up snapshot" 1 ff.Dse.snapshots;
+      (* plain results are already in the store, but fast-forwarded
+         measurements carry their own fingerprint identity *)
+      Alcotest.(check int) "no collision with plain results" 0 ff.Dse.cache_hits;
+      List.iter
+        (fun (m : M.t) ->
+          Alcotest.(check bool) "correct" true m.M.correct;
+          (* each fast-forwarded point equals a by-hand warm-up + restore *)
+          let config = Point.to_config m.M.point in
+          let w = tiny_target.Dse.build m.M.point in
+          let from = Salam.warm_up ~config ~invocations:1 w in
+          let r = Salam.simulate ~config ~invocations:2 ~from w in
+          Alcotest.(check int64) "cycles match by-hand fast-forward" r.Salam.cycles m.M.cycles)
+        ff.Dse.measurements;
+      (* the warm re-run answers wholly from the store: no simulation,
+         so no warm-up either *)
+      let store2 = Store.open_ path in
+      let warm =
+        Dse.run ~store:store2 ~invocations:2 ~fast_forward:1 ~target:tiny_target
+          ~strategy:Dse.Exhaustive ff_spaces
+      in
+      Store.close store2;
+      Alcotest.(check int) "warm ff run simulates nothing" 0 warm.Dse.simulated;
+      Alcotest.(check int) "warm ff run takes no snapshot" 0 warm.Dse.snapshots;
+      Alcotest.(check bool) "ff measurements round-trip the store" true
+        (ff.Dse.measurements = warm.Dse.measurements))
+
+let test_fast_forward_validation () =
+  Alcotest.check_raises "invocations < 1"
+    (Invalid_argument "Explore.run: invocations must be at least 1") (fun () ->
+      ignore (Dse.run ~invocations:0 ~target:tiny_target ~strategy:Dse.Exhaustive ff_spaces));
+  Alcotest.check_raises "roadmark outside the schedule"
+    (Invalid_argument "Explore.run: fast_forward must satisfy 0 <= roadmark < invocations")
+    (fun () ->
+      ignore (Dse.run ~fast_forward:1 ~target:tiny_target ~strategy:Dse.Exhaustive ff_spaces))
+
 let test_random_strategy_deterministic () =
   let strategy = Dse.Random { samples = 2; seed = 7L } in
   let r1 = Dse.run ~target:tiny_target ~strategy tiny_spaces in
@@ -303,5 +355,7 @@ let suite =
     Alcotest.test_case "pareto dominance" `Quick test_pareto_dominates;
     Alcotest.test_case "cache hits bit-identical" `Quick test_cache_hit_bit_identity;
     Alcotest.test_case "resume after truncated store" `Quick test_resume_after_truncation;
+    Alcotest.test_case "fast-forward shares one snapshot" `Quick test_fast_forward_shares_snapshot;
+    Alcotest.test_case "fast-forward argument validation" `Quick test_fast_forward_validation;
     Alcotest.test_case "random strategy deterministic" `Quick test_random_strategy_deterministic;
   ]

@@ -300,6 +300,31 @@ let test_memory_snapshot_restore () =
     (Invalid_argument "Memory.restore: snapshot size does not match memory size") (fun () ->
       Memory.restore other snap)
 
+(* Regression: snapshots must capture allocation state. Restoring into a
+   fresh memory without [brk] would hand out overlapping buffers. *)
+let test_memory_snapshot_brk () =
+  let mem = Memory.create ~size:256 in
+  let a = Memory.alloc mem ~bytes:16 ~align:8 in
+  Memory.store mem Ty.I64 a (Bits.Int 7L);
+  let snap = Memory.snapshot mem in
+  let fresh = Memory.create ~size:256 in
+  Memory.restore fresh snap;
+  let b = Memory.alloc fresh ~bytes:16 ~align:8 in
+  check Alcotest.bool "post-restore alloc does not overlap pre-snapshot buffer" true
+    (Int64.compare b (Int64.add a 16L) >= 0);
+  check Alcotest.int64 "contents carried over" 7L (Bits.to_int64 (Memory.load fresh Ty.I64 a));
+  check Alcotest.int "brk accessor" (Int64.to_int a + 16) (Memory.snapshot_brk snap);
+  (* zero-extended equality: growing the physical prefix with zero
+     stores must not change the snapshot's identity *)
+  let grown = Memory.create ~size:256 in
+  Memory.restore grown snap;
+  Memory.store grown Ty.I64 200L (Bits.Int 0L);
+  check Alcotest.bool "snapshot_equal zero-extended" true
+    (Memory.snapshot_equal snap (Memory.snapshot grown));
+  Memory.store grown Ty.I64 200L (Bits.Int 1L);
+  check Alcotest.bool "snapshot_equal detects difference" false
+    (Memory.snapshot_equal snap (Memory.snapshot grown))
+
 (* --- interpreter ------------------------------------------------------ *)
 
 let factorial_func () =
@@ -402,6 +427,7 @@ let suite =
     Alcotest.test_case "bits casts" `Quick test_bits_casts;
     Alcotest.test_case "bits every cast op" `Quick test_bits_every_cast;
     Alcotest.test_case "memory snapshot/restore" `Quick test_memory_snapshot_restore;
+    Alcotest.test_case "memory snapshot brk" `Quick test_memory_snapshot_brk;
     QCheck_alcotest.to_alcotest qcheck_bits_add_commutes;
     QCheck_alcotest.to_alcotest qcheck_bits_trunc_idempotent;
     Alcotest.test_case "builder output verifies" `Quick test_builder_verifies;

@@ -112,7 +112,7 @@ let print_report ~verbose ~csv ~store report =
     exit 2
   end
 
-let run_sweep ~require_store workload n store_path mems ports write_ports banks fu
+let run_sweep ~require_store workload n store_path server mems ports write_ports banks fu
     cache_sizes unrolls junrolls clocks strategy samples rounds seed domains csv quiet
     invocations fast_forward =
   let target = target_of ~workload ~n in
@@ -134,23 +134,50 @@ let run_sweep ~require_store workload n store_path mems ports write_ports banks 
         Explore.Pareto_walk { seeds = samples; rounds; seed = Int64.of_int seed }
     | other -> die "unknown strategy %s (exhaustive|random|pareto)" other
   in
-  let store =
-    match store_path with
-    | Some path ->
-        if require_store && not (Sys.file_exists path) then
-          die "resume: store %s does not exist (use `run` to start a sweep)" path;
-        let s = Store.open_ path in
-        if Store.repaired_bytes s > 0 then
-          Printf.eprintf "[dse] store %s: dropped %d bytes of damaged tail, kept %d results\n"
-            path (Store.repaired_bytes s) (Store.size s);
-        Some s
-    | None ->
-        if require_store then die "resume requires --store";
-        None
-  in
-  let report = Explore.run ?store ?domains ?fast_forward ~invocations ~target ~strategy spaces in
-  print_report ~verbose:(not quiet) ~csv ~store report;
-  Option.iter Store.close store
+  match server with
+  | Some socket ->
+      (* served mode: the daemon owns store, domains and snapshots; this
+         process only enumerates the space and renders the report *)
+      if store_path <> None then
+        die "--server and --store are mutually exclusive (the daemon owns the store)";
+      if require_store then die "resume works against a local --store, not --server";
+      if domains <> None then die "--domains has no effect with --server (the daemon decides)";
+      let spec =
+        { Salam_served.Protocol.default_spec with workload; gemm_n = n; invocations; fast_forward }
+      in
+      let run () =
+        Salam_served.Client.with_connection socket (fun client ->
+            let remote points =
+              let _done_, answers = Salam_served.Client.sweep client ~spec points in
+              List.map (fun (served, m) -> (m, served)) answers
+            in
+            Explore.run ~remote ~invocations ?fast_forward ~target ~strategy spaces)
+      in
+      let report =
+        match run () with
+        | report -> report
+        | exception Salam_served.Client.Protocol_error e -> die "served: %s" e
+        | exception Failure e -> die "served: %s" e
+      in
+      print_report ~verbose:(not quiet) ~csv ~store:None report
+  | None ->
+      let store =
+        match store_path with
+        | Some path ->
+            if require_store && not (Sys.file_exists path) then
+              die "resume: store %s does not exist (use `run` to start a sweep)" path;
+            let s = Store.open_ path in
+            if Store.repaired_bytes s > 0 then
+              Printf.eprintf "[dse] store %s: dropped %d bytes of damaged tail, kept %d results\n"
+                path (Store.repaired_bytes s) (Store.size s);
+            Some s
+        | None ->
+            if require_store then die "resume requires --store";
+            None
+      in
+      let report = Explore.run ?store ?domains ?fast_forward ~invocations ~target ~strategy spaces in
+      print_report ~verbose:(not quiet) ~csv ~store report;
+      Option.iter Store.close store
 
 let load_store path =
   if not (Sys.file_exists path) then die "store %s does not exist" path;
@@ -217,6 +244,13 @@ let store_arg =
   Arg.(value & opt (some string) None
        & info [ "store" ] ~docv:"FILE"
            ~doc:"Persistent JSONL result store; re-runs answer from it incrementally.")
+
+let server_arg =
+  Arg.(value & opt (some string) None
+       & info [ "server" ] ~docv:"SOCKET"
+           ~doc:"Evaluate points through a salam_served daemon at this Unix-domain \
+                 socket instead of simulating locally. Mutually exclusive with \
+                 $(b,--store); results are byte-identical either way.")
 
 let list_arg ~name ~docv ~doc ~default c =
   Arg.value (Arg.opt c default (Arg.info [ name ] ~docv ~doc))
@@ -305,7 +339,7 @@ let fast_forward_arg =
 let sweep_term ~require_store =
   Term.(
     const (run_sweep ~require_store)
-    $ workload_arg $ n_arg $ store_arg $ mems_arg $ ports_arg $ write_ports_arg
+    $ workload_arg $ n_arg $ store_arg $ server_arg $ mems_arg $ ports_arg $ write_ports_arg
     $ banks_arg $ fu_arg $ cache_sizes_arg $ unroll_arg $ junroll_arg $ clock_arg
     $ strategy_arg $ samples_arg $ rounds_arg $ seed_arg $ domains_arg $ csv_arg
     $ quiet_arg $ invocations_arg $ fast_forward_arg)

@@ -1,0 +1,151 @@
+(* The persistent DSE simulation daemon.
+
+     dune exec bin/salam_served.exe -- serve --socket /tmp/salam.sock --store results.d
+     dune exec bin/salam_served.exe -- ping --socket /tmp/salam.sock
+     dune exec bin/salam_served.exe -- stats --socket /tmp/salam.sock
+     dune exec bin/salam_served.exe -- stop --socket /tmp/salam.sock
+
+   `serve` runs in the foreground until SIGINT/SIGTERM or a client's
+   shutdown request, then drains in-flight simulations, flushes the
+   sharded store and removes the socket. Exit status: 0 on success, 1
+   on bad arguments or an unreachable daemon. *)
+
+open Cmdliner
+module Server = Salam_served.Server
+module Client = Salam_served.Client
+module P = Salam_served.Protocol
+module Trace = Salam_obs.Trace
+
+let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt
+
+(* --- serve --------------------------------------------------------------- *)
+
+let run_serve socket store shards workers queue trace_path =
+  let trace = Option.map (fun _ -> Trace.create ~categories:[ Trace.Dse_progress ] ()) trace_path in
+  let cfg =
+    {
+      Server.socket_path = socket;
+      store_dir = store;
+      shards;
+      workers = (match workers with Some w -> w | None -> Server.default_config.Server.workers);
+      queue_capacity = queue;
+      trace;
+    }
+  in
+  let t =
+    match Server.start cfg with
+    | t -> t
+    | exception (Failure e | Invalid_argument e) -> die "%s" e
+  in
+  let stop_on_signal _ = ignore (Thread.create (fun () -> Server.stop t) ()) in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal);
+  Printf.printf "[served] listening on %s (%s, %d shards, %d workers, queue %d)\n%!"
+    socket
+    (match store with Some d -> "store " ^ d | None -> "in-memory store")
+    cfg.Server.shards cfg.Server.workers cfg.Server.queue_capacity;
+  Server.wait t;
+  let st = Server.stats_snapshot t in
+  (match (trace, trace_path) with
+  | Some sink, Some path ->
+      let oc = open_out path in
+      Trace.write_text oc sink;
+      close_out oc;
+      Printf.printf "[served] wrote %d progress events to %s\n" (Trace.count sink) path
+  | _ -> ());
+  Printf.printf
+    "[served] stopped: requests=%d hits=%d misses=%d deduped=%d simulated=%d store=%d\n"
+    st.P.st_requests st.P.st_hits st.P.st_misses st.P.st_deduped st.P.st_simulated
+    st.P.st_store_size
+
+(* --- client-side commands ------------------------------------------------ *)
+
+let with_client socket f =
+  match Client.with_connection socket f with
+  | v -> v
+  | exception Client.Protocol_error e -> die "%s" e
+
+let run_ping socket =
+  let t0 = Unix.gettimeofday () in
+  with_client socket Client.ping;
+  Printf.printf "[served] pong from %s in %.3f ms\n" socket
+    ((Unix.gettimeofday () -. t0) *. 1e3)
+
+let run_stats socket =
+  let s = with_client socket Client.stats in
+  Printf.printf
+    "requests    %d\nhits        %d\nmisses      %d\ndeduped     %d\nsimulated   %d\n\
+     inflight    %d\nqueue_depth %d\nshards      %d\nstore_size  %d\n"
+    s.P.st_requests s.P.st_hits s.P.st_misses s.P.st_deduped s.P.st_simulated
+    s.P.st_inflight s.P.st_queue_depth s.P.st_shards s.P.st_store_size
+
+let run_stop socket =
+  with_client socket Client.shutdown;
+  (* the daemon acknowledges before draining; wait for the socket file
+     to disappear so `stop && serve` sequences are race-free *)
+  let rec wait tries =
+    if Sys.file_exists socket && tries > 0 then begin
+      Unix.sleepf 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 200;
+  Printf.printf "[served] %s stopped\n" socket
+
+(* --- cmdliner wiring ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Sharded persistent store directory (created on first use); \
+                 omitted, results live in memory and die with the daemon.")
+
+let shards_arg =
+  Arg.(value & opt int 8
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard count for a store created by this run; an existing \
+                 store's manifest wins.")
+
+let workers_arg =
+  Arg.(value & opt (some int) None
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Simulation worker domains (default: available cores minus one).")
+
+let queue_arg =
+  Arg.(value & opt int 64
+       & info [ "queue" ] ~docv:"N" ~doc:"Bounded job-queue capacity.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record every request's dse.progress events and write them to \
+                 $(docv) at shutdown.")
+
+let serve_cmd =
+  let doc = "Run the daemon in the foreground until SIGINT/SIGTERM or a shutdown request." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ socket_arg $ store_arg $ shards_arg $ workers_arg $ queue_arg
+          $ trace_arg)
+
+let ping_cmd =
+  let doc = "Round-trip a ping and print the latency." in
+  Cmd.v (Cmd.info "ping" ~doc) Term.(const run_ping $ socket_arg)
+
+let stats_cmd =
+  let doc = "Print the daemon's counters." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ socket_arg)
+
+let stop_cmd =
+  let doc = "Gracefully stop the daemon (drains in-flight simulations first)." in
+  Cmd.v (Cmd.info "stop" ~doc) Term.(const run_stop $ socket_arg)
+
+let cmd =
+  let doc = "persistent DSE simulation server with sharded stores and in-flight dedup" in
+  Cmd.group (Cmd.info "salam_served" ~version:"1.0.0" ~doc)
+    [ serve_cmd; ping_cmd; stats_cmd; stop_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -67,6 +67,9 @@ type evaluator = {
   target : target;
   invocations : int;
   fast_forward : int option;  (** roadmark: interpreter invocations *)
+  remote : (Point.t list -> (Measurement.t * string) list) option;
+      (** when set, batches are answered by a remote evaluator (the
+          salam_served daemon) instead of the store + local simulation *)
   snapshots : (string, Salam.snapshot) Hashtbl.t;
       (** interpret-once/simulate-many: keyed by workload identity and
           memory kind, the only axes a snapshot is shaped by — every
@@ -74,6 +77,7 @@ type evaluator = {
   mutable warmed : int;
   mutable hits : int;
   mutable sims : int;
+  tick_base : int64;  (** tick domain: high 32 bits of every tick *)
   mutable ticks : int64;  (** progress-event tick = evaluation order *)
   mutable acc : Measurement.t list;  (** newest first *)
   evaluated : (int64, unit) Hashtbl.t;
@@ -82,12 +86,14 @@ type evaluator = {
 (* Fast-forwarded (or multi-invocation) measurements cover a different
    epoch than plain ones, so they get their own fingerprint identity —
    a store can hold both without collision. *)
-let measured_id ev workload =
+let identity ~workload ~invocations ~fast_forward =
   let id =
-    if ev.invocations = 1 then workload
-    else Printf.sprintf "%s#inv%d" workload ev.invocations
+    if invocations = 1 then workload else Printf.sprintf "%s#inv%d" workload invocations
   in
-  match ev.fast_forward with None -> id | Some k -> Printf.sprintf "%s#ff%d" id k
+  match fast_forward with None -> id | Some k -> Printf.sprintf "%s#ff%d" id k
+
+let measured_id ev workload =
+  identity ~workload ~invocations:ev.invocations ~fast_forward:ev.fast_forward
 
 let memory_kind_name = function
   | Salam.Config.Spm _ -> "spm"
@@ -108,12 +114,48 @@ let emit_progress ev ~detail args =
   match ev.trace with
   | Some tr ->
       ev.ticks <- Int64.add ev.ticks 1L;
-      Trace.emit tr ~tick:ev.ticks ~comp:"dse" ~cat:Trace.Dse_progress ~detail args
+      Trace.emit tr
+        ~tick:(Int64.logor ev.tick_base ev.ticks)
+        ~comp:"dse" ~cat:Trace.Dse_progress ~detail args
   | None -> ()
+
+let record ev ~detail ~fp m =
+  Hashtbl.replace ev.evaluated fp ();
+  ev.acc <- m :: ev.acc;
+  emit_progress ev ~detail
+    [
+      ("fp", Trace.S (Point.fingerprint_hex fp));
+      ("cycles", Trace.I m.Measurement.cycles);
+      ("total_mw", Trace.F m.Measurement.total_mw);
+    ];
+  m
+
+(* evaluate a batch of points through the remote daemon: the server does
+   its own store lookup, in-flight dedup and simulation; this side only
+   checks the results are the ones it asked for and keeps the counters *)
+let evaluate_remote ev eval points =
+  let answers = eval points in
+  if List.length answers <> List.length points then
+    failwith
+      (Printf.sprintf "Explore: server answered %d of %d points"
+         (List.length answers) (List.length points));
+  List.map2
+    (fun p (m, served) ->
+      let workload = measured_id ev (ev.target.workload_id p) in
+      let fp = Point.fingerprint ~workload p in
+      if m.Measurement.fp <> fp then
+        failwith
+          (Printf.sprintf "Explore: server answered fingerprint %s for requested %s"
+             (Point.fingerprint_hex m.Measurement.fp)
+             (Point.fingerprint_hex fp));
+      let detail = if served = "hit" then "hit" else "sim" in
+      if detail = "hit" then ev.hits <- ev.hits + 1 else ev.sims <- ev.sims + 1;
+      record ev ~detail ~fp m)
+    points answers
 
 (* evaluate a batch of points: store lookups first, then one
    domain-parallel simulation batch for the misses *)
-let evaluate ev points =
+let evaluate_local ev points =
   let keyed =
     List.map
       (fun p ->
@@ -167,16 +209,13 @@ let evaluate ev points =
             ev.sims <- ev.sims + 1;
             (List.assoc fp fresh, "sim")
       in
-      Hashtbl.replace ev.evaluated fp ();
-      ev.acc <- m :: ev.acc;
-      emit_progress ev ~detail
-        [
-          ("fp", Trace.S (Point.fingerprint_hex fp));
-          ("cycles", Trace.I m.Measurement.cycles);
-          ("total_mw", Trace.F m.Measurement.total_mw);
-        ];
-      m)
+      record ev ~detail ~fp m)
     cached
+
+let evaluate ev points =
+  match ev.remote with
+  | Some eval -> evaluate_remote ev eval points
+  | None -> evaluate_local ev points
 
 let seen ev (target : target) p =
   let workload = measured_id ev (target.workload_id p) in
@@ -187,12 +226,15 @@ let sample rng n xs =
   Salam_sim.Rng.shuffle rng arr;
   Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
 
-let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ~target ~strategy spaces =
+let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ?remote ?(tick_domain = 0)
+    ~target ~strategy spaces =
   if invocations < 1 then invalid_arg "Explore.run: invocations must be at least 1";
   (match fast_forward with
   | Some k when k < 0 || k >= invocations ->
       invalid_arg "Explore.run: fast_forward must satisfy 0 <= roadmark < invocations"
   | Some _ | None -> ());
+  if tick_domain < 0 || tick_domain > 0x7fffffff then
+    invalid_arg "Explore.run: tick_domain must fit in 31 bits";
   let all = Space.enumerate_all spaces in
   let ev =
     {
@@ -202,10 +244,12 @@ let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ~target ~strateg
       target;
       invocations;
       fast_forward;
+      remote;
       snapshots = Hashtbl.create 8;
       warmed = 0;
       hits = 0;
       sims = 0;
+      tick_base = Int64.shift_left (Int64.of_int tick_domain) 32;
       ticks = 0L;
       acc = [];
       evaluated = Hashtbl.create 64;

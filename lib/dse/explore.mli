@@ -56,17 +56,42 @@ val summary_line : report -> store:Store.t option -> string
 (** The machine-readable one-liner printed by CLI/CI:
     ["\[dse\] candidates=.. evaluated=.. cache_hits=.. simulated=.. front=.. snapshots=.. store=.."]. *)
 
+val identity : workload:string -> invocations:int -> fast_forward:int option -> string
+(** The measured fingerprint identity: the workload id, suffixed
+    [#invN] when [invocations > 1] and [#ffK] under fast-forward. The
+    store keys measurements by [Point.fingerprint ~workload:(identity
+    ...)], and the salam_served daemon computes the very same key. *)
+
 val run :
   ?store:Store.t ->
   ?trace:Salam_obs.Trace.sink ->
   ?domains:int ->
   ?fast_forward:int ->
   ?invocations:int ->
+  ?remote:(Point.t list -> (Measurement.t * string) list) ->
+  ?tick_domain:int ->
   target:target ->
   strategy:strategy ->
   Space.t list ->
   report
-(** [?invocations] (default 1) runs each design point's kernel that many
+(** [?remote] replaces the store-plus-local-simulation evaluator with an
+    external one (the salam_served client): each batch of points is
+    handed over whole, and the answers come back in request order as
+    [(measurement, served)] pairs where [served] is ["hit"] for a
+    store-warm answer and anything else for a fresh (or deduplicated)
+    simulation. Answers are checked against the locally computed
+    fingerprints — a mismatched or short reply raises [Failure].
+    [?store], [?domains] and [?fast_forward] are ignored under
+    [?remote]; the daemon owns all three.
+
+    [?tick_domain] (default 0, must fit in 31 bits) namespaces the
+    progress-event ticks: every tick is [domain << 32 | n] with [n] the
+    per-run evaluation order. Concurrent sweeps sharing one trace sink
+    stay deterministically separable — sorting by tick groups each
+    run's events contiguously in evaluation order, whatever the
+    physical interleaving was.
+
+    [?invocations] (default 1) runs each design point's kernel that many
     times back-to-back. [?fast_forward k] reaches the roadmark after
     invocation [k] through the functional interpreter once per
     (workload, memory-kind) pair — interpret-once/simulate-many — then

@@ -91,6 +91,70 @@ let to_fields p =
     ("write_ports", string_of_int p.write_ports);
   ]
 
+let of_fields fields =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "point: missing field %s" k)
+  in
+  let int k =
+    let* v = get k in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "point: field %s: %S is not an integer" k v)
+  in
+  let* mem = get "memory" in
+  let* memory =
+    match memory_kind_of_string mem with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "point: field memory: %S is not spm, cache or dram" mem)
+  in
+  let* read_ports = int "read_ports" in
+  let* write_ports = int "write_ports" in
+  let* banks = int "banks" in
+  let* cache_bytes = int "cache_bytes" in
+  let* fu_limit = int "fu_limit" in
+  let* unroll = int "unroll" in
+  let* junroll = int "junroll" in
+  let* clock = get "clock_mhz" in
+  let* clock_mhz =
+    (* [%h] renders, and [float_of_string] parses, hex floats exactly *)
+    match float_of_string_opt clock with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "point: field clock_mhz: %S is not a number" clock)
+  in
+  Ok
+    (canonical
+       {
+         memory;
+         read_ports;
+         write_ports;
+         banks;
+         cache_bytes;
+         fu_limit;
+         unroll;
+         junroll;
+         clock_mhz;
+       })
+
+let to_compact p =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) (to_fields p))
+
+let of_compact s =
+  let kvs = String.split_on_char ',' s in
+  let rec parse acc = function
+    | [] -> of_fields (List.rev acc)
+    | kv :: rest -> (
+        match String.index_opt kv '=' with
+        | Some i ->
+            parse
+              ((String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)) :: acc)
+              rest
+        | None -> Error (Printf.sprintf "point: %S is not a key=value pair" kv))
+  in
+  parse [] kvs
+
 let to_string p =
   let mem =
     match p.memory with

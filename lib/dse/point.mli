@@ -48,6 +48,18 @@ val to_fields : t -> (string * string) list
 (** Canonical serialization: (key, value) pairs sorted by key, floats
     rendered exactly ([%h]). The fingerprint hashes exactly these. *)
 
+val of_fields : (string * string) list -> (t, string) result
+(** Inverse of {!to_fields} (order-insensitive; extra keys ignored).
+    The result is canonical. Loud [Error] naming the offending field. *)
+
+val to_compact : t -> string
+(** One-token wire form: the canonical fields as ["k=v"] pairs joined
+    with commas, e.g. ["banks=4,cache_bytes=0,...,write_ports=1"] — the
+    {!Salam_served} protocol's point encoding. *)
+
+val of_compact : string -> (t, string) result
+(** Inverse of {!to_compact}; loud [Error] on malformed input. *)
+
 val to_string : t -> string
 (** One-line human-readable form, e.g. ["spm rd=8 wr=4 banks=16 fu=1:1
     u=16 j=8 500MHz"]. *)

@@ -1,0 +1,148 @@
+(* A result store split across N JSONL shard files under one directory,
+   keyed by fingerprint prefix. Each shard is a plain {!Store.t}, so the
+   truncated-tail repair and bit-identical hit semantics are inherited
+   wholesale; a manifest file pins the shard count so a store is never
+   silently reopened with a different hash layout. Every shard carries
+   its own mutex: concurrent readers and writers of *different* shards
+   never contend, and two writers of the same shard serialize on its
+   lock instead of interleaving bytes in one file. *)
+
+type shard = { s_store : Store.t; s_lock : Mutex.t }
+
+type t = {
+  dir : string option;  (** [None] = in-memory *)
+  shards : shard array;
+}
+
+let default_shards = 8
+let manifest_magic = "salam-shards 1"
+let manifest_name = "shards.manifest"
+let manifest_path dir = Filename.concat dir manifest_name
+let shard_file dir i = Filename.concat dir (Printf.sprintf "shard-%02d.jsonl" i)
+
+let write_manifest dir n =
+  let tmp = manifest_path dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Printf.fprintf oc "%s\ncount=%d\n" manifest_magic n;
+  close_out oc;
+  Sys.rename tmp (manifest_path dir)
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then
+    failwith
+      (Printf.sprintf "Store_shard.open_: %s exists but has no %s — not a sharded store"
+         dir manifest_name);
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let bad what = failwith (Printf.sprintf "Store_shard.open_: %s: %s" path what) in
+      let line () = try input_line ic with End_of_file -> bad "truncated manifest" in
+      let magic = line () in
+      if magic <> manifest_magic then
+        bad (Printf.sprintf "bad magic %S (expected %S)" magic manifest_magic);
+      let count = line () in
+      match String.split_on_char '=' count with
+      | [ "count"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> bad (Printf.sprintf "bad shard count %S" n))
+      | _ -> bad (Printf.sprintf "bad count line %S" count))
+
+let of_stores dir stores =
+  { dir; shards = Array.map (fun s -> { s_store = s; s_lock = Mutex.create () }) stores }
+
+let in_memory ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Store_shard.in_memory: shards must be at least 1";
+  of_stores None (Array.init shards (fun _ -> Store.in_memory ()))
+
+let open_ ?shards dir =
+  (match shards with
+  | Some n when n < 1 -> invalid_arg "Store_shard.open_: shards must be at least 1"
+  | Some _ | None -> ());
+  let n =
+    if Sys.file_exists dir then begin
+      if not (Sys.is_directory dir) then
+        failwith
+          (Printf.sprintf
+             "Store_shard.open_: %s is a file, not a directory (monolithic store? use Store.open_)"
+             dir);
+      if Sys.readdir dir = [||] then begin
+        (* an empty directory is a store waiting to happen (mkdir-then-
+           open is a natural CLI sequence) *)
+        let n = Option.value shards ~default:default_shards in
+        write_manifest dir n;
+        n
+      end
+      else begin
+        let n = read_manifest dir in
+        (match shards with
+        | Some k when k <> n ->
+            failwith
+              (Printf.sprintf
+                 "Store_shard.open_: %s is sharded %d ways but %d were requested — use reshard"
+                 dir n k)
+        | Some _ | None -> ());
+        n
+      end
+    end
+    else begin
+      let n = Option.value shards ~default:default_shards in
+      Sys.mkdir dir 0o755;
+      write_manifest dir n;
+      n
+    end
+  in
+  of_stores (Some dir) (Array.init n (fun i -> Store.open_ (shard_file dir i)))
+
+let shard_count t = Array.length t.shards
+
+let path t = t.dir
+
+(* fingerprint prefix: the top byte spreads FNV-1a output uniformly, and
+   taking it (rather than the low bits) matches the "prefix" a human
+   sees in the hex key *)
+let shard_index t fp =
+  Int64.to_int (Int64.shift_right_logical fp 56) mod Array.length t.shards
+
+let with_shard t i f =
+  let s = t.shards.(i) in
+  Mutex.lock s.s_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.s_lock) (fun () -> f s.s_store)
+
+let find t ~fp = with_shard t (shard_index t fp) (fun s -> Store.find s ~fp)
+
+let add t (m : Measurement.t) =
+  with_shard t (shard_index t m.Measurement.fp) (fun s -> Store.add s m)
+
+let size t =
+  let total = ref 0 in
+  Array.iteri (fun i _ -> total := !total + with_shard t i Store.size) t.shards;
+  !total
+
+let entries t =
+  List.concat (List.init (Array.length t.shards) (fun i -> with_shard t i Store.entries))
+
+let repaired_bytes t =
+  let total = ref 0 in
+  Array.iteri (fun i _ -> total := !total + with_shard t i Store.repaired_bytes) t.shards;
+  !total
+
+let close t = Array.iteri (fun i _ -> with_shard t i Store.close) t.shards
+
+let reshard ~shards dir =
+  if shards < 1 then invalid_arg "Store_shard.reshard: shards must be at least 1";
+  let old = open_ dir in
+  let old_n = shard_count old in
+  let ms = entries old in
+  close old;
+  if shards <> old_n then begin
+    for i = 0 to old_n - 1 do
+      Sys.remove (shard_file dir i)
+    done;
+    write_manifest dir shards;
+    let fresh = open_ ~shards dir in
+    List.iter (add fresh) ms;
+    close fresh
+  end

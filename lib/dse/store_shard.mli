@@ -1,0 +1,58 @@
+(** A persistent result store sharded across N JSONL files by
+    fingerprint prefix.
+
+    Layout on disk: a directory holding [shards.manifest] (magic line
+    plus [count=N]) and [shard-00.jsonl] … [shard-(N-1).jsonl]. Each
+    shard is a plain {!Store} file, so the truncated-tail repair, the
+    refusal to drop mid-file corruption and the bit-identical hit
+    guarantee all carry over shard by shard. A measurement lands in
+    shard [top_byte(fp) mod N] — concurrent writers of different shards
+    never touch the same file, and writers of the same shard serialize
+    on a per-shard mutex, which makes the whole store safe to use from
+    many threads and domains at once.
+
+    A sharded store is read-equivalent to a monolithic {!Store} holding
+    the same measurements: the same fingerprints hit, and hits decode to
+    structurally equal measurements. *)
+
+type t
+
+val open_ : ?shards:int -> string -> t
+(** Open (or create) the sharded store in the given directory. On
+    creation — a missing or empty directory — [shards] (default 8)
+    fixes the layout and is written to the manifest; on reopen the
+    manifest wins, and passing a conflicting explicit [shards] raises
+    [Failure] (use {!reshard}). Opening a plain file, a non-empty
+    directory without a manifest, or a corrupt manifest raises
+    [Failure]; per-shard damaged tails are repaired exactly as
+    {!Store.open_} does. *)
+
+val in_memory : ?shards:int -> unit -> t
+(** A sharded store with no backing files — for tests and one-shot
+    servers. *)
+
+val reshard : shards:int -> string -> unit
+(** Rewrite an existing on-disk store with a different shard count.
+    Every measurement survives; the manifest and shard files are
+    replaced. A no-op when the count already matches. *)
+
+val shard_count : t -> int
+
+val path : t -> string option
+
+val find : t -> fp:int64 -> Measurement.t option
+
+val add : t -> Measurement.t -> unit
+(** Index and append+flush into the owning shard. First add wins, as in
+    {!Store.add}. Thread-safe. *)
+
+val size : t -> int
+
+val entries : t -> Measurement.t list
+(** Shard-index order, file order within a shard — NOT global insertion
+    order (that ordering dies with sharding). *)
+
+val repaired_bytes : t -> int
+(** Total damaged-tail bytes dropped across all shards at open. *)
+
+val close : t -> unit

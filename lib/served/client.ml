@@ -1,0 +1,130 @@
+(* A synchronous client for the salam_served daemon.
+
+   One request at a time per client value: send a line, then read
+   response lines until the terminal one for our id arrives, handing
+   interim progress lines to the caller's callback as they stream in.
+   Not thread-safe — give each thread its own client (connections are
+   cheap; the daemon multiplexes). *)
+
+module P = Protocol
+module Point = Salam_dse.Point
+module Measurement = Salam_dse.Measurement
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int64;
+  mutable closed : bool;
+}
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "cannot connect to %s: %s" path (Unix.error_message e));
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1L;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* send one request, collect every line up to (and including) the
+   terminal one; interim points accumulate in order of arrival *)
+let roundtrip t ?(on_progress = fun _ -> ()) req =
+  if t.closed then fail "client is closed";
+  let id = t.next_id in
+  t.next_id <- Int64.add t.next_id 1L;
+  output_string t.oc (P.encode_request ~id req);
+  output_char t.oc '\n';
+  flush t.oc;
+  let points = ref [] in
+  let rec await () =
+    match input_line t.ic with
+    | exception End_of_file -> fail "server hung up mid-request"
+    | line -> (
+        match P.decode_response line with
+        | Error e -> fail "undecodable response: %s (line: %s)" e line
+        | Ok (rid, _) when rid <> id ->
+            fail "response for request %Ld while awaiting %Ld" rid id
+        | Ok (_, `Interim_progress pr) ->
+            on_progress pr;
+            await ()
+        | Ok (_, `Interim resp) ->
+            (match resp with
+            | P.Sweep_point _ -> points := resp :: !points
+            | _ -> fail "unexpected interim response");
+            await ()
+        | Ok (_, `Terminal resp) -> resp)
+  in
+  let terminal = await () in
+  (terminal, List.rev !points)
+
+let ping t =
+  match roundtrip t P.Ping with
+  | P.Pong, _ -> ()
+  | P.Failed e, _ -> fail "ping: %s" e
+  | _ -> fail "ping: unexpected terminal response"
+
+let stats t =
+  match roundtrip t P.Stats with
+  | P.Stats_reply s, _ -> s
+  | P.Failed e, _ -> fail "stats: %s" e
+  | _ -> fail "stats: unexpected terminal response"
+
+let shutdown t =
+  match roundtrip t P.Shutdown with
+  | P.Stopping, _ -> ()
+  | P.Failed e, _ -> fail "shutdown: %s" e
+  | _ -> fail "shutdown: unexpected terminal response"
+
+let sim t ?on_progress ?(spec = P.default_spec) point =
+  match roundtrip t ?on_progress (P.Sim (spec, point)) with
+  | P.Result { served; m }, _ -> (served, m)
+  | P.Failed e, _ -> fail "sim: %s" e
+  | _ -> fail "sim: unexpected terminal response"
+
+let sweep t ?on_progress ?(spec = P.default_spec) points =
+  let n = List.length points in
+  match roundtrip t ?on_progress (P.Sweep (spec, points)) with
+  | P.Failed e, _ -> fail "sweep: %s" e
+  | P.Sweep_done { points = np; hits; sims; deduped }, interim ->
+      let slots = Array.make n None in
+      List.iter
+        (function
+          | P.Sweep_point { index; served; m } ->
+              if index < 0 || index >= n then
+                fail "sweep: point index %d out of range (%d points)" index n;
+              if slots.(index) <> None then fail "sweep: duplicate point index %d" index;
+              slots.(index) <- Some (served, m)
+          | _ -> ())
+        interim;
+      let answers =
+        Array.to_list
+          (Array.mapi
+             (fun i -> function
+               | Some a -> a
+               | None -> fail "sweep: no answer for point %d" i)
+             slots)
+      in
+      (P.Sweep_done { points = np; hits; sims; deduped }, answers)
+  | _ -> fail "sweep: unexpected terminal response"

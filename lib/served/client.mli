@@ -1,0 +1,49 @@
+(** A synchronous salam_served client.
+
+    One request at a time per client: send, then read until the
+    terminal response, streaming interim progress lines into
+    [?on_progress]. Not thread-safe — open one client per thread
+    (connections are cheap; the daemon multiplexes).
+
+    Every wire or protocol failure raises {!Protocol_error} with a
+    message naming what went wrong; a [type=error] reply from the
+    daemon is re-raised the same way. *)
+
+type t
+
+exception Protocol_error of string
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket path. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection : string -> (t -> 'a) -> 'a
+
+val ping : t -> unit
+
+val stats : t -> Protocol.server_stats
+
+val shutdown : t -> unit
+(** Ask the daemon to stop; returns once it acknowledges ([stopping]).
+    The daemon finishes in-flight work before exiting. *)
+
+val sim :
+  t ->
+  ?on_progress:(Protocol.progress -> unit) ->
+  ?spec:Protocol.spec ->
+  Salam_dse.Point.t ->
+  string * Salam_dse.Measurement.t
+(** Evaluate one point; returns [(served, measurement)] where [served]
+    is ["hit"], ["sim"] or ["dedup"]. *)
+
+val sweep :
+  t ->
+  ?on_progress:(Protocol.progress -> unit) ->
+  ?spec:Protocol.spec ->
+  Salam_dse.Point.t list ->
+  Protocol.response * (string * Salam_dse.Measurement.t) list
+(** Evaluate a batch; answers come back in request order regardless of
+    completion order. The first component is the [Sweep_done] terminal
+    (points/hits/sims/deduped counters). *)

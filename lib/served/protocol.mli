@@ -1,0 +1,101 @@
+(** The salam_served wire protocol.
+
+    Newline-delimited flat JSON objects over a Unix-domain socket, one
+    message per line in both directions, spoken with the store's
+    hand-rolled codec ({!Salam_dse.Jsonl}) — floats round-trip
+    bit-exactly, which is what lets a served measurement equal a local
+    one byte for byte.
+
+    Grammar (every value a scalar):
+    {v
+    request  := {"id":N, "op":"ping"|"stats"|"shutdown"}
+              | {"id":N, "op":"sim",   <spec>, "point":"k=v,..."}
+              | {"id":N, "op":"sweep", <spec>, "points":"k=v,...;k=v,..."}
+    spec     := "workload":S [,"gemm_n":N] [,"invocations":N]
+                [,"fast_forward":N] [,"progress":true]
+    response := {"id":N, "type":"pong"|"stopping"}
+              | {"id":N, "type":"error", "error":S}
+              | {"id":N, "type":"result", "served":S, <measurement fields>}
+              | {"id":N, "type":"point", "index":N, "served":S, <measurement fields>}
+              | {"id":N, "type":"done", "points":N, "hits":N, "sims":N, "deduped":N}
+              | {"id":N, "type":"stats", "hits":N, ...}
+              | {"id":N, "type":"progress", "tick":N, "comp":S, "cat":S,
+                 "detail":S, ...}
+    v}
+
+    Requests carry a client-chosen [id]; every response line echoes it.
+    Interim lines ([progress], [point]) precede exactly one terminal
+    line per request. [served] is ["hit"] (store-warm), ["sim"] (this
+    request simulated it) or ["dedup"] (another in-flight request
+    simulated it). Malformed input yields a loud [error] response, never
+    a crash. *)
+
+type spec = {
+  workload : string;  (** "gemm" or a suite workload name *)
+  gemm_n : int;
+  invocations : int;
+  fast_forward : int option;
+  progress : bool;  (** stream per-point dse.progress events *)
+}
+
+val default_spec : spec
+(** gemm, n=16, one invocation, no fast-forward, no progress. *)
+
+type request =
+  | Ping
+  | Sim of spec * Salam_dse.Point.t
+  | Sweep of spec * Salam_dse.Point.t list
+  | Stats
+  | Shutdown
+
+type server_stats = {
+  st_hits : int;
+  st_misses : int;
+  st_deduped : int;
+  st_simulated : int;
+  st_inflight : int;
+  st_queue_depth : int;
+  st_shards : int;
+  st_store_size : int;
+  st_requests : int;
+}
+
+type response =
+  | Pong
+  | Result of { served : string; m : Salam_dse.Measurement.t }
+  | Sweep_point of { index : int; served : string; m : Salam_dse.Measurement.t }
+  | Sweep_done of { points : int; hits : int; sims : int; deduped : int }
+  | Stats_reply of server_stats
+  | Stopping
+  | Failed of string
+
+type progress = {
+  pr_tick : int64;  (** request tick domain << 32 | per-request order *)
+  pr_comp : string;
+  pr_detail : string;  (** [hit], [miss], [wait] or [sim] *)
+  pr_args : (string * Salam_dse.Jsonl.value) list;
+}
+
+val encode_request : id:int64 -> request -> string
+
+val decode_request : string -> (int64 * request, int64 * string) result
+(** [Error (id, msg)] carries the request id when one was parseable
+    (else 0), so the error reply can still be routed. *)
+
+val encode_response : id:int64 -> response -> string
+
+val decode_response :
+  string ->
+  ( int64
+    * [ `Terminal of response
+      | `Interim of response
+      | `Interim_progress of progress ],
+    string )
+  result
+(** [`Interim] is a [Sweep_point]; [`Terminal] ends the request. *)
+
+val progress_line : id:int64 -> Salam_obs.Trace.event -> string
+(** The dse.progress-to-wire bridge: render a trace event as one
+    protocol line for the request that owns it. *)
+
+val jsonl_value_to_trace : Salam_dse.Jsonl.value -> Salam_obs.Trace.value

@@ -1,0 +1,658 @@
+(* The long-lived DSE simulation daemon.
+
+   Concurrency layout:
+   - one accept thread owns the listening socket;
+   - one handler systhread per client connection reads request lines
+     and resolves them (these threads block on IO and on full queues,
+     never on simulation);
+   - a pool of OCaml 5 worker *domains* drains a bounded job queue and
+     runs the actual simulations in parallel;
+   - the sharded store serializes per shard, and an in-flight table
+     guarantees that any fingerprint is being simulated at most once at
+     any moment — every concurrent request for it waits on the same
+     pending entry and receives the same measurement.
+
+   Lock order (outer to inner): state lock -> shard lock; queue lock,
+   per-request lock, per-connection write lock and the trace lock are
+   leaves. Workers take the shard lock (inside Store_shard) strictly
+   before the state lock and never hold both. *)
+
+module P = Protocol
+module Point = Salam_dse.Point
+module Measurement = Salam_dse.Measurement
+module Store_shard = Salam_dse.Store_shard
+module Explore = Salam_dse.Explore
+module Trace = Salam_obs.Trace
+
+type config = {
+  socket_path : string;
+  store_dir : string option;  (** [None] = in-memory store *)
+  shards : int;
+  workers : int;
+  queue_capacity : int;
+  trace : Trace.sink option;
+      (** every request's dse.progress events also land here, in the
+          request's own tick domain *)
+}
+
+let default_config =
+  {
+    socket_path = "";
+    store_dir = None;
+    shards = 8;
+    workers = max 1 (Salam.default_domains () - 1);
+    queue_capacity = 64;
+    trace = None;
+  }
+
+type job = {
+  j_fp : int64;
+  j_point : Point.t;
+  j_identity : string;  (** measured fingerprint identity *)
+  j_config : Salam.Config.t;
+  j_workload : Salam_workloads.Workload.t;
+  j_invocations : int;
+  j_fast_forward : int option;
+  j_snap_key : string;
+}
+
+type pending = { mutable waiters : ((Measurement.t, string) result -> unit) list }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_oc : out_channel;
+  c_out_lock : Mutex.t;
+  mutable c_thread : Thread.t option;
+  mutable c_closed : bool;  (** guarded by the state lock: the fd is
+                                closed exactly once, and never shut down
+                                after it has been closed (fd reuse) *)
+}
+
+type t = {
+  cfg : config;
+  store : Store_shard.t;
+  lock : Mutex.t;  (** inflight, counters, conns, stopping, req_seq *)
+  drained : Condition.t;  (** signaled whenever inflight goes empty *)
+  inflight : (int64, pending) Hashtbl.t;
+  q : job Queue.t;
+  q_lock : Mutex.t;
+  q_not_empty : Condition.t;
+  q_not_full : Condition.t;
+  mutable q_closed : bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable deduped : int;
+  mutable simulated : int;
+  mutable requests : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  finished : Condition.t;  (** signaled once fully stopped *)
+  mutable conns : conn list;
+  mutable req_seq : int;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable worker_domains : unit Domain.t list;
+  trace_lock : Mutex.t;
+  snapshots : (string, Salam.snapshot) Hashtbl.t;
+  snap_lock : Mutex.t;
+}
+
+(* --- per-request context ------------------------------------------------ *)
+
+(* One tick domain per server-side request: its progress events carry
+   ticks [seq << 32 | n], so many concurrent requests merged into one
+   trace sink stay deterministically separable (sort by tick). *)
+type request_ctx = {
+  r_server : t;
+  r_conn : conn;
+  r_id : int64;  (** client-chosen wire id *)
+  r_tick_base : int64;
+  r_lock : Mutex.t;
+  mutable r_tick : int64;
+  r_progress : bool;
+}
+
+let write_line conn line =
+  Mutex.lock conn.c_out_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.c_out_lock)
+    (fun () ->
+      try
+        output_string conn.c_oc line;
+        output_char conn.c_oc '\n';
+        flush conn.c_oc
+      with Sys_error _ -> () (* client went away; the reader will notice *))
+
+let fresh_ctx t conn ~id ~progress =
+  Mutex.lock t.lock;
+  t.req_seq <- t.req_seq + 1;
+  let seq = t.req_seq in
+  t.requests <- t.requests + 1;
+  Mutex.unlock t.lock;
+  {
+    r_server = t;
+    r_conn = conn;
+    r_id = id;
+    r_tick_base = Int64.shift_left (Int64.of_int seq) 32;
+    r_lock = Mutex.create ();
+    r_tick = 0L;
+    r_progress = progress;
+  }
+
+(* the dse.progress bridge: one event, emitted both into the server's
+   trace sink (request tick domain) and — when the client subscribed —
+   onto the wire *)
+let emit_progress ctx ~detail args =
+  let t = ctx.r_server in
+  Mutex.lock ctx.r_lock;
+  ctx.r_tick <- Int64.add ctx.r_tick 1L;
+  let tick = Int64.logor ctx.r_tick_base ctx.r_tick in
+  Mutex.unlock ctx.r_lock;
+  let event =
+    { Trace.tick; seq = 0; comp = "served"; cat = Trace.Dse_progress; detail; args }
+  in
+  (match t.cfg.trace with
+  | Some sink ->
+      Mutex.lock t.trace_lock;
+      Trace.emit sink ~tick ~comp:"served" ~cat:Trace.Dse_progress ~detail args;
+      Mutex.unlock t.trace_lock
+  | None -> ());
+  if ctx.r_progress then write_line ctx.r_conn (P.progress_line ~id:ctx.r_id event)
+
+let point_args fp (m : Measurement.t) =
+  [
+    ("fp", Trace.S (Point.fingerprint_hex fp));
+    ("cycles", Trace.I m.Measurement.cycles);
+    ("total_mw", Trace.F m.Measurement.total_mw);
+  ]
+
+(* --- the bounded job queue ---------------------------------------------- *)
+
+exception Rejected of string
+
+let enqueue t job =
+  Mutex.lock t.q_lock;
+  while Queue.length t.q >= t.cfg.queue_capacity && not t.q_closed do
+    Condition.wait t.q_not_full t.q_lock
+  done;
+  if t.q_closed then begin
+    Mutex.unlock t.q_lock;
+    raise (Rejected "server is shutting down")
+  end;
+  Queue.push job t.q;
+  Condition.signal t.q_not_empty;
+  Mutex.unlock t.q_lock
+
+let dequeue t =
+  Mutex.lock t.q_lock;
+  while Queue.is_empty t.q && not t.q_closed do
+    Condition.wait t.q_not_empty t.q_lock
+  done;
+  let job = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Condition.signal t.q_not_full;
+  Mutex.unlock t.q_lock;
+  job
+
+(* --- workers ------------------------------------------------------------ *)
+
+(* interpret-once/simulate-many, server edition: the warm-up snapshot is
+   memoised per (workload identity, memory kind) under a lock held
+   across the warm-up, so concurrent cold requests trigger exactly one
+   interpreter pass — the same single-shot discipline as the workload
+   compile cache *)
+let snapshot_for t job roadmark =
+  Mutex.lock t.snap_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.snap_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.snapshots job.j_snap_key with
+      | Some s -> s
+      | None ->
+          let s =
+            Salam.warm_up ~config:job.j_config ~invocations:roadmark job.j_workload
+          in
+          Hashtbl.add t.snapshots job.j_snap_key s;
+          s)
+
+let run_job t job =
+  let from = Option.map (snapshot_for t job) job.j_fast_forward in
+  let r =
+    Salam.simulate ~config:job.j_config ~invocations:job.j_invocations ?from job.j_workload
+  in
+  let m = Measurement.of_result ~workload:job.j_identity ~point:job.j_point r in
+  assert (m.Measurement.fp = job.j_fp);
+  m
+
+let complete t job result =
+  (* store first, then retire the pending entry: any thread that misses
+     the inflight table afterwards is guaranteed to hit the store *)
+  (match result with Ok m -> Store_shard.add t.store m | Error _ -> ());
+  Mutex.lock t.lock;
+  t.simulated <- t.simulated + 1;
+  let waiters =
+    match Hashtbl.find_opt t.inflight job.j_fp with
+    | Some p ->
+        Hashtbl.remove t.inflight job.j_fp;
+        List.rev p.waiters
+    | None -> []
+  in
+  if Hashtbl.length t.inflight = 0 then Condition.broadcast t.drained;
+  Mutex.unlock t.lock;
+  List.iter (fun k -> k result) waiters
+
+let worker_loop t () =
+  let rec go () =
+    match dequeue t with
+    | None -> ()
+    | Some job ->
+        let result =
+          match run_job t job with
+          | m -> Ok m
+          | exception e -> Error (Printexc.to_string e)
+        in
+        complete t job result;
+        go ()
+  in
+  go ()
+
+(* --- request resolution ------------------------------------------------- *)
+
+let target_of (spec : P.spec) =
+  if spec.P.workload = "gemm" then Ok (Explore.gemm_target ~n:spec.P.gemm_n ())
+  else Explore.suite_target spec.P.workload
+
+let validate_point (spec : P.spec) (p : Point.t) =
+  if spec.P.workload <> "gemm" && (p.Point.unroll <> 1 || p.Point.junroll <> 1) then
+    Error
+      (Printf.sprintf "unroll/junroll only apply to the gemm target (got u=%d j=%d)"
+         p.Point.unroll p.Point.junroll)
+  else Ok ()
+
+let memory_kind_name (p : Point.t) = Point.memory_kind_to_string p.Point.memory
+
+(* Resolve one point: answer from the store, join an in-flight
+   simulation, or become the owner of a fresh one. [k] fires exactly
+   once with the served tag and the measurement (possibly on a worker
+   domain); the returned job, if any, must be enqueued by the caller
+   outside the state lock. *)
+let resolve t ctx (spec : P.spec) target p k =
+  let p = Point.canonical p in
+  let workload = (target : Explore.target).Explore.workload_id p in
+  let id =
+    Explore.identity ~workload ~invocations:spec.P.invocations
+      ~fast_forward:spec.P.fast_forward
+  in
+  let fp = Point.fingerprint ~workload:id p in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    k (Error "server is shutting down");
+    None
+  end
+  else
+    match Store_shard.find t.store ~fp with
+    | Some m ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        emit_progress ctx ~detail:"hit" (point_args fp m);
+        k (Ok ("hit", m));
+        None
+    | None -> (
+        let deliver served = function
+          | Ok m ->
+              emit_progress ctx ~detail:"sim" (point_args fp m);
+              k (Ok (served, m))
+          | Error e -> k (Error e)
+        in
+        match Hashtbl.find_opt t.inflight fp with
+        | Some pend ->
+            pend.waiters <- deliver "dedup" :: pend.waiters;
+            t.deduped <- t.deduped + 1;
+            Mutex.unlock t.lock;
+            emit_progress ctx ~detail:"wait" [ ("fp", Trace.S (Point.fingerprint_hex fp)) ];
+            None
+        | None ->
+            Hashtbl.add t.inflight fp { waiters = [ deliver "sim" ] };
+            t.misses <- t.misses + 1;
+            Mutex.unlock t.lock;
+            emit_progress ctx ~detail:"miss" [ ("fp", Trace.S (Point.fingerprint_hex fp)) ];
+            Some
+              {
+                j_fp = fp;
+                j_point = p;
+                j_identity = id;
+                j_config = Point.to_config p;
+                j_workload = target.Explore.build p;
+                j_invocations = spec.P.invocations;
+                j_fast_forward = spec.P.fast_forward;
+                j_snap_key = workload ^ "|" ^ memory_kind_name p;
+              })
+
+(* resolve a whole batch, then block the handler thread until every
+   point has an answer; replies stream back in point order *)
+let eval_points t ctx spec target points =
+  let n = List.length points in
+  let slots = Array.make n None in
+  let remaining = ref n in
+  let lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let fill i r =
+    Mutex.lock lock;
+    slots.(i) <- Some r;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast all_done;
+    Mutex.unlock lock
+  in
+  let jobs =
+    List.mapi (fun i p -> resolve t ctx spec target p (fill i)) points
+    |> List.filter_map Fun.id
+  in
+  (* enqueue owned jobs after all resolutions: the inflight entries
+     already exist, so concurrent requests dedup against them even
+     while this thread blocks on a full queue *)
+  (try List.iter (enqueue t) jobs
+   with Rejected e ->
+     (* retire this request's own pending entries so the drain cannot
+        wait on jobs nobody will run *)
+     List.iter (fun job -> complete t job (Error e)) jobs);
+  Mutex.lock lock;
+  while !remaining > 0 do
+    Condition.wait all_done lock
+  done;
+  Mutex.unlock lock;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> Error "internal: unresolved point slot")
+       slots)
+
+(* --- request handling --------------------------------------------------- *)
+
+let respond ctx resp = write_line ctx.r_conn (P.encode_response ~id:ctx.r_id resp)
+
+let handle_eval t ctx spec points ~reply =
+  match target_of spec with
+  | Error e -> respond ctx (P.Failed e)
+  | Ok target -> (
+      match
+        List.fold_left
+          (fun acc p -> match acc with Ok () -> validate_point spec p | e -> e)
+          (Ok ()) points
+      with
+      | Error e -> respond ctx (P.Failed e)
+      | Ok () -> reply (eval_points t ctx spec target points))
+
+let handle_sim t ctx spec p =
+  handle_eval t ctx spec [ p ] ~reply:(fun results ->
+      match results with
+      | [ Ok (served, m) ] -> respond ctx (P.Result { served; m })
+      | [ Error e ] -> respond ctx (P.Failed e)
+      | _ -> respond ctx (P.Failed "internal: sim answered wrong arity"))
+
+let handle_sweep t ctx spec points =
+  handle_eval t ctx spec points ~reply:(fun results ->
+      match
+        List.find_map (function Error e -> Some e | Ok _ -> None) results
+      with
+      | Some e -> respond ctx (P.Failed e)
+      | None ->
+          let hits = ref 0 and sims = ref 0 and deduped = ref 0 in
+          List.iteri
+            (fun index r ->
+              match r with
+              | Ok (served, m) ->
+                  (match served with
+                  | "hit" -> incr hits
+                  | "dedup" -> incr deduped
+                  | _ -> incr sims);
+                  respond ctx (P.Sweep_point { index; served; m })
+              | Error _ -> ())
+            results;
+          respond ctx
+            (P.Sweep_done
+               { points = List.length results; hits = !hits; sims = !sims; deduped = !deduped }))
+
+let stats t =
+  Mutex.lock t.lock;
+  let st =
+    {
+      P.st_hits = t.hits;
+      st_misses = t.misses;
+      st_deduped = t.deduped;
+      st_simulated = t.simulated;
+      st_inflight = Hashtbl.length t.inflight;
+      st_queue_depth = (Mutex.lock t.q_lock;
+                        let d = Queue.length t.q in
+                        Mutex.unlock t.q_lock;
+                        d);
+      st_shards = Store_shard.shard_count t.store;
+      st_store_size = Store_shard.size t.store;
+      st_requests = t.requests;
+    }
+  in
+  Mutex.unlock t.lock;
+  st
+
+(* --- connection lifecycle ----------------------------------------------- *)
+
+let rec stop t =
+  let proceed =
+    Mutex.lock t.lock;
+    let p = not t.stopping in
+    if p then t.stopping <- true;
+    Mutex.unlock t.lock;
+    p
+  in
+  if proceed then begin
+    (* 1. stop accepting: shutting the listener down wakes the accept
+       thread, which exits once it sees [stopping] *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+    (* 2. drain: every in-flight simulation completes and its waiters
+       are answered before anything is torn down *)
+    Mutex.lock t.lock;
+    while Hashtbl.length t.inflight > 0 do
+      Condition.wait t.drained t.lock
+    done;
+    Mutex.unlock t.lock;
+    (* 3. retire the worker pool *)
+    Mutex.lock t.q_lock;
+    t.q_closed <- true;
+    Condition.broadcast t.q_not_empty;
+    Condition.broadcast t.q_not_full;
+    Mutex.unlock t.q_lock;
+    List.iter Domain.join t.worker_domains;
+    t.worker_domains <- [];
+    (* 4. hang up on the clients: shutdown gives each handler thread an
+       EOF; join them (skipping ourselves if a handler initiated the
+       stop), then the fds are closed by their owners. Shutting down
+       under the state lock, and only for conns not yet closed, keeps a
+       racing handler teardown from handing us a reused fd. *)
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    List.iter
+      (fun c ->
+        if not c.c_closed then
+          try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.unlock t.lock;
+    let self = Thread.id (Thread.self ()) in
+    List.iter
+      (fun c ->
+        match c.c_thread with
+        | Some th when Thread.id th <> self -> Thread.join th
+        | Some _ | None -> ())
+      conns;
+    (match t.accept_thread with
+    | Some th when Thread.id th <> self -> Thread.join th
+    | Some _ | None -> ());
+    (* 5. release the store and the socket path: every shard ends on a
+       complete line, so the store reopens clean *)
+    Store_shard.close t.store;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.finished;
+    Mutex.unlock t.lock
+  end
+
+and handle_request t conn line =
+  match P.decode_request line with
+  | Error (id, e) ->
+      write_line conn (P.encode_response ~id (P.Failed e));
+      `Continue
+  | Ok (id, req) -> (
+      match req with
+      | P.Ping ->
+          let ctx = fresh_ctx t conn ~id ~progress:false in
+          respond ctx P.Pong;
+          `Continue
+      | P.Stats ->
+          let ctx = fresh_ctx t conn ~id ~progress:false in
+          respond ctx (P.Stats_reply (stats t));
+          `Continue
+      | P.Shutdown ->
+          let ctx = fresh_ctx t conn ~id ~progress:false in
+          respond ctx P.Stopping;
+          (* a fresh thread runs the stop so this handler can exit and
+             be joined like any other *)
+          ignore (Thread.create (fun () -> stop t) ());
+          `Close
+      | P.Sim (spec, p) ->
+          let ctx = fresh_ctx t conn ~id ~progress:spec.P.progress in
+          handle_sim t ctx spec p;
+          `Continue
+      | P.Sweep (spec, points) ->
+          let ctx = fresh_ctx t conn ~id ~progress:spec.P.progress in
+          handle_sweep t ctx spec points;
+          `Continue)
+
+and handler_loop t conn =
+  let ic = Unix.in_channel_of_descr conn.c_fd in
+  let rec go () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line -> ( match handle_request t conn line with `Continue -> go () | `Close -> ())
+  in
+  go ();
+  (try flush conn.c_oc with Sys_error _ -> ());
+  Mutex.lock t.lock;
+  if not conn.c_closed then begin
+    conn.c_closed <- true;
+    try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+  end;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.lock
+
+and accept_loop t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error _ -> if not (is_stopping t) then go ()
+    | fd, _ ->
+        if is_stopping t then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          let conn =
+            {
+              c_fd = fd;
+              c_oc = Unix.out_channel_of_descr fd;
+              c_out_lock = Mutex.create ();
+              c_thread = None;
+              c_closed = false;
+            }
+          in
+          Mutex.lock t.lock;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.lock;
+          conn.c_thread <- Some (Thread.create (fun () -> handler_loop t conn) ());
+          go ()
+        end
+  in
+  go ()
+
+and is_stopping t =
+  Mutex.lock t.lock;
+  let s = t.stopping in
+  Mutex.unlock t.lock;
+  s
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.socket_path = "" then invalid_arg "Server.start: socket_path is empty";
+  (* a client hanging up mid-reply must surface as EPIPE on the write,
+     not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be at least 1";
+  if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity must be at least 1";
+  let store =
+    match cfg.store_dir with
+    | Some dir -> Store_shard.open_ ~shards:cfg.shards dir
+    | None -> Store_shard.in_memory ~shards:cfg.shards ()
+  in
+  (* a stale socket file from a crashed daemon would make bind fail;
+     refuse to steal it from a live one *)
+  if Sys.file_exists cfg.socket_path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then begin
+      Store_shard.close store;
+      failwith
+        (Printf.sprintf "Server.start: %s already has a live daemon" cfg.socket_path)
+    end
+    else Sys.remove cfg.socket_path
+  end;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Store_shard.close store;
+     raise e);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      cfg;
+      store;
+      lock = Mutex.create ();
+      drained = Condition.create ();
+      inflight = Hashtbl.create 64;
+      q = Queue.create ();
+      q_lock = Mutex.create ();
+      q_not_empty = Condition.create ();
+      q_not_full = Condition.create ();
+      q_closed = false;
+      hits = 0;
+      misses = 0;
+      deduped = 0;
+      simulated = 0;
+      requests = 0;
+      stopping = false;
+      stopped = false;
+      finished = Condition.create ();
+      conns = [];
+      req_seq = 0;
+      listen_fd;
+      accept_thread = None;
+      worker_domains = [];
+      trace_lock = Mutex.create ();
+      snapshots = Hashtbl.create 8;
+      snap_lock = Mutex.create ();
+    }
+  in
+  t.worker_domains <- List.init cfg.workers (fun _ -> Domain.spawn (worker_loop t));
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  Mutex.lock t.lock;
+  while not t.stopped do
+    Condition.wait t.finished t.lock
+  done;
+  Mutex.unlock t.lock
+
+let stats_snapshot = stats

@@ -1,0 +1,60 @@
+(** The salam_served daemon core.
+
+    A started server owns a Unix-domain listening socket, a sharded
+    persistent result store ({!Salam_dse.Store_shard}), an in-flight
+    deduplication table and a pool of OCaml 5 worker domains behind a
+    bounded job queue. Each accepted connection gets a handler thread
+    speaking the {!Protocol} line protocol; handler threads block on IO
+    and on answers, never on simulation.
+
+    Guarantees:
+    - warm points are answered straight from the store, bit-identical
+      to the measurement that was stored (served tag ["hit"]);
+    - a cold fingerprint is simulated {e at most once} at any moment,
+      however many clients ask for it concurrently — the first request
+      becomes the owner (one [miss] progress event), the rest wait on
+      the same pending entry (tag ["dedup"]) and receive the same
+      measurement value;
+    - store misses queue onto the worker pool through a bounded queue,
+      so a flood of cold sweeps exerts backpressure on the submitting
+      connections instead of exhausting memory;
+    - {!stop} drains: every in-flight simulation completes and answers
+      its waiters before the store is closed and the socket removed,
+      and every shard ends on a complete line. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string option;  (** [None] = in-memory store *)
+  shards : int;
+  workers : int;  (** worker domains; at least 1 *)
+  queue_capacity : int;  (** bounded job queue; submitters block when full *)
+  trace : Salam_obs.Trace.sink option;
+      (** every request's dse.progress events also land here, each
+          request in its own tick domain ([request seq << 32 | n]) *)
+}
+
+val default_config : config
+(** In-memory store, 8 shards, [default_domains - 1] workers, queue of
+    64, no trace. [socket_path] is empty and must be set. *)
+
+type t
+
+val start : config -> t
+(** Open (or create) the store, bind the socket, spawn the worker
+    domains and the accept thread, and return immediately. Raises
+    [Failure] when the socket path hosts a live daemon (a stale socket
+    file from a crashed one is reclaimed), [Invalid_argument] on an
+    empty socket path or non-positive workers/queue capacity. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain in-flight simulations,
+    retire the worker pool, hang up on every client, close the store,
+    remove the socket file. Idempotent — concurrent calls beyond the
+    first return immediately (without waiting); use {!wait} to observe
+    completion. Safe to call from a signal-handler-spawned thread and
+    from connection handlers (the shutdown op). *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped. *)
+
+val stats_snapshot : t -> Protocol.server_stats

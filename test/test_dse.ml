@@ -329,6 +329,34 @@ let test_fast_forward_validation () =
     (fun () ->
       ignore (Dse.run ~fast_forward:1 ~target:tiny_target ~strategy:Dse.Exhaustive ff_spaces))
 
+let test_tick_domains_deinterleave () =
+  (* two sweeps sharing one trace sink, run in either order: sorting by
+     tick (the sink's canonical order) yields the same line stream,
+     because each run's ticks live in their own [domain << 32] namespace *)
+  let spaces_a = [ Space.create ~derive:Space.spm_balanced [ Space.Read_ports [ 2; 4 ] ] ] in
+  let spaces_b = [ Space.create ~derive:Space.spm_balanced [ Space.Fu_limit [ 2 ] ] ] in
+  let run_pair order =
+    let sink =
+      Salam_obs.Trace.create ~categories:[ Salam_obs.Trace.Dse_progress ] ()
+    in
+    List.iter
+      (fun (domain, spaces) ->
+        ignore
+          (Dse.run ~trace:sink ~tick_domain:domain ~target:tiny_target
+             ~strategy:Dse.Exhaustive spaces))
+      order;
+    Salam_obs.Trace.to_lines sink
+  in
+  let forward = run_pair [ (1, spaces_a); (2, spaces_b) ] in
+  let swapped = run_pair [ (2, spaces_b); (1, spaces_a) ] in
+  Alcotest.(check bool) "something was traced" true (forward <> []);
+  Alcotest.(check (list string)) "execution order does not leak into the trace"
+    forward swapped;
+  Alcotest.check_raises "tick_domain must fit in 31 bits"
+    (Invalid_argument "Explore.run: tick_domain must fit in 31 bits") (fun () ->
+      ignore
+        (Dse.run ~tick_domain:(-1) ~target:tiny_target ~strategy:Dse.Exhaustive spaces_a))
+
 let test_random_strategy_deterministic () =
   let strategy = Dse.Random { samples = 2; seed = 7L } in
   let r1 = Dse.run ~target:tiny_target ~strategy tiny_spaces in
@@ -357,5 +385,7 @@ let suite =
     Alcotest.test_case "resume after truncated store" `Quick test_resume_after_truncation;
     Alcotest.test_case "fast-forward shares one snapshot" `Quick test_fast_forward_shares_snapshot;
     Alcotest.test_case "fast-forward argument validation" `Quick test_fast_forward_validation;
+    Alcotest.test_case "tick domains de-interleave shared traces" `Quick
+      test_tick_domains_deinterleave;
     Alcotest.test_case "random strategy deterministic" `Quick test_random_strategy_deterministic;
   ]

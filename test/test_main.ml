@@ -20,4 +20,6 @@ let () =
       ("determinism", Test_determinism.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("dse", Test_dse.suite);
+      ("store_shard", Test_store_shard.suite);
+      ("served", Test_served.suite);
     ]

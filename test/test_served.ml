@@ -1,0 +1,343 @@
+(* Tests for the salam_served daemon: protocol round-trips, malformed
+   input, a real server on a temp socket, persistence across restarts,
+   and the in-flight dedup guarantee under concurrent clients. *)
+
+module P = Salam_served.Protocol
+module Server = Salam_served.Server
+module Client = Salam_served.Client
+module Point = Salam_dse.Point
+module M = Salam_dse.Measurement
+module Trace = Salam_obs.Trace
+
+let synthetic = Test_store_shard.synthetic
+
+(* --- protocol round-trips ----------------------------------------- *)
+
+let spec =
+  { P.default_spec with P.workload = "gemm"; gemm_n = 8; invocations = 2; fast_forward = Some 1 }
+
+let point ports =
+  Point.canonical { Point.default with Point.read_ports = ports; write_ports = 1; banks = 2 }
+
+let roundtrip_request req =
+  match P.decode_request (P.encode_request ~id:42L req) with
+  | Ok (id, got) ->
+      Alcotest.(check int64) "id echoed" 42L id;
+      got
+  | Error (_, e) -> Alcotest.fail ("request did not round-trip: " ^ e)
+
+let test_request_round_trips () =
+  (match roundtrip_request P.Ping with P.Ping -> () | _ -> Alcotest.fail "ping");
+  (match roundtrip_request P.Stats with P.Stats -> () | _ -> Alcotest.fail "stats");
+  (match roundtrip_request P.Shutdown with P.Shutdown -> () | _ -> Alcotest.fail "shutdown");
+  (match roundtrip_request (P.Sim (spec, point 4)) with
+  | P.Sim (spec', p) ->
+      Alcotest.(check bool) "spec survives" true (spec' = spec);
+      Alcotest.(check int) "point survives" 0 (Point.compare p (point 4))
+  | _ -> Alcotest.fail "sim");
+  match roundtrip_request (P.Sweep (spec, [ point 1; point 2; point 16 ])) with
+  | P.Sweep (spec', ps) ->
+      Alcotest.(check bool) "spec survives" true (spec' = spec);
+      Alcotest.(check (list int))
+        "points survive in order" [ 0; 0; 0 ]
+        (List.map2 Point.compare ps [ point 1; point 2; point 16 ])
+  | _ -> Alcotest.fail "sweep"
+
+let terminal resp =
+  match P.decode_response (P.encode_response ~id:7L resp) with
+  | Ok (7L, `Terminal got) -> got
+  | Ok _ -> Alcotest.fail "wrong id or arity"
+  | Error e -> Alcotest.fail ("response did not round-trip: " ^ e)
+
+let test_response_round_trips () =
+  (match terminal P.Pong with P.Pong -> () | _ -> Alcotest.fail "pong");
+  (match terminal P.Stopping with P.Stopping -> () | _ -> Alcotest.fail "stopping");
+  (match terminal (P.Failed "boom") with
+  | P.Failed e -> Alcotest.(check string) "error text" "boom" e
+  | _ -> Alcotest.fail "error");
+  let m = synthetic 5 in
+  (match terminal (P.Result { served = "hit"; m }) with
+  | P.Result { served; m = got } ->
+      Alcotest.(check string) "served tag" "hit" served;
+      Alcotest.(check string) "measurement bit-identical" (M.to_line m) (M.to_line got)
+  | _ -> Alcotest.fail "result");
+  (match terminal (P.Sweep_done { points = 3; hits = 1; sims = 1; deduped = 1 }) with
+  | P.Sweep_done { points; hits; sims; deduped } ->
+      Alcotest.(check (list int)) "counters" [ 3; 1; 1; 1 ] [ points; hits; sims; deduped ]
+  | _ -> Alcotest.fail "done");
+  let st =
+    {
+      P.st_hits = 1;
+      st_misses = 2;
+      st_deduped = 3;
+      st_simulated = 4;
+      st_inflight = 5;
+      st_queue_depth = 6;
+      st_shards = 7;
+      st_store_size = 8;
+      st_requests = 9;
+    }
+  in
+  (match terminal (P.Stats_reply st) with
+  | P.Stats_reply got -> Alcotest.(check bool) "stats survive" true (got = st)
+  | _ -> Alcotest.fail "stats");
+  (* interim lines *)
+  let m2 = synthetic 6 in
+  (match P.decode_response (P.encode_response ~id:7L (P.Sweep_point { index = 2; served = "dedup"; m = m2 })) with
+  | Ok (7L, `Interim (P.Sweep_point { index; served; m = got })) ->
+      Alcotest.(check int) "index" 2 index;
+      Alcotest.(check string) "served" "dedup" served;
+      Alcotest.(check string) "measurement" (M.to_line m2) (M.to_line got)
+  | _ -> Alcotest.fail "sweep point");
+  let ev =
+    {
+      Trace.tick = Int64.logor (Int64.shift_left 3L 32) 9L;
+      seq = 0;
+      comp = "served";
+      cat = Trace.Dse_progress;
+      detail = "miss";
+      args = [ ("fp", Trace.S "00ff"); ("cycles", Trace.I 17L); ("mw", Trace.F 1.5) ];
+    }
+  in
+  match P.decode_response (P.progress_line ~id:7L ev) with
+  | Ok (7L, `Interim_progress pr) ->
+      Alcotest.(check int64) "tick carries the domain" ev.Trace.tick pr.P.pr_tick;
+      Alcotest.(check string) "comp" "served" pr.P.pr_comp;
+      Alcotest.(check string) "detail" "miss" pr.P.pr_detail;
+      Alcotest.(check (list string)) "args survive (envelope stripped)"
+        [ "cycles"; "fp"; "mw" ]
+        (List.sort compare (List.map fst pr.P.pr_args))
+  | _ -> Alcotest.fail "progress"
+
+let test_malformed_requests_rejected () =
+  let expect_error ?id line =
+    match P.decode_request line with
+    | Ok _ -> Alcotest.fail ("accepted malformed request: " ^ line)
+    | Error (got_id, e) ->
+        Alcotest.(check bool) ("loud error for " ^ line) true (String.length e > 0);
+        Option.iter (fun id -> Alcotest.(check int64) "id recovered" id got_id) id
+  in
+  expect_error "not json at all";
+  expect_error "{\"op\":\"ping\"}" (* missing id *);
+  expect_error ~id:3L "{\"id\":3,\"nop\":\"ping\"}";
+  expect_error ~id:3L "{\"id\":3,\"op\":\"warp\"}";
+  expect_error ~id:4L "{\"id\":4,\"op\":\"sim\",\"workload\":\"gemm\"}" (* no point *);
+  expect_error ~id:4L
+    "{\"id\":4,\"op\":\"sim\",\"workload\":\"gemm\",\"point\":\"banks=two\"}";
+  expect_error ~id:5L "{\"id\":5,\"op\":\"sweep\",\"workload\":\"gemm\",\"points\":\"\"}";
+  expect_error ~id:6L
+    "{\"id\":6,\"op\":\"sim\",\"workload\":\"gemm\",\"invocations\":0,\"point\":\"banks=2\"}";
+  expect_error ~id:7L
+    (P.encode_request ~id:7L (P.Sim ({ spec with P.fast_forward = Some 9 }, point 2)))
+
+(* --- a real daemon on a temp socket ------------------------------- *)
+
+let fresh_socket () =
+  let path = Filename.temp_file "salam_served_test" ".sock" in
+  Sys.remove path;
+  path
+
+let tiny_spec = { P.default_spec with P.workload = "gemm"; gemm_n = 8 }
+
+let with_server ?store_dir ?trace ?(workers = 2) f =
+  let socket = fresh_socket () in
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket_path = socket;
+      store_dir;
+      workers;
+      queue_capacity = 16;
+      trace;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t)
+    (fun () -> f socket t)
+
+let test_daemon_smoke () =
+  with_server (fun socket server ->
+      Client.with_connection socket (fun c ->
+          Client.ping c;
+          let served, m = Client.sim c ~spec:tiny_spec (point 2) in
+          Alcotest.(check string) "cold point simulated" "sim" served;
+          Alcotest.(check bool) "correct result" true m.M.correct;
+          let served2, m2 = Client.sim c ~spec:tiny_spec (point 2) in
+          Alcotest.(check string) "warm point from store" "hit" served2;
+          Alcotest.(check string) "bit-identical" (M.to_line m) (M.to_line m2);
+          (* warm hits are the daemon's fast path: measure and report *)
+          let reps = 100 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (Client.sim c ~spec:tiny_spec (point 2))
+          done;
+          let us = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+          Printf.printf "[served] warm-hit round-trip: %.0f us\n%!" us;
+          Alcotest.(check bool) "warm hit under 50ms" true (us < 5e4);
+          let st = Client.stats c in
+          Alcotest.(check int) "one simulation" 1 st.P.st_simulated;
+          Alcotest.(check int) "one miss" 1 st.P.st_misses;
+          Alcotest.(check int) "the rest were hits" (1 + reps) st.P.st_hits;
+          Alcotest.(check int) "nothing in flight" 0 st.P.st_inflight);
+      (* progress streaming: a subscribed sweep sees one event per point *)
+      Client.with_connection socket (fun c ->
+          let seen = ref [] in
+          let spec = { tiny_spec with P.progress = true } in
+          let _done_, answers =
+            Client.sweep c ~spec
+              ~on_progress:(fun pr -> seen := pr.P.pr_detail :: !seen)
+              [ point 2; point 4 ]
+          in
+          Alcotest.(check int) "two answers" 2 (List.length answers);
+          Alcotest.(check bool) "hit event streamed" true (List.mem "hit" !seen);
+          Alcotest.(check bool) "miss event streamed" true (List.mem "miss" !seen);
+          Alcotest.(check bool) "completion event streamed" true (List.mem "sim" !seen));
+      ignore server)
+
+let test_garbage_line_keeps_connection_usable () =
+  with_server (fun socket _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          output_string oc "this is not a request\n";
+          flush oc;
+          (match P.decode_response (input_line ic) with
+          | Ok (_, `Terminal (P.Failed e)) ->
+              Alcotest.(check bool) "loud error" true (String.length e > 0)
+          | _ -> Alcotest.fail "garbage must yield a type=error reply");
+          (* the connection survives and still speaks the protocol *)
+          output_string oc "{\"id\":7,\"op\":\"ping\"}\n";
+          flush oc;
+          match P.decode_response (input_line ic) with
+          | Ok (7L, `Terminal P.Pong) -> ()
+          | _ -> Alcotest.fail "connection unusable after a garbage line"))
+
+let test_shutdown_request_stops_daemon () =
+  let socket = fresh_socket () in
+  let cfg = { Server.default_config with Server.socket_path = socket; workers = 1 } in
+  let t = Server.start cfg in
+  Client.with_connection socket (fun c -> Client.shutdown c);
+  Server.wait t;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  match Client.connect socket with
+  | exception Client.Protocol_error _ -> ()
+  | c ->
+      Client.close c;
+      Alcotest.fail "daemon still accepting after shutdown"
+
+let test_persistence_across_restart () =
+  let dir = Filename.temp_file "salam_served_store" "" in
+  Sys.remove dir;
+  let first =
+    with_server ~store_dir:dir (fun socket _ ->
+        Client.with_connection socket (fun c ->
+            let served, m = Client.sim c ~spec:tiny_spec (point 4) in
+            Alcotest.(check string) "cold on first run" "sim" served;
+            M.to_line m))
+  in
+  with_server ~store_dir:dir (fun socket _ ->
+      Client.with_connection socket (fun c ->
+          let served, m = Client.sim c ~spec:tiny_spec (point 4) in
+          Alcotest.(check string) "warm after restart" "hit" served;
+          Alcotest.(check string) "bit-identical across restart" first (M.to_line m)))
+
+(* --- the dedup guarantee under concurrent clients ----------------- *)
+
+let test_concurrent_clients_dedup () =
+  (* K clients race the same cold sweep; the daemon must run exactly one
+     simulation per unique fingerprint and answer everyone
+     bit-identically. The trace sink is the witness: the owner of a cold
+     fingerprint emits exactly one [miss] event. *)
+  let k = 6 in
+  let points = [ point 1; point 2; point 8 ] in
+  let unique = List.length points in
+  let sink = Trace.create ~categories:[ Trace.Dse_progress ] () in
+  with_server ~trace:sink ~workers:2 (fun socket server ->
+      let answers = Array.make k [] in
+      let errors = Array.make k None in
+      let threads =
+        List.init k (fun i ->
+            Thread.create
+              (fun () ->
+                try
+                  Client.with_connection socket (fun c ->
+                      let _done_, got = Client.sweep c ~spec:tiny_spec points in
+                      answers.(i) <- List.map (fun (served, m) -> (served, M.to_line m)) got)
+                with e -> errors.(i) <- Some (Printexc.to_string e))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i -> function
+          | Some e -> Alcotest.fail (Printf.sprintf "client %d failed: %s" i e)
+          | None -> ())
+        errors;
+      (* all K responses bit-identical, point for point *)
+      let lines_of a = List.map snd a in
+      let reference = lines_of answers.(0) in
+      Alcotest.(check int) "every point answered" unique (List.length reference);
+      Array.iteri
+        (fun i a ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "client %d bit-identical" i)
+            reference (lines_of a))
+        answers;
+      (* exactly one simulation per unique fingerprint *)
+      let st = Server.stats_snapshot server in
+      Alcotest.(check int) "one simulation per unique point" unique st.P.st_simulated;
+      Alcotest.(check int) "one miss per unique point" unique st.P.st_misses;
+      Alcotest.(check int) "every other answer shared" ((k - 1) * unique)
+        (st.P.st_hits + st.P.st_deduped);
+      let misses_by_fp = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Trace.event) ->
+          if e.Trace.detail = "miss" then
+            match List.assoc_opt "fp" e.Trace.args with
+            | Some (Trace.S fp) ->
+                Hashtbl.replace misses_by_fp fp (1 + Option.value ~default:0 (Hashtbl.find_opt misses_by_fp fp))
+            | _ -> Alcotest.fail "miss event without fp")
+        (Trace.events sink);
+      Alcotest.(check int) "distinct missed fingerprints" unique (Hashtbl.length misses_by_fp);
+      Hashtbl.iter
+        (fun fp n ->
+          Alcotest.(check int) (Printf.sprintf "fp %s missed exactly once" fp) 1 n)
+        misses_by_fp)
+
+let test_duplicate_points_in_one_sweep_dedup () =
+  with_server (fun socket server ->
+      Client.with_connection socket (fun c ->
+          let _done_, answers =
+            Client.sweep c ~spec:tiny_spec [ point 16; point 16; point 16 ]
+          in
+          (match answers with
+          | [ (_, a); (_, b); (_, c') ] ->
+              Alcotest.(check string) "same line 1" (M.to_line a) (M.to_line b);
+              Alcotest.(check string) "same line 2" (M.to_line a) (M.to_line c')
+          | _ -> Alcotest.fail "expected three answers");
+          let st = Server.stats_snapshot server in
+          Alcotest.(check int) "one simulation" 1 st.P.st_simulated;
+          Alcotest.(check int) "two deduped" 2 st.P.st_deduped))
+
+let suite =
+  [
+    Alcotest.test_case "request round-trips" `Quick test_request_round_trips;
+    Alcotest.test_case "response round-trips" `Quick test_response_round_trips;
+    Alcotest.test_case "malformed requests rejected" `Quick test_malformed_requests_rejected;
+    Alcotest.test_case "daemon smoke over a temp socket" `Quick test_daemon_smoke;
+    Alcotest.test_case "garbage line keeps connection usable" `Quick
+      test_garbage_line_keeps_connection_usable;
+    Alcotest.test_case "shutdown request stops the daemon" `Quick
+      test_shutdown_request_stops_daemon;
+    Alcotest.test_case "persistence across restart" `Quick test_persistence_across_restart;
+    Alcotest.test_case "concurrent clients dedup to one simulation" `Quick
+      test_concurrent_clients_dedup;
+    Alcotest.test_case "duplicate points in one sweep dedup" `Quick
+      test_duplicate_points_in_one_sweep_dedup;
+  ]

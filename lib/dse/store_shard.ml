@@ -1,7 +1,8 @@
 (* A result store split across N JSONL shard files under one directory,
    keyed by fingerprint prefix. Each shard is a plain {!Store.t}, so the
    truncated-tail repair and bit-identical hit semantics are inherited
-   wholesale; a manifest file pins the shard count so a store is never
+   wholesale; a manifest file pins the shard count (and the reshard
+   generation, which names the live shard files) so a store is never
    silently reopened with a different hash layout. Every shard carries
    its own mutex: concurrent readers and writers of *different* shards
    never contend, and two writers of the same shard serialize on its
@@ -11,6 +12,7 @@ type shard = { s_store : Store.t; s_lock : Mutex.t }
 
 type t = {
   dir : string option;  (** [None] = in-memory *)
+  gen : int;  (** reshard generation — names the live shard files *)
   shards : shard array;
 }
 
@@ -18,12 +20,19 @@ let default_shards = 8
 let manifest_magic = "salam-shards 1"
 let manifest_name = "shards.manifest"
 let manifest_path dir = Filename.concat dir manifest_name
-let shard_file dir i = Filename.concat dir (Printf.sprintf "shard-%02d.jsonl" i)
 
-let write_manifest dir n =
+(* generation 0 keeps the historical names; each reshard bumps the
+   generation so the new shard files never collide with the live ones —
+   the manifest rename is then the single atomic commit point *)
+let shard_file dir ~gen i =
+  if gen = 0 then Filename.concat dir (Printf.sprintf "shard-%02d.jsonl" i)
+  else Filename.concat dir (Printf.sprintf "shard-%02d.g%d.jsonl" i gen)
+
+let write_manifest dir ~gen n =
   let tmp = manifest_path dir ^ ".tmp" in
   let oc = open_out_bin tmp in
   Printf.fprintf oc "%s\ncount=%d\n" manifest_magic n;
+  if gen > 0 then Printf.fprintf oc "gen=%d\n" gen;
   close_out oc;
   Sys.rename tmp (manifest_path dir)
 
@@ -43,25 +52,40 @@ let read_manifest dir =
       if magic <> manifest_magic then
         bad (Printf.sprintf "bad magic %S (expected %S)" magic manifest_magic);
       let count = line () in
-      match String.split_on_char '=' count with
-      | [ "count"; n ] -> (
-          match int_of_string_opt n with
-          | Some n when n >= 1 -> n
-          | Some _ | None -> bad (Printf.sprintf "bad shard count %S" n))
-      | _ -> bad (Printf.sprintf "bad count line %S" count))
+      let n =
+        match String.split_on_char '=' count with
+        | [ "count"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> n
+            | Some _ | None -> bad (Printf.sprintf "bad shard count %S" n))
+        | _ -> bad (Printf.sprintf "bad count line %S" count)
+      in
+      (* the gen line is optional: pre-reshard stores never wrote one *)
+      let gen =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line -> (
+            match String.split_on_char '=' line with
+            | [ "gen"; g ] -> (
+                match int_of_string_opt g with
+                | Some g when g >= 0 -> g
+                | Some _ | None -> bad (Printf.sprintf "bad gen %S" g))
+            | _ -> bad (Printf.sprintf "bad gen line %S" line))
+      in
+      (n, gen))
 
-let of_stores dir stores =
-  { dir; shards = Array.map (fun s -> { s_store = s; s_lock = Mutex.create () }) stores }
+let of_stores dir ~gen stores =
+  { dir; gen; shards = Array.map (fun s -> { s_store = s; s_lock = Mutex.create () }) stores }
 
 let in_memory ?(shards = default_shards) () =
   if shards < 1 then invalid_arg "Store_shard.in_memory: shards must be at least 1";
-  of_stores None (Array.init shards (fun _ -> Store.in_memory ()))
+  of_stores None ~gen:0 (Array.init shards (fun _ -> Store.in_memory ()))
 
 let open_ ?shards dir =
   (match shards with
   | Some n when n < 1 -> invalid_arg "Store_shard.open_: shards must be at least 1"
   | Some _ | None -> ());
-  let n =
+  let n, gen =
     if Sys.file_exists dir then begin
       if not (Sys.is_directory dir) then
         failwith
@@ -72,11 +96,11 @@ let open_ ?shards dir =
         (* an empty directory is a store waiting to happen (mkdir-then-
            open is a natural CLI sequence) *)
         let n = Option.value shards ~default:default_shards in
-        write_manifest dir n;
-        n
+        write_manifest dir ~gen:0 n;
+        (n, 0)
       end
       else begin
-        let n = read_manifest dir in
+        let n, gen = read_manifest dir in
         (match shards with
         | Some k when k <> n ->
             failwith
@@ -84,17 +108,17 @@ let open_ ?shards dir =
                  "Store_shard.open_: %s is sharded %d ways but %d were requested — use reshard"
                  dir n k)
         | Some _ | None -> ());
-        n
+        (n, gen)
       end
     end
     else begin
       let n = Option.value shards ~default:default_shards in
       Sys.mkdir dir 0o755;
-      write_manifest dir n;
-      n
+      write_manifest dir ~gen:0 n;
+      (n, 0)
     end
   in
-  of_stores (Some dir) (Array.init n (fun i -> Store.open_ (shard_file dir i)))
+  of_stores (Some dir) ~gen (Array.init n (fun i -> Store.open_ (shard_file dir ~gen i)))
 
 let shard_count t = Array.length t.shards
 
@@ -131,18 +155,36 @@ let repaired_bytes t =
 
 let close t = Array.iteri (fun i _ -> with_shard t i Store.close) t.shards
 
+(* Crash-safe resharding: the next generation's shard files are written
+   in full beside the live ones (names never collide), then the
+   manifest rename atomically flips the store to the new layout, and
+   only then are the old generation's files removed. A crash before the
+   rename leaves the old store untouched (stale next-gen files are
+   deleted on the next attempt); a crash after it leaves the new store
+   complete, with at worst some orphaned old-gen files that no reader
+   ever looks at. At no point does any entry exist only in memory. *)
 let reshard ~shards dir =
   if shards < 1 then invalid_arg "Store_shard.reshard: shards must be at least 1";
   let old = open_ dir in
   let old_n = shard_count old in
+  let old_gen = old.gen in
   let ms = entries old in
   close old;
   if shards <> old_n then begin
-    for i = 0 to old_n - 1 do
-      Sys.remove (shard_file dir i)
+    let gen = old_gen + 1 in
+    (* a previously crashed reshard may have left partial files at this
+       generation; start it from scratch *)
+    for i = 0 to shards - 1 do
+      let f = shard_file dir ~gen i in
+      if Sys.file_exists f then Sys.remove f
     done;
-    write_manifest dir shards;
-    let fresh = open_ ~shards dir in
+    let fresh = of_stores (Some dir) ~gen (Array.init shards (fun i -> Store.open_ (shard_file dir ~gen i))) in
     List.iter (add fresh) ms;
-    close fresh
+    close fresh;
+    (* the commit point: a reader sees the old layout before this
+       rename and the complete new one after it, never a mixture *)
+    write_manifest dir ~gen shards;
+    for i = 0 to old_n - 1 do
+      try Sys.remove (shard_file dir ~gen:old_gen i) with Sys_error _ -> ()
+    done
   end

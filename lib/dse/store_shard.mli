@@ -1,8 +1,10 @@
 (** A persistent result store sharded across N JSONL files by
     fingerprint prefix.
 
-    Layout on disk: a directory holding [shards.manifest] (magic line
-    plus [count=N]) and [shard-00.jsonl] … [shard-(N-1).jsonl]. Each
+    Layout on disk: a directory holding [shards.manifest] (magic line,
+    [count=N], and after a reshard a [gen=G] line) and the live
+    generation's shard files — [shard-00.jsonl] … [shard-(N-1).jsonl]
+    for generation 0, [shard-II.gG.jsonl] afterwards. Each
     shard is a plain {!Store} file, so the truncated-tail repair, the
     refusal to drop mid-file corruption and the bit-identical hit
     guarantee all carry over shard by shard. A measurement lands in
@@ -34,7 +36,11 @@ val in_memory : ?shards:int -> unit -> t
 val reshard : shards:int -> string -> unit
 (** Rewrite an existing on-disk store with a different shard count.
     Every measurement survives; the manifest and shard files are
-    replaced. A no-op when the count already matches. *)
+    replaced. A no-op when the count already matches. Crash-safe: the
+    next generation of shard files is written in full beside the live
+    ones and the atomic manifest rename is the commit point, so an
+    interruption leaves either the old store or the complete new one —
+    never a partial mixture, and never an entry held only in memory. *)
 
 val shard_count : t -> int
 

@@ -196,10 +196,13 @@ let dequeue t =
 (* --- workers ------------------------------------------------------------ *)
 
 (* interpret-once/simulate-many, server edition: the warm-up snapshot is
-   memoised per (workload identity, memory kind) under a lock held
-   across the warm-up, so concurrent cold requests trigger exactly one
-   interpreter pass — the same single-shot discipline as the workload
-   compile cache *)
+   memoised per (workload identity, memory kind, roadmark) under a lock
+   held across the warm-up, so concurrent cold requests trigger exactly
+   one interpreter pass — the same single-shot discipline as the
+   workload compile cache. Unlike a per-run [Explore] evaluator, whose
+   fast-forward is fixed for its lifetime, the daemon serves each
+   request at its own roadmark, so the roadmark must be part of the key:
+   a snapshot warmed for one roadmark is simply wrong for another. *)
 let snapshot_for t job roadmark =
   Mutex.lock t.snap_lock;
   Fun.protect
@@ -325,7 +328,12 @@ let resolve t ctx (spec : P.spec) target p k =
                 j_workload = target.Explore.build p;
                 j_invocations = spec.P.invocations;
                 j_fast_forward = spec.P.fast_forward;
-                j_snap_key = workload ^ "|" ^ memory_kind_name p;
+                j_snap_key =
+                  (workload ^ "|" ^ memory_kind_name p
+                  ^
+                  match spec.P.fast_forward with
+                  | Some k -> "|ff" ^ string_of_int k
+                  | None -> "");
               })
 
 (* resolve a whole batch, then block the handler thread until every
@@ -350,11 +358,20 @@ let eval_points t ctx spec target points =
   (* enqueue owned jobs after all resolutions: the inflight entries
      already exist, so concurrent requests dedup against them even
      while this thread blocks on a full queue *)
-  (try List.iter (enqueue t) jobs
-   with Rejected e ->
-     (* retire this request's own pending entries so the drain cannot
-        wait on jobs nobody will run *)
-     List.iter (fun job -> complete t job (Error e)) jobs);
+  let rec enqueue_all = function
+    | [] -> ()
+    | job :: rest -> (
+        match enqueue t job with
+        | () -> enqueue_all rest
+        | exception Rejected e ->
+            (* retire only the jobs that never made it into the queue,
+               so the drain cannot wait on jobs nobody will run; the
+               already-enqueued prefix will complete normally, and
+               error-completing it here would hand waiters deduped onto
+               those jobs a spurious failure *)
+            List.iter (fun j -> complete t j (Error e)) (job :: rest))
+  in
+  enqueue_all jobs;
   Mutex.lock lock;
   while !remaining > 0 do
     Condition.wait all_done lock
@@ -561,10 +578,14 @@ and accept_loop t =
               c_closed = false;
             }
           in
+          (* publish the conn and register its handler thread in one
+             critical section: stop reads t.conns under the same lock,
+             so any conn it can see already has a joinable c_thread —
+             shutdown never completes with a handler still running *)
           Mutex.lock t.lock;
           t.conns <- conn :: t.conns;
-          Mutex.unlock t.lock;
           conn.c_thread <- Some (Thread.create (fun () -> handler_loop t conn) ());
+          Mutex.unlock t.lock;
           go ()
         end
   in

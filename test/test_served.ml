@@ -7,6 +7,7 @@ module Server = Salam_served.Server
 module Client = Salam_served.Client
 module Point = Salam_dse.Point
 module M = Salam_dse.Measurement
+module E = Salam_dse.Explore
 module Trace = Salam_obs.Trace
 
 let synthetic = Test_store_shard.synthetic
@@ -248,6 +249,42 @@ let test_persistence_across_restart () =
           Alcotest.(check string) "warm after restart" "hit" served;
           Alcotest.(check string) "bit-identical across restart" first (M.to_line m)))
 
+let test_fast_forward_snapshots_isolated_per_roadmark () =
+  (* The daemon is long-lived and every request carries its own
+     fast-forward roadmark, so the warm-up snapshot cache must key on
+     the roadmark: a snapshot pinned by the first request must not be
+     reused for a later request at a different roadmark. Each answer is
+     checked bit-for-bit against a local run at that roadmark. *)
+  let target = E.gemm_target ~n:tiny_spec.P.gemm_n () in
+  let p = point 2 in
+  let invocations = 3 in
+  let local roadmark =
+    let workload = target.E.workload_id p in
+    let id = E.identity ~workload ~invocations ~fast_forward:(Some roadmark) in
+    let config = Point.to_config p in
+    let w = target.E.build p in
+    let from = Salam.warm_up ~config ~invocations:roadmark w in
+    let r = Salam.simulate ~config ~invocations ~from w in
+    M.to_line (M.of_result ~workload:id ~point:p r)
+  in
+  with_server (fun socket _ ->
+      Client.with_connection socket (fun c ->
+          (* the first request pins the snapshot cache; the second, at a
+             different roadmark, must get its own snapshot *)
+          List.iter
+            (fun roadmark ->
+              let spec =
+                { tiny_spec with P.invocations; fast_forward = Some roadmark }
+              in
+              let served, m = Client.sim c ~spec p in
+              Alcotest.(check string)
+                (Printf.sprintf "ff=%d is its own cold point" roadmark)
+                "sim" served;
+              Alcotest.(check string)
+                (Printf.sprintf "ff=%d bit-identical to a local run" roadmark)
+                (local roadmark) (M.to_line m))
+            [ 1; 2 ]))
+
 (* --- the dedup guarantee under concurrent clients ----------------- *)
 
 let test_concurrent_clients_dedup () =
@@ -336,6 +373,8 @@ let suite =
     Alcotest.test_case "shutdown request stops the daemon" `Quick
       test_shutdown_request_stops_daemon;
     Alcotest.test_case "persistence across restart" `Quick test_persistence_across_restart;
+    Alcotest.test_case "fast-forward snapshots isolated per roadmark" `Quick
+      test_fast_forward_snapshots_isolated_per_roadmark;
     Alcotest.test_case "concurrent clients dedup to one simulation" `Quick
       test_concurrent_clients_dedup;
     Alcotest.test_case "duplicate points in one sweep dedup" `Quick

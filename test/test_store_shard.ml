@@ -168,6 +168,37 @@ let test_reshard_same_count_is_noop () =
       Shard.reshard ~shards:4 dir;
       Alcotest.(check bool) "files untouched" true (before = mtimes ()))
 
+let test_reshard_crash_windows_lose_nothing () =
+  with_temp_dir (fun dir ->
+      let ms = List.init 25 synthetic in
+      let s = Shard.open_ ~shards:4 dir in
+      List.iter (Shard.add s) ms;
+      let before = line_set (Shard.entries s) in
+      Shard.close s;
+      (* emulate a reshard that crashed before the manifest commit: the
+         next generation's files exist, partial or empty *)
+      Out_channel.with_open_text (Filename.concat dir "shard-00.g1.jsonl") (fun oc ->
+          Out_channel.output_string oc "{\"partial");
+      Out_channel.with_open_text (Filename.concat dir "shard-01.g1.jsonl") (fun _ -> ());
+      (* the store still opens at the old layout, with nothing lost *)
+      let s = Shard.open_ dir in
+      Alcotest.(check int) "old shard count survives the crash" 4 (Shard.shard_count s);
+      Alcotest.(check (list string)) "no entry lost" before (line_set (Shard.entries s));
+      Shard.close s;
+      (* ...and retrying the reshard succeeds despite the stale files *)
+      Shard.reshard ~shards:6 dir;
+      let s = Shard.open_ dir in
+      Alcotest.(check int) "retried reshard committed" 6 (Shard.shard_count s);
+      Alcotest.(check (list string)) "entries after retry" before (line_set (Shard.entries s));
+      Shard.close s;
+      (* an orphaned old-generation file (crash after the commit, before
+         the cleanup removes) is invisible to readers *)
+      Out_channel.with_open_text (Filename.concat dir "shard-03.jsonl") (fun oc ->
+          Out_channel.output_string oc "garbage that is not even json\n");
+      let s = Shard.open_ dir in
+      Alcotest.(check (list string)) "orphan ignored" before (line_set (Shard.entries s));
+      Shard.close s)
+
 (* --- per-shard repair --------------------------------------------- *)
 
 let shard_files dir =
@@ -284,6 +315,8 @@ let suite =
     Alcotest.test_case "in-memory store" `Quick test_in_memory_has_no_path;
     Alcotest.test_case "reshard 4->7->1->8 round-trip" `Quick test_reshard_round_trip;
     Alcotest.test_case "reshard to same count is a no-op" `Quick test_reshard_same_count_is_noop;
+    Alcotest.test_case "reshard crash windows lose nothing" `Quick
+      test_reshard_crash_windows_lose_nothing;
     Alcotest.test_case "truncated shard tail repaired" `Quick test_truncated_shard_tail_repaired;
     Alcotest.test_case "mid-shard corruption refused" `Quick test_mid_file_corruption_refused;
     Alcotest.test_case "manifest conflict refused" `Quick test_manifest_conflict_refused;

@@ -6,7 +6,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig10 table4 ...   # a subset
    Experiment names: table1 table2 table3 table4 fig4 fig10 fig11 fig12
-   fig13 fig14 fig15 fig16 ablation micro speedup ff *)
+   fig13 fig14 fig15 fig16 ablation micro speedup ff par *)
 
 (* Machine-readable mirror of the micro results, for tracking simulator
    throughput across commits. *)
@@ -47,21 +47,42 @@ let compiled_config = with_mode Salam_engine.Engine.Compiled
 let speedup () =
   Bench_util.section "SPEEDUP — compiled vs dynamic engine (gemm16)";
   let gemm16 = Exp_dse.gemm_dse_workload () in
-  let time config =
+  let time config w =
     let t0 = Unix.gettimeofday () in
-    ignore (Salam.simulate ~config gemm16);
+    ignore (Salam.simulate ~config w);
     Unix.gettimeofday () -. t0
   in
-  (* warm both paths: kernel compilation is memoised, allocator settles *)
-  ignore (time dynamic_config);
-  ignore (time compiled_config);
-  let dmin = ref infinity and cmin = ref infinity in
-  for _ = 1 to 12 do
-    dmin := min !dmin (time dynamic_config);
-    cmin := min !cmin (time compiled_config)
-  done;
-  Printf.printf "engine_gemm16: dynamic %.1f ms, compiled %.1f ms, speedup %.2fx\n\n"
-    (1000. *. !dmin) (1000. *. !cmin) (!dmin /. !cmin)
+  let minpair ~rounds w =
+    (* warm both paths: kernel compilation is memoised, allocator settles *)
+    ignore (time dynamic_config w);
+    ignore (time compiled_config w);
+    let dmin = ref infinity and cmin = ref infinity in
+    for _ = 1 to rounds do
+      dmin := min !dmin (time dynamic_config w);
+      cmin := min !cmin (time compiled_config w)
+    done;
+    (!dmin, !cmin)
+  in
+  let dmin, cmin = minpair ~rounds:12 gemm16 in
+  Printf.printf "engine_gemm16: dynamic %.1f ms, compiled %.1f ms, speedup %.2fx\n"
+    (1000. *. dmin) (1000. *. cmin) (dmin /. cmin);
+  (* regression guard: the profitability heuristic must keep Compiled
+     mode from ever losing meaningfully to dynamic — on winners (gemm16)
+     and on short branchy kernels (nw16) alike *)
+  let violations = ref [] in
+  List.iter
+    (fun (name, w) ->
+      let dmin, cmin = minpair ~rounds:12 w in
+      let ratio = cmin /. dmin in
+      Printf.printf "%s: compiled/dynamic ratio %.3f (guard <= 1.05)\n" name ratio;
+      if ratio > 1.05 then violations := name :: !violations)
+    [ ("engine_gemm16_guard", gemm16); ("engine_nw16_guard", Salam_workloads.Nw.workload ~len:16 ()) ];
+  print_newline ();
+  if !violations <> [] then begin
+    Printf.eprintf "compiled mode slower than 1.05x dynamic on: %s\n"
+      (String.concat ", " !violations);
+    exit 1
+  end
 
 (* Fast-forward warm-start win on the same gemm16 point: an
    uninterrupted 3-invocation detailed run against interpreter warm-up
@@ -95,6 +116,30 @@ let ff_speedup () =
   Printf.printf "ff_gemm16: cold %.1f ms, fast-forward %.1f ms, speedup %.2fx\n\n"
     (1000. *. !cmin) (1000. *. !wmin) (!cmin /. !wmin)
 
+(* Parallel-in-point speedup on the three-accelerator streaming CNN
+   pipeline — the multi-island system island execution targets. The
+   parallel run is bit-identical to the sequential one (parallel oracle);
+   this times the wall-clock side, interleaved min-of-N like the other
+   gates. On a single-core machine the domain pool collapses to the
+   coordinator and the ratio hovers around 1x; CI gates the multi-core
+   number. *)
+let par_speedup () =
+  Bench_util.section "PAR — island-parallel vs sequential (cnn_pipeline streams)";
+  let time ?island_domains () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Salam_scenarios.Cnn_pipeline.run_streams ?island_domains ());
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time ());
+  ignore (time ~island_domains:4 ());
+  let smin = ref infinity and pmin = ref infinity in
+  for _ = 1 to 8 do
+    smin := min !smin (time ());
+    pmin := min !pmin (time ~island_domains:4 ())
+  done;
+  Printf.printf "par_cnn_pipeline: sequential %.1f ms, 4 domains %.1f ms, speedup %.2fx\n\n"
+    (1000. *. !smin) (1000. *. !pmin) (!smin /. !pmin)
+
 let micro () =
   Bench_util.section "MICRO — simulator throughput (Bechamel)";
   let open Bechamel in
@@ -126,6 +171,11 @@ let micro () =
           (Staged.stage (fun () -> ignore (Salam.simulate ~config:dynamic nw)));
         Test.make ~name:"engine_nw16_compiled"
           (Staged.stage (fun () -> ignore (Salam.simulate ~config:compiled nw)));
+        (* the three-accelerator streaming pipeline, sequential kernel:
+           the baseline the island-parallel mode is gated against *)
+        Test.make ~name:"engine_cnn_pipeline"
+          (Staged.stage (fun () ->
+               ignore (Salam_scenarios.Cnn_pipeline.run_streams ~h:16 ~w:16 ())));
         (* a whole cold DSE sweep: enumerate a tiny GEMM space, simulate
            it storeless and extract the Pareto front *)
         Test.make ~name:"dse_gemm_front"
@@ -175,6 +225,7 @@ let experiments =
     ("micro", micro);
     ("speedup", speedup);
     ("ff", ff_speedup);
+    ("par", par_speedup);
   ]
 
 let () =

@@ -20,7 +20,7 @@ let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt
 
 (* --- serve --------------------------------------------------------------- *)
 
-let run_serve socket store shards workers queue trace_path =
+let run_serve socket store shards workers island_domains queue trace_path =
   let trace = Option.map (fun _ -> Trace.create ~categories:[ Trace.Dse_progress ] ()) trace_path in
   let cfg =
     {
@@ -28,6 +28,7 @@ let run_serve socket store shards workers queue trace_path =
       store_dir = store;
       shards;
       workers = (match workers with Some w -> w | None -> Server.default_config.Server.workers);
+      island_domains;
       queue_capacity = queue;
       trace;
     }
@@ -115,6 +116,13 @@ let workers_arg =
        & info [ "workers" ] ~docv:"N"
            ~doc:"Simulation worker domains (default: available cores minus one).")
 
+let island_domains_arg =
+  Arg.(value & opt int 1
+       & info [ "island-domains" ] ~docv:"N"
+           ~doc:"Cap on OCaml domains used $(i,inside) each simulation for per-accelerator \
+                 island blocks (bit-identical for any value; composes with --workers, which \
+                 fans out across jobs).")
+
 let queue_arg =
   Arg.(value & opt int 64
        & info [ "queue" ] ~docv:"N" ~doc:"Bounded job-queue capacity.")
@@ -128,8 +136,8 @@ let trace_arg =
 let serve_cmd =
   let doc = "Run the daemon in the foreground until SIGINT/SIGTERM or a shutdown request." in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run_serve $ socket_arg $ store_arg $ shards_arg $ workers_arg $ queue_arg
-          $ trace_arg)
+    Term.(const run_serve $ socket_arg $ store_arg $ shards_arg $ workers_arg
+          $ island_domains_arg $ queue_arg $ trace_arg)
 
 let ping_cmd =
   let doc = "Round-trip a ping and print the latency." in

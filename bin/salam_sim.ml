@@ -44,8 +44,9 @@ let memory_conv = Arg.enum [ ("spm", `Spm); ("cache", `Cache); ("dram", `Dram) ]
 let mode_conv = Arg.enum [ ("dynamic", Engine.Dynamic); ("compiled", Engine.Compiled) ]
 
 let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks fadd_limit mode
-    invocations fast_forward =
+    invocations fast_forward island_domains =
   if invocations < 1 then Error (`Msg "--invocations must be at least 1")
+  else if island_domains < 1 then Error (`Msg "--island-domains must be at least 1")
   else if
     match fast_forward with Some k -> k < 0 || k >= invocations | None -> false
   then
@@ -84,7 +85,7 @@ let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks f
             (Salam.roadmark_name k) (invocations - k);
           Some snap
     in
-    let r = Salam.simulate ~config ~invocations ?from w in
+    let r = Salam.simulate ~config ~invocations ~island_domains ?from w in
     let s = r.Salam.stats in
     Printf.printf "workload            : %s\n" r.Salam.name;
     if invocations > 1 then Printf.printf "invocations         : %d\n" invocations;
@@ -162,11 +163,21 @@ let run_cmd =
              post-roadmark epoch; results are bit-identical to an uninterrupted detailed \
              run.")
   in
+  let island_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "island-domains" ] ~docv:"N"
+          ~doc:
+            "Cap on OCaml domains used to pre-execute per-accelerator event blocks in \
+             parallel. Results are bit-identical for any value — single-accelerator runs \
+             like this one gain nothing, but the flag exercises the same code path the \
+             multi-accelerator scenarios speed up.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       term_result
         (const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports
-       $ banks $ fadd $ engine_mode $ invocations $ fast_forward))
+       $ banks $ fadd $ engine_mode $ invocations $ fast_forward $ island_domains))
 
 let () =
   let doc = "gem5-SALAM reproduction: LLVM-based accelerator simulation" in

@@ -29,6 +29,8 @@ val run_engine :
   ?mode:Salam_engine.Engine.mode ->
   ?func:Salam_ir.Ast.func ->
   ?trace:Salam_obs.Trace.sink ->
+  ?island_domains:int ->
+  ?record_all:bool ->
   Salam_workloads.Workload.t ->
   run
 (** Run the workload through the full timing stack with

@@ -1,0 +1,100 @@
+(* Sequential-vs-parallel differential oracle for island execution.
+
+   [System.run ~island_domains] promises bit-identical behaviour to the
+   sequential kernel. This module enforces the promise the same way the
+   compiled-vs-dynamic oracle does: run the same workload under the
+   sequential kernel and under the island record/replay machinery
+   (record_all on the current domain, and a real pool at 2 and 4
+   domains), then require byte-equal backing memory, identical return
+   values, cycle counts and statistics, and byte-equal trace streams. *)
+
+open Salam_ir
+module W = Salam_workloads.Workload
+module Engine = Salam_engine.Engine
+module Trace = Salam_obs.Trace
+module Scn = Salam_scenarios.Cnn_pipeline
+
+let mem_bytes (m : Memory.t) = Memory.snapshot_data (Memory.snapshot m)
+
+(* run one engine workload and capture everything comparable *)
+let capture ?memory_kind ?seed ?func ?island_domains ?record_all w =
+  let tr = Trace.create () in
+  let r =
+    Check_harness.run_engine ?memory_kind ?seed ?func ?island_domains ?record_all ~trace:tr w
+  in
+  (r, mem_bytes r.Check_harness.memory, Trace.to_lines tr)
+
+let compare_runs ~label (base, base_mem, base_lines) (par, par_mem, par_lines) =
+  let fail fmt = Printf.ksprintf (fun s -> Error (label ^ ": " ^ s)) fmt in
+  if not (String.equal base_mem par_mem) then fail "final memory images differ"
+  else if base.Check_harness.ret <> par.Check_harness.ret then fail "return values differ"
+  else if
+    not
+      (Int64.equal base.Check_harness.stats.Engine.cycles par.Check_harness.stats.Engine.cycles)
+  then
+    fail "cycle counts differ: sequential %Ld, parallel %Ld"
+      base.Check_harness.stats.Engine.cycles par.Check_harness.stats.Engine.cycles
+  else if base.Check_harness.stats <> par.Check_harness.stats then fail "run statistics differ"
+  else
+    match Trace.first_divergence base_lines par_lines with
+    | Some d -> fail "trace streams diverge: %s" (Trace.divergence_to_string d)
+    | None -> Ok ()
+
+let legs = [ ("record-all", None, Some true); ("domains-2", Some 2, None); ("domains-4", Some 4, None) ]
+
+let check_workload ?memory_kind ?(seed = 42L) ?func (w : W.t) =
+  match
+    let base = capture ?memory_kind ~seed ?func w in
+    List.fold_left
+      (fun acc (label, island_domains, record_all) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+            compare_runs ~label base
+              (capture ?memory_kind ~seed ?func ?island_domains ?record_all w))
+      (Ok ()) legs
+  with
+  | result -> result
+  | exception Engine.Invariant_violation msg -> Error ("engine invariant violation: " ^ msg)
+  | exception Engine.Runtime_error msg -> Error ("engine runtime error: " ^ msg)
+  | exception Failure msg -> Error msg
+
+(* The single-accelerator harness exercises record/replay but never two
+   islands in one batch; the three-stage CNN pipelines do. Outcomes are
+   plain data (times, correctness, per-stage cycles) and the trace sink
+   sees every component, so equality here covers the cross-island
+   machinery: xbar hops, DMA, MMR starts, interrupts, stream FIFOs. *)
+let check_scenario ~name (run : ?island_domains:int -> ?record_all:bool ->
+                          ?trace:Trace.sink -> unit -> Scn.outcome) =
+  let traced ?island_domains ?record_all () =
+    let tr = Trace.create () in
+    let o = run ?island_domains ?record_all ~trace:tr () in
+    (o, Trace.to_lines tr)
+  in
+  let base_o, base_lines = traced () in
+  List.fold_left
+    (fun acc (label, island_domains, record_all) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> (
+          let o, lines = traced ?island_domains ?record_all () in
+          let fail fmt = Printf.ksprintf (fun s -> Error (name ^ "/" ^ label ^ ": " ^ s)) fmt in
+          if o <> base_o then fail "scenario outcomes differ"
+          else
+            match Trace.first_divergence base_lines lines with
+            | Some d -> fail "trace streams diverge: %s" (Trace.divergence_to_string d)
+            | None -> Ok ()))
+    (Ok ()) legs
+
+let check_scenarios () =
+  List.fold_left
+    (fun acc (name, run) -> match acc with Error _ as e -> e | Ok () -> check_scenario ~name run)
+    (Ok ())
+    [
+      ("cnn-private-spm", fun ?island_domains ?record_all ?trace () ->
+        Scn.run_private_spm ?island_domains ?record_all ?trace ());
+      ("cnn-shared-spm", fun ?island_domains ?record_all ?trace () ->
+        Scn.run_shared_spm ?island_domains ?record_all ?trace ());
+      ("cnn-streams", fun ?island_domains ?record_all ?trace () ->
+        Scn.run_streams ?island_domains ?record_all ?trace ());
+    ]

@@ -1,0 +1,22 @@
+(** Sequential-vs-parallel differential oracle.
+
+    [System.run ~island_domains] (and its [record_all] determinism mode)
+    must be bit-identical to the sequential kernel. Each check runs the
+    subject sequentially, then under [record_all] and island pools of 2
+    and 4 domains, and requires byte-equal final memory, identical
+    return values / cycles / statistics, and byte-equal trace streams.
+    Errors carry a human-readable description of the first mismatch. *)
+
+val check_workload :
+  ?memory_kind:Check_harness.memory_kind ->
+  ?seed:int64 ->
+  ?func:Salam_ir.Ast.func ->
+  Salam_workloads.Workload.t ->
+  (unit, string) result
+(** Single-accelerator engine run (SPM / cache / DRAM attachment) —
+    exercises the record/replay path itself. *)
+
+val check_scenarios : unit -> (unit, string) result
+(** The three CNN pipeline integrations — three accelerators, so real
+    multi-island batches: cross-island MMR starts, DMA, stream FIFOs,
+    interrupts. *)

@@ -104,6 +104,8 @@ val simulate :
   ?from:snapshot ->
   ?probe:int * (probe -> unit) ->
   ?inspect:(Salam_ir.Memory.t -> unit) ->
+  ?island_domains:int ->
+  ?record_all:bool ->
   Salam_workloads.Workload.t ->
   result
 (** [?trace] installs a system-wide trace sink before any component is
@@ -134,7 +136,11 @@ val simulate :
 
     [?inspect] receives the system backing store after the last
     invocation completes, before the result is assembled — the snapshot
-    oracle uses it to compare final memory images byte for byte. *)
+    oracle uses it to compare final memory images byte for byte.
+
+    [?island_domains] and [?record_all] are forwarded to {!System.run}:
+    parallel pre-execution of per-accelerator event blocks, bit-identical
+    to the sequential run for any value (see that function's doc). *)
 
 val warm_up :
   ?config:Config.t ->
@@ -186,12 +192,22 @@ type job = {
   job_workload : Salam_workloads.Workload.t;
   job_invocations : int;
   job_from : snapshot option;
+  job_island_domains : int;
 }
 
-val job : ?invocations:int -> ?from:snapshot -> Config.t -> Salam_workloads.Workload.t -> job
+val job :
+  ?invocations:int ->
+  ?from:snapshot ->
+  ?island_domains:int ->
+  Config.t ->
+  Salam_workloads.Workload.t ->
+  job
 (** A batch entry; [?from] makes it a fast-forwarded run. Snapshots are
     immutable values and safe to share across every job in a batch —
-    the interpret-once/simulate-many pattern. *)
+    the interpret-once/simulate-many pattern. [?island_domains]
+    (default 1) applies {!System.run}'s parallel island mode inside the
+    point — useful when the sweep frontier is narrower than the worker
+    pool; results are bit-identical either way. *)
 
 val simulate_jobs : ?domains:int -> job list -> result list
 (** {!simulate_batch} generalized to fast-forwarded runs. *)

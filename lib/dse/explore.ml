@@ -64,6 +64,9 @@ type evaluator = {
   store : Store.t option;
   trace : Trace.sink option;
   domains : int option;
+  island_domains : int option;
+      (** forwarded to every [Salam.job]: intra-point island parallelism,
+          bit-identical for any value *)
   target : target;
   invocations : int;
   fast_forward : int option;  (** roadmark: interpreter invocations *)
@@ -183,7 +186,8 @@ let evaluate_local ev points =
           | None -> None
           | Some roadmark -> Some (snapshot_for ev ~config ~roadmark p)
         in
-        Salam.job ~invocations:ev.invocations ?from config (ev.target.build p))
+        Salam.job ~invocations:ev.invocations ?island_domains:ev.island_domains ?from config
+          (ev.target.build p))
       misses
   in
   let fresh =
@@ -226,8 +230,8 @@ let sample rng n xs =
   Salam_sim.Rng.shuffle rng arr;
   Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
 
-let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ?remote ?(tick_domain = 0)
-    ~target ~strategy spaces =
+let run ?store ?trace ?domains ?island_domains ?fast_forward ?(invocations = 1) ?remote
+    ?(tick_domain = 0) ~target ~strategy spaces =
   if invocations < 1 then invalid_arg "Explore.run: invocations must be at least 1";
   (match fast_forward with
   | Some k when k < 0 || k >= invocations ->
@@ -241,6 +245,7 @@ let run ?store ?trace ?domains ?fast_forward ?(invocations = 1) ?remote ?(tick_d
       store;
       trace;
       domains;
+      island_domains;
       target;
       invocations;
       fast_forward;

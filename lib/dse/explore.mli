@@ -66,6 +66,7 @@ val run :
   ?store:Store.t ->
   ?trace:Salam_obs.Trace.sink ->
   ?domains:int ->
+  ?island_domains:int ->
   ?fast_forward:int ->
   ?invocations:int ->
   ?remote:(Point.t list -> (Measurement.t * string) list) ->
@@ -81,8 +82,15 @@ val run :
     store-warm answer and anything else for a fresh (or deduplicated)
     simulation. Answers are checked against the locally computed
     fingerprints — a mismatched or short reply raises [Failure].
-    [?store], [?domains] and [?fast_forward] are ignored under
-    [?remote]; the daemon owns all three.
+    [?store], [?domains], [?island_domains] and [?fast_forward] are
+    ignored under [?remote]; the daemon owns all of them.
+
+    [?domains] fans the batch out across design points (one domain per
+    point); [?island_domains] parallelises {e inside} each point across
+    its accelerator islands — bit-identical either way, so the two
+    compose freely. Intra-point parallelism only pays off on
+    multi-accelerator targets; the single-accelerator GEMM target gains
+    nothing from it.
 
     [?tick_domain] (default 0, must fit in 31 bits) namespaces the
     progress-event ticks: every tick is [domain << 32 | n] with [n] the

@@ -23,6 +23,7 @@ type config = {
   enforce_war : bool;
   check : bool;
   mode : mode;
+  compiled_min_mean_region_ops : float;
 }
 
 let default_config =
@@ -36,6 +37,10 @@ let default_config =
     enforce_war = true;
     check = false;
     mode = Compiled;
+    (* below ~1.65 the schedule has degenerated to pointer-chasing
+       control flow (bfs-like: one or two ops per region), the only
+       shape measured to lose consistently to the dynamic scan *)
+    compiled_min_mean_region_ops = 1.65;
   }
 
 (* Placeholder for [tick_thunk] until the first [schedule_tick]; a
@@ -261,10 +266,34 @@ type t = {
   mutable tick_thunk : unit -> unit;
       (** the [tick] closure, allocated once — [schedule_tick] runs every
           active cycle *)
+  mutable island : int;
+      (** the owning accelerator's island (see {!Salam_sim.Island}); tick
+          events are pinned to it so the whole engine executes in one
+          island's event stream under parallel runs. 0 = shared. *)
 }
 
 let create kernel clock stats_group ?(config = default_config) ~datapath ~mem () =
   ignore stats_group;
+  (* Schedule specialization pays off only when regions amortize the
+     specialized walk over several ops; on branchy kernels (a couple of
+     ops between terminators and memory boundaries) it is slower than
+     the plain dynamic scan. Compile anyway — the analysis is cheap and
+     its trace summary is emitted either way — but fall back to the
+     dynamic issue internals when the mean region is below the
+     threshold. Both implementations are bit-identical, so the fallback
+     changes wall-clock time only. *)
+  let compiled_sc =
+    match config.mode with Compiled -> Some (Schedule.compile datapath) | Dynamic -> None
+  in
+  let sched =
+    match compiled_sc with
+    | Some sc
+      when float_of_int (Schedule.region_ops sc)
+           >= config.compiled_min_mean_region_ops
+              *. float_of_int (max 1 (Schedule.region_count sc)) ->
+        Some sc
+    | _ -> None
+  in
   let t =
   let block_lists = Hashtbl.create 16 in
   Array.iter
@@ -355,11 +384,11 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     reservation = Deque.create ~capacity:(config.reservation_slots + 8) ();
     waiting_count = 0;
     ready = Ilist.create ();
-    sched = (match config.mode with Compiled -> Some (Schedule.compile datapath) | Dynamic -> None);
+    sched;
     pools =
-      (match config.mode with
-      | Compiled -> Array.make (Array.length datapath.Datapath.nodes) None
-      | Dynamic -> [||]);
+      (match sched with
+      | Some _ -> Array.make (Array.length datapath.Datapath.nodes) None
+      | None -> [||]);
     ready_l = Ilist.create ();
     ready_s = Ilist.create ();
     finger_l = None;
@@ -430,12 +459,19 @@ let create kernel clock stats_group ?(config = default_config) ~datapath ~mem ()
     stall_s = false;
     stall_c = false;
     tick_thunk = unset_thunk;
+    island = 0;
   }
   in
-  (match (t.tr, t.sched) with
+  (match (t.tr, compiled_sc) with
   | Some tr, Some sc -> Schedule.emit_trace sc tr ~tick:(Kernel.now kernel) ~comp:t.tr_comp
   | _ -> ());
   t
+
+let effective_mode t = match t.sched with Some _ -> Compiled | None -> Dynamic
+
+let island t = t.island
+
+let set_island t i = t.island <- i
 
 let fu_allocated t cls = t.fu_units.(Fu.index cls)
 
@@ -511,6 +547,8 @@ let resolve_addr t dyn =
         match dyn.operands.(1) with Some a -> set_addr t dyn a | None -> ())
 
 let add_ordered_range t ~base ~size = t.ordered_ranges <- (base, size) :: t.ordered_ranges
+
+let in_ordered_range t ~addr = ordered_hit addr t.ordered_ranges
 
 (* An instruction with no pending value or hazard dependency enters the
    ready queue, kept sorted by seq so the issue scan preserves program
@@ -682,7 +720,9 @@ let rec schedule_tick t ~cycles =
   if not t.tick_scheduled then begin
     t.tick_scheduled <- true;
     if t.tick_thunk == unset_thunk then t.tick_thunk <- (fun () -> tick t);
-    Clock.schedule_cycles t.clock ~cycles t.tick_thunk
+    (* pinned, not ambient: the pre-run [start] (host code, island 0)
+       must still land the first tick in this engine's event stream *)
+    Clock.schedule_cycles_isl t.clock ~cycles ~island:t.island t.tick_thunk
   end
 
 and import_block t ~label ~pred =

@@ -73,6 +73,13 @@ type config = {
           are read-only — they never perturb scheduling — and raise
           {!Invariant_violation} on failure. Off by default. *)
   mode : mode;  (** scheduling implementation; [Compiled] by default *)
+  compiled_min_mean_region_ops : float;
+      (** [Compiled] falls back to the dynamic issue internals when the
+          compiled schedule's mean ops per region is below this: on
+          branchy kernels the specialized region walk costs more than
+          the dynamic scan it replaces, and the two are bit-identical
+          anyway. The schedule is still compiled and its trace summary
+          still emitted. Set to [0.0] to force specialization. *)
 }
 
 val default_config : config
@@ -167,7 +174,22 @@ val reset : t -> unit
 val fu_allocated : t -> Salam_hw.Fu.cls -> int
 (** Instantiated units of a class after applying the config limits. *)
 
+val effective_mode : t -> mode
+(** The issue internals actually in use: [Compiled] when the schedule
+    specialization is active, [Dynamic] when [config.mode = Dynamic] or
+    the [compiled_min_mean_region_ops] fallback fired. *)
+
+val island : t -> int
+
+val set_island : t -> int -> unit
+(** Adopt the owning accelerator's island (see {!Salam_sim.Island}):
+    tick events are pinned to it so the engine executes in that island's
+    event stream under parallel runs. 0 (shared) until called. *)
+
 val add_ordered_range : t -> base:int64 -> size:int -> unit
 (** Mark an address window as device/stream memory: accesses that fall
     in any ordered window issue in program order relative to every other
     ordered access, which is what keeps FIFO data in raster order. *)
+
+val in_ordered_range : t -> addr:int64 -> bool
+(** Whether [addr] falls inside any registered ordered window. *)

@@ -1,0 +1,206 @@
+(* Parallel-in-point execution: deterministic islands over OCaml 5
+   domains.
+
+   A [System] partitions its components into *islands*: island 0 holds
+   everything shared (host, xbar, fabric, DRAM, DMA engines, stream
+   buffers, shared scratchpads) and each accelerator — together with its
+   private SPM or cache and its comm interface — gets its own island
+   id >= 1.
+
+   Within one kernel tick, events belonging to different accelerator
+   islands touch disjoint state *except* for a small set of well-known
+   crossing points (port sends across the island boundary, response
+   completions, trace emission, interrupts). The parallel run loop
+   exploits this: it pops the whole same-tick event batch, *pre-executes*
+   each accelerator island's block on its own domain in RECORDING mode —
+   island-local mutations apply immediately, every crossing effect is
+   appended to an ordered per-event log — and then replays the batch
+   sequentially in original (priority, seq) order, executing shared
+   events inline and draining the logs of pre-executed ones. Replay
+   assigns event sequence numbers and trace sequence numbers in exactly
+   the order the sequential kernel would have, so the execution is
+   bit-identical: same stats, same memory images, byte-equal trace
+   streams, for any worker count.
+
+   This module holds the domain-local execution context, the effect
+   logs, and the spinning worker pool. The batch loop itself lives in
+   {!Kernel.run_islands}; components consult the context through the
+   hooks in {!Port}, {!Clock} and the trace intercept. *)
+
+type entry =
+  | Sched of { tick : int; priority : int; island : int; action : unit -> unit }
+      (** a deferred [Event_queue.schedule]: replay assigns the real seq *)
+  | Emit of Salam_obs.Trace.event
+      (** a deferred trace emission: replay assigns the real trace seq *)
+  | Thunk of { island : int; fn : unit -> unit }
+      (** a deferred cross-island action, replayed with the ambient
+          island switched to [island] *)
+
+type ctx = {
+  mutable active : bool;
+      (** a parallel run loop is executing on this domain tree *)
+  mutable recording : bool;
+      (** pre-executing an island block: log crossings instead of
+          applying them *)
+  mutable island : int;  (** ambient island of the executing event *)
+  mutable log : entry list;  (** current event's log, newest first *)
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { active = false; recording = false; island = 0; log = [] })
+
+let ctx () = Domain.DLS.get key
+
+(* Process-wide count of in-flight parallel runs. The hot paths
+   ([Port.send], every scheduler call) guard their DLS read behind this
+   single relaxed load so a build with the feature compiled in but
+   unused pays one predictable branch, nothing more. *)
+let active_runs = Atomic.make 0
+
+let enabled () = Atomic.get active_runs > 0
+
+let run_begin () = Atomic.incr active_runs
+
+let run_end () = Atomic.decr active_runs
+
+(* Ambient island of the caller, or -1 when no parallel run is active on
+   this domain. Response sites capture this at request time so the
+   completion event lands back in the requester's island. *)
+let origin () =
+  if enabled () then begin
+    let c = ctx () in
+    if c.active then c.island else -1
+  end
+  else -1
+
+let log_sched c ~tick ~priority ~island action =
+  c.log <- Sched { tick; priority; island; action } :: c.log
+
+let log_emit c ev = c.log <- Emit ev :: c.log
+
+let log_thunk c ~island fn = c.log <- Thunk { island; fn } :: c.log
+
+let with_island c island fn =
+  let saved = c.island in
+  c.island <- island;
+  (try fn ()
+   with e ->
+     c.island <- saved;
+     raise e);
+  c.island <- saved
+
+(* The trace-sink intercept closure: installed by [System.run] on the
+   system's sink for the duration of a parallel run. Returning [true]
+   captures the event into the recording log; the sink assigns no
+   sequence number until replay delivers it. *)
+let trace_intercept ev =
+  let c = ctx () in
+  if c.active && c.recording then begin
+    log_emit c ev;
+    true
+  end
+  else false
+
+(* --- island blocks and the worker pool --------------------------------- *)
+
+(* One island's slice of a same-tick batch: indices into the batch in
+   original order. Logs land in [w_logs] slots, disjoint across works,
+   published to the coordinator by the join barrier. *)
+type work = {
+  w_island : int;
+  w_idx : int array;
+  w_count : int;
+  w_actions : (unit -> unit) array;
+  w_logs : entry list array;
+}
+
+let run_work w =
+  let c = ctx () in
+  let was_active = c.active and saved_island = c.island in
+  c.active <- true;
+  c.recording <- true;
+  c.island <- w.w_island;
+  let restore () =
+    c.log <- [];
+    c.recording <- false;
+    c.active <- was_active;
+    c.island <- saved_island
+  in
+  (try
+     for k = 0 to w.w_count - 1 do
+       let i = w.w_idx.(k) in
+       c.log <- [];
+       w.w_actions.(i) ();
+       w.w_logs.(i) <- List.rev c.log
+     done
+   with e ->
+     restore ();
+     raise e);
+  restore ()
+
+module Pool = struct
+  type t = {
+    domains : unit Domain.t array;
+    boxes : work list option Atomic.t array;  (* one mailbox per worker *)
+    completed : int Atomic.t;
+    errors : exn option Atomic.t array;
+    stop : bool Atomic.t;
+  }
+
+  let worker_loop t slot =
+    let box = t.boxes.(slot) in
+    while not (Atomic.get t.stop) do
+      match Atomic.exchange box None with
+      | Some works ->
+          (try List.iter run_work works
+           with e -> Atomic.set t.errors.(slot) (Some e));
+          Atomic.incr t.completed
+      | None -> Domain.cpu_relax ()
+    done
+
+  let create ~workers =
+    let workers = max 0 workers in
+    let t =
+      {
+        domains = [||];
+        boxes = Array.init workers (fun _ -> Atomic.make None);
+        completed = Atomic.make 0;
+        errors = Array.init workers (fun _ -> Atomic.make None);
+        stop = Atomic.make false;
+      }
+    in
+    let domains = Array.init workers (fun slot -> Domain.spawn (fun () -> worker_loop t slot)) in
+    { t with domains }
+
+  let workers t = Array.length t.domains
+
+  (* One barrier round: hand each non-empty slot its works, run the
+     coordinator's own share inline, spin until every dispatched slot
+     reports back, then re-raise the first worker failure. Atomic
+     mailboxes are seq_cst, so the join gives the coordinator a
+     happens-before edge over every log the workers wrote. *)
+  let round t ~dispatched ~coordinator =
+    Atomic.set t.completed 0;
+    let expected = ref 0 in
+    Array.iteri
+      (fun slot works ->
+        match works with
+        | [] -> ()
+        | works ->
+            incr expected;
+            Atomic.set t.boxes.(slot) (Some works))
+      dispatched;
+    List.iter run_work coordinator;
+    while Atomic.get t.completed < !expected do
+      Domain.cpu_relax ()
+    done;
+    Array.iter
+      (fun e ->
+        match Atomic.exchange e None with Some exn -> raise exn | None -> ())
+      t.errors
+
+  let shutdown t =
+    Atomic.set t.stop true;
+    Array.iter Domain.join t.domains
+end

@@ -1,0 +1,172 @@
+(* Tests for parallel-in-point island execution: bit-identity of the
+   record/replay path against the sequential kernel, island allocation
+   and routing in the SoC layer, stream-window ordering registration,
+   and the compiled-mode profitability heuristic. *)
+
+open Salam_soc
+module Engine = Salam_engine.Engine
+module Trace = Salam_obs.Trace
+module W = Salam_workloads.Workload
+module Scn = Salam_scenarios.Cnn_pipeline
+
+let check = Alcotest.check
+
+(* --- bit-identity -------------------------------------------------------- *)
+
+(* The three-accelerator CNN pipelines are real multi-island systems:
+   identical outcomes AND byte-equal trace streams across the sequential
+   kernel, the forced record/replay path and 2/4-domain pools. *)
+let test_cnn_bit_identical () =
+  List.iter
+    (fun (name, run) ->
+      let go ?island_domains ?record_all () =
+        let tr = Trace.create () in
+        let o = run ?island_domains ?record_all ~trace:tr () in
+        (o, Trace.to_lines tr)
+      in
+      let base_o, base_lines = go () in
+      List.iter
+        (fun (leg, island_domains, record_all) ->
+          let o, lines = go ?island_domains ?record_all () in
+          check Alcotest.bool (name ^ " outcome equal under " ^ leg) true (o = base_o);
+          check Alcotest.bool
+            (name ^ " trace byte-equal under " ^ leg)
+            true
+            (Trace.first_divergence base_lines lines = None))
+        [ ("record_all", None, Some true); ("2 domains", Some 2, None);
+          ("4 domains", Some 4, None) ])
+    [
+      ("private_spm",
+       fun ?island_domains ?record_all ~trace () ->
+         Scn.run_private_spm ~h:16 ~w:16 ?island_domains ?record_all ~trace ());
+      ("shared_spm",
+       fun ?island_domains ?record_all ~trace () ->
+         Scn.run_shared_spm ~h:16 ~w:16 ?island_domains ?record_all ~trace ());
+      ("streams",
+       fun ?island_domains ?record_all ~trace () ->
+         Scn.run_streams ~h:16 ~w:16 ?island_domains ?record_all ~trace ());
+    ]
+
+(* Single-accelerator runs exercise the record/replay machinery itself
+   (record_all forces every batch through it). *)
+let test_simulate_record_all_identical () =
+  let w () = Salam_workloads.Gemm.workload ~n:8 ~unroll:2 () in
+  let base = Salam.simulate (w ()) in
+  let par = Salam.simulate ~record_all:true (w ()) in
+  let par4 = Salam.simulate ~island_domains:4 (w ()) in
+  List.iter
+    (fun (leg, (r : Salam.result)) ->
+      check Alcotest.bool (leg ^ " correct") true r.Salam.correct;
+      check Alcotest.int64 (leg ^ " cycles") base.Salam.cycles r.Salam.cycles;
+      check Alcotest.bool (leg ^ " stats equal") true (r.Salam.stats = base.Salam.stats);
+      check Alcotest.bool (leg ^ " spm accesses equal") true
+        (r.Salam.spm_accesses = base.Salam.spm_accesses))
+    [ ("record_all", par); ("4 domains", par4) ]
+
+(* --- island allocation and routing --------------------------------------- *)
+
+let build_cluster () =
+  let func = W.compile (Salam_workloads.Gemm.workload ~n:8 ()) in
+  let sys = System.create () in
+  let fabric = Fabric.create sys () in
+  let cluster = Cluster.create sys fabric ~name:"c" ~clock_mhz:500.0 () in
+  let acc name = Accelerator.create sys ~name ~clock_mhz:500.0 func in
+  (sys, cluster, acc)
+
+let test_island_allocation () =
+  let sys, cluster, acc = build_cluster () in
+  let a = acc "a" and b = acc "b" in
+  Cluster.add_accelerator cluster a;
+  Cluster.add_accelerator cluster b;
+  check Alcotest.int "first accelerator on island 1" 1 (Accelerator.island a);
+  check Alcotest.int "second accelerator on island 2" 2 (Accelerator.island b);
+  check Alcotest.int "system counts islands" 2 (System.n_islands sys);
+  (* private memories adopt the owner's island; shared ones stay on 0 *)
+  let _, spm_a = Cluster.add_private_spm cluster a ~size:4096 () in
+  let cache_b = Cluster.add_private_cache cluster b ~size:2048 () in
+  let _, shared = Cluster.add_shared_spm cluster ~size:4096 () in
+  check Alcotest.int "private SPM on owner island" 1
+    (Salam_mem.Port.island (Salam_mem.Spm.port spm_a));
+  check Alcotest.int "private cache on owner island" 2
+    (Salam_mem.Port.island (Salam_mem.Cache.port cache_b));
+  check Alcotest.int "shared SPM on island 0" 0
+    (Salam_mem.Port.island (Salam_mem.Spm.port shared))
+
+let test_stream_link_ordered_ranges () =
+  let _, cluster, acc = build_cluster () in
+  let p = acc "producer" and c = acc "consumer" in
+  Cluster.add_accelerator cluster p;
+  Cluster.add_accelerator cluster c;
+  let window = 256 in
+  let push_base, pop_base, _buffer =
+    Cluster.add_stream_link cluster ~window_bytes:window ~producer:p ~consumer:c
+      ~capacity_bytes:1024 ()
+  in
+  let ordered a addr = Engine.in_ordered_range (Accelerator.engine a) ~addr in
+  let inside base = Int64.add base (Int64.of_int (window / 2)) in
+  let past base = Int64.add base (Int64.of_int window) in
+  (* each endpoint orders exactly its own window: program-order issue is
+     what keeps FIFO data in raster order *)
+  check Alcotest.bool "producer orders push window" true (ordered p (inside push_base));
+  check Alcotest.bool "producer orders full window start" true (ordered p push_base);
+  check Alcotest.bool "producer window is half-open" false (ordered p (past push_base));
+  check Alcotest.bool "consumer orders pop window" true (ordered c (inside pop_base));
+  check Alcotest.bool "producer does not order pop window" false (ordered p (inside pop_base));
+  check Alcotest.bool "consumer does not order push window" false (ordered c (inside push_base))
+
+(* a store sent into the local crossbar reaches the shared SPM: the
+   routing add_shared_spm sets up, observed end to end *)
+let test_shared_spm_routes_via_xbar () =
+  let sys, cluster, _acc = build_cluster () in
+  let base, spm = Cluster.add_shared_spm cluster ~size:4096 () in
+  let pkt = Salam_mem.Packet.make Salam_mem.Packet.Write ~addr:base ~size:8 in
+  let completed = ref false in
+  Salam_mem.Port.send (Cluster.local_port cluster) pkt ~on_complete:(fun () ->
+      completed := true);
+  ignore (System.run sys);
+  check Alcotest.bool "store completed" true !completed;
+  check Alcotest.int "store landed in the shared SPM" 1 (Salam_mem.Spm.writes spm)
+
+(* --- compiled-mode profitability heuristic ------------------------------- *)
+
+(* Below the mean-region-ops threshold the compiled engine's fixed setup
+   cost outruns its steady-state win, so Compiled mode must fall back to
+   the dynamic scheduler (bit-identical either way; only host time
+   differs). bfs is the structural loser — pointer-chasing control flow
+   degenerates its schedule — while unrolled GEMM is the winner. *)
+let effective ~config w =
+  let func = W.compile w in
+  let sys = System.create () in
+  let acc = Accelerator.create sys ~name:"h" ~clock_mhz:500.0 ~engine_config:config func in
+  Engine.effective_mode (Accelerator.engine acc)
+
+let test_compiled_heuristic () =
+  let compiled = { Engine.default_config with Engine.mode = Engine.Compiled } in
+  let bfs = Salam_workloads.Bfs.workload () in
+  let gemm = Salam_workloads.Gemm.workload ~n:16 ~unroll:16 ~junroll:8 () in
+  check Alcotest.bool "branchy kernel falls back to dynamic" true
+    (effective ~config:compiled bfs = Engine.Dynamic);
+  check Alcotest.bool "unrolled gemm stays compiled" true
+    (effective ~config:compiled gemm = Engine.Compiled);
+  (* threshold 0 disables the fallback *)
+  let forced = { compiled with Engine.compiled_min_mean_region_ops = 0.0 } in
+  check Alcotest.bool "zero threshold forces compiled" true
+    (effective ~config:forced bfs = Engine.Compiled);
+  (* dynamic mode never reports compiled *)
+  let dynamic = { Engine.default_config with Engine.mode = Engine.Dynamic } in
+  check Alcotest.bool "dynamic mode is dynamic" true
+    (effective ~config:dynamic gemm = Engine.Dynamic)
+
+let suite =
+  [
+    Alcotest.test_case "cnn pipelines bit-identical across domains" `Slow
+      test_cnn_bit_identical;
+    Alcotest.test_case "simulate record_all/domains bit-identical" `Quick
+      test_simulate_record_all_identical;
+    Alcotest.test_case "island allocation and memory ownership" `Quick test_island_allocation;
+    Alcotest.test_case "stream link registers ordered windows" `Quick
+      test_stream_link_ordered_ranges;
+    Alcotest.test_case "shared SPM reachable through local crossbar" `Quick
+      test_shared_spm_routes_via_xbar;
+    Alcotest.test_case "compiled-mode profitability heuristic" `Quick test_compiled_heuristic;
+  ]

@@ -181,6 +181,58 @@ let fig15 () =
     runs;
   print_newline ()
 
+(* Cycle-time sweep: the gemm16 DSE point measured under every row of
+   the shipped characterization database. Slower cycle times buy lower
+   operator latencies (in cycles), so total cycle counts must be
+   monotone non-increasing in cycle time — a violated row means the
+   derived tables and the engine disagree, and the sweep exits 1.
+   Results land in BENCH_engine.json as ct/gemm16_<ct>ns = cycles. *)
+let ct_sweep () =
+  let cts = Salam_config.cycle_times Salam_config.builtin in
+  section
+    (Printf.sprintf "CT — gemm16 across the %s cycle-time rows (%s ns)"
+       (Salam_config.name Salam_config.builtin)
+       (String.concat ", " (List.map (Printf.sprintf "%g") cts)));
+  let report =
+    explore
+      [ Space.create ~base:dse_base ~derive:Space.spm_balanced
+          [ Space.Cycle_time_ns cts ] ]
+  in
+  let runs =
+    List.sort
+      (fun (a : M.t) (b : M.t) ->
+        compare a.M.point.Point.cycle_time_ns b.M.point.Point.cycle_time_ns)
+      report.Dse.measurements
+  in
+  Printf.printf "%-10s %10s %12s %12s %14s\n" "ct (ns)" "clock MHz" "cycles"
+    "time (us)" "datapath mW";
+  List.iter
+    (fun (m : M.t) ->
+      let p = m.M.point in
+      Printf.printf "%-10g %10.1f %12Ld %12.2f %14.2f\n" p.Point.cycle_time_ns
+        p.Point.clock_mhz m.M.cycles (m.M.seconds *. 1e6) m.M.datapath_mw)
+    runs;
+  (* sanity gate: cycles non-increasing as the clock relaxes *)
+  ignore
+    (List.fold_left
+       (fun prev (m : M.t) ->
+         if m.M.cycles > prev then begin
+           Printf.eprintf
+             "cycle count increased at ct=%gns (%Ld > %Ld): derived latencies \
+              disagree with the engine\n"
+             m.M.point.Point.cycle_time_ns m.M.cycles prev;
+           exit 1
+         end;
+         m.M.cycles)
+       Int64.max_int runs);
+  update_bench_json
+    (List.map
+       (fun (m : M.t) ->
+         ( Printf.sprintf "ct/gemm16_%gns" m.M.point.Point.cycle_time_ns,
+           Int64.to_float m.M.cycles ))
+       runs);
+  print_newline ()
+
 (* The cold-sweep path of the DSE subsystem, for the micro bench: a tiny
    GEMM space enumerated, simulated (no store) and Pareto-extracted. *)
 let dse_front_cold () =

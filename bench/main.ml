@@ -6,23 +6,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig10 table4 ...   # a subset
    Experiment names: table1 table2 table3 table4 fig4 fig10 fig11 fig12
-   fig13 fig14 fig15 fig16 ablation micro speedup ff par *)
-
-(* Machine-readable mirror of the micro results, for tracking simulator
-   throughput across commits. *)
-let bench_json_path = "BENCH_engine.json"
-
-let emit_bench_json entries =
-  let oc = open_out bench_json_path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "  %S: %.0f%s\n" name ns
-        (if i = List.length entries - 1 then "" else ","))
-    entries;
-  output_string oc "}\n";
-  close_out oc;
-  Printf.printf "[micro results written to %s]\n" bench_json_path
+   fig13 fig14 fig15 fig16 ablation micro speedup ff par ct *)
 
 (* Engine-mode-pinned configs. The bare engine_* micro entries pin the
    fully dynamic scheduler so their numbers stay comparable with the
@@ -203,7 +187,7 @@ let micro () =
           entries := (name, ns) :: !entries
       | _ -> Printf.printf "%-28s %16s\n" name "n/a")
     results;
-  emit_bench_json
+  Bench_util.update_bench_json
     (List.sort (fun (a, _) (b, _) -> String.compare a b) !entries);
   print_newline ()
 
@@ -222,6 +206,7 @@ let experiments =
     ("fig15", Exp_dse.fig15);
     ("fig16", Exp_multi.fig16);
     ("ablation", Exp_dse.ablation);
+    ("ct", Exp_dse.ct_sweep);
     ("micro", micro);
     ("speedup", speedup);
     ("ff", ff_speedup);

@@ -16,7 +16,7 @@ let memory_of_string = function
   | "dram" -> Ok Check_harness.Dram
   | other -> Error (Printf.sprintf "unknown memory kind %s (spm|cache|dram)" other)
 
-let run_all ~suite ~memory_kind ~seed ~mode =
+let run_all ~suite ~memory_kind ~seed ~mode ?profile () =
   let workloads =
     match suite with
     | "quick" -> Salam_workloads.Suite.quick ()
@@ -25,7 +25,7 @@ let run_all ~suite ~memory_kind ~seed ~mode =
         Printf.eprintf "unknown suite %s (quick|standard)\n" other;
         exit 1
   in
-  let reports = Check_oracle.check_all ~memory_kind ~seed ~mode workloads in
+  let reports = Check_oracle.check_all ~memory_kind ~seed ~mode ?profile workloads in
   let failed = ref 0 in
   List.iter
     (fun (r : Check_oracle.report) ->
@@ -42,7 +42,7 @@ let run_all ~suite ~memory_kind ~seed ~mode =
     (Salam_engine.Engine.mode_to_string mode);
   !failed = 0
 
-let run_modes ~suite ~memory_kind ~seed =
+let run_modes ~suite ~memory_kind ~seed ?profile () =
   let workloads =
     match suite with
     | "quick" -> Salam_workloads.Suite.quick ()
@@ -54,7 +54,7 @@ let run_modes ~suite ~memory_kind ~seed =
   let failed = ref 0 in
   List.iter
     (fun (w : Salam_workloads.Workload.t) ->
-      match Check_oracle.check_modes ~memory_kind ~seed w with
+      match Check_oracle.check_modes ~memory_kind ~seed ?profile w with
       | Ok () -> Printf.printf "PASS %s\n" w.Salam_workloads.Workload.name
       | Error f ->
           incr failed;
@@ -157,7 +157,33 @@ let run_fuzz ~count ~memory_kind ~seed ~plant_bug =
     failures = []
   end
 
-let main all modes snapshot parallel fuzz suite memory seed plant_bug engine_mode =
+(* the --hw-db/--cycle-time leg: oracle a loadable, possibly non-default
+   characterization. The interpreter side is profile-free, so a pass
+   means the engine's timing under that table still computes the right
+   answer in both scheduling modes. *)
+let resolve_profile hw_db cycle_time =
+  match (hw_db, cycle_time) with
+  | None, None -> None
+  | _ ->
+      let db =
+        match hw_db with
+        | None -> Salam_config.builtin
+        | Some path -> (
+            match Salam_config.load path with
+            | Ok db -> db
+            | Error e ->
+                Printf.eprintf "%s\n" e;
+                exit 1)
+      in
+      let ct = Option.value cycle_time ~default:2.0 in
+      (match Salam_config.db_profile db ~cycle_time_ns:ct with
+      | Ok p -> Some p
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1)
+
+let main all modes snapshot parallel fuzz suite memory seed plant_bug engine_mode hw_db
+    cycle_time =
   match memory_of_string memory with
   | Error msg ->
       Printf.eprintf "%s\n" msg;
@@ -168,15 +194,20 @@ let main all modes snapshot parallel fuzz suite memory seed plant_bug engine_mod
           Printf.eprintf "unknown engine mode %s (dynamic|compiled)\n" engine_mode;
           exit 1
       | Some mode ->
+          let profile = resolve_profile hw_db cycle_time in
+          (match profile with
+          | Some p ->
+              Printf.printf "hardware profile: %s\n" p.Salam_hw.Profile.profile_name
+          | None -> ());
           let ran = ref false in
           let ok = ref true in
           if all then begin
             ran := true;
-            ok := run_all ~suite ~memory_kind ~seed ~mode && !ok
+            ok := run_all ~suite ~memory_kind ~seed ~mode ?profile () && !ok
           end;
           if modes then begin
             ran := true;
-            ok := run_modes ~suite ~memory_kind ~seed && !ok
+            ok := run_modes ~suite ~memory_kind ~seed ?profile () && !ok
           end;
           if snapshot then begin
             ran := true;
@@ -254,11 +285,23 @@ let cmd =
              ~doc:"Engine scheduling implementation for the --all oracle leg: dynamic or \
                    compiled.")
   in
+  let hw_db =
+    Arg.(value & opt (some file) None
+         & info [ "hw-db" ] ~docv:"FILE"
+             ~doc:"Run the --all/--modes oracles under a characterization loaded from a \
+                   salam_config database (its 2 ns row unless --cycle-time names another).")
+  in
+  let cycle_time =
+    Arg.(value & opt (some float) None
+         & info [ "cycle-time" ] ~docv:"NS"
+             ~doc:"Characterized cycle time for the oracle runs; must be declared in the \
+                   database (the built-in one when --hw-db is omitted).")
+  in
   let doc = "differential validation: interpreter-vs-engine oracle, kernel fuzzer" in
   Cmd.v
     (Cmd.info "salam_check" ~version:"1.0.0" ~doc)
     Term.(
       const main $ all $ modes $ snapshot $ parallel $ fuzz $ suite $ memory $ seed
-      $ plant_bug $ engine_mode)
+      $ plant_bug $ engine_mode $ hw_db $ cycle_time)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,171 @@
+(* CLI for the loadable hardware characterization database.
+
+   Mirrors the real salam-config tool's verbs: validate a database file,
+   list the functional units characterized at a cycle time, list the
+   IR instruction -> functional unit mapping, and summarize a database.
+   `emit` prints the built-in 40 nm database in canonical form — the
+   shipped share/salam-40nm.db is exactly its output, and the test suite
+   holds the two byte-identical. *)
+
+module C = Salam_config
+module Fu = Salam_hw.Fu
+module Profile = Salam_hw.Profile
+open Cmdliner
+
+let db_arg =
+  let doc = "Characterization database file; omitted, the built-in 40 nm database." in
+  Arg.(value & opt (some file) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let load_db = function
+  | None -> Ok C.builtin
+  | Some path -> C.load path
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "salam_config: %s\n" e;
+      exit 1
+
+(* --- validate ------------------------------------------------------------ *)
+
+let validate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Database to check.")
+  in
+  let run file =
+    match C.load file with
+    | Ok db ->
+        Printf.printf "%s: OK — %s, %d nm, %d cycle time(s), hash %s\n" file (C.name db)
+          (C.node_nm db)
+          (List.length (C.cycle_times db))
+          (C.hash db)
+    | Error e ->
+        Printf.eprintf "salam_config: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Parse a database file with the strict parser and report its identity; non-zero \
+          exit on any malformation.")
+    Term.(const run $ file)
+
+(* --- list-fus ------------------------------------------------------------ *)
+
+let list_fus_cmd =
+  let ct =
+    let doc = "Cycle time to list the characterization at (default: every declared one)." in
+    Arg.(value & opt (some float) None & info [ "cycle-time" ] ~docv:"NS" ~doc)
+  in
+  let run db ct =
+    let db = or_die (load_db db) in
+    let cts =
+      match ct with
+      | None -> C.cycle_times db
+      | Some c ->
+          if not (List.mem c (C.cycle_times db)) then
+            or_die
+              (Error
+                 (Printf.sprintf "database %s has no %gns characterization" (C.name db) c));
+          [ c ]
+    in
+    List.iter
+      (fun ct ->
+        let p = or_die (C.db_profile db ~cycle_time_ns:ct) in
+        Printf.printf "# %s @ %gns (%.0f MHz)\n" (C.name db) ct
+          (C.clock_mhz_of_cycle_time ct);
+        Printf.printf "%-16s %8s %10s %12s %12s %12s\n" "unit" "latency" "pipelined"
+          "area um2" "leak mW" "dyn pJ/op";
+        List.iter
+          (fun cls ->
+            let s = Profile.spec p cls in
+            Printf.printf "%-16s %8d %10s %12g %12g %12g\n" (Fu.to_string cls)
+              s.Profile.latency
+              (if s.Profile.pipelined then "yes" else "no")
+              s.Profile.area_um2 s.Profile.leakage_mw s.Profile.dynamic_pj)
+          Fu.all)
+      cts
+  in
+  Cmd.v
+    (Cmd.info "list-fus"
+       ~doc:"List every functional unit's latency/area/power at a cycle time.")
+    Term.(const run $ db_arg $ ct)
+
+(* --- list-instructions --------------------------------------------------- *)
+
+(* the static opcode -> class table [Fu.of_instr] implements; kept here
+   as data so the CLI needs no IR values to print it *)
+let instruction_classes =
+  [
+    ("add, sub, icmp", Some Fu.Int_adder);
+    ("gep (address arithmetic)", Some Fu.Int_adder);
+    ("mul", Some Fu.Int_multiplier);
+    ("sdiv, udiv, srem, urem", Some Fu.Int_divider);
+    ("shl, lshr, ashr", Some Fu.Shifter);
+    ("and, or, xor", Some Fu.Bitwise);
+    ("select", Some Fu.Mux);
+    ("trunc, zext, sext, fptrunc, fpext, fptosi, sitofp", Some Fu.Converter);
+    ("fadd, fsub, fcmp (f32)", Some Fu.Fp_add_sp);
+    ("fadd, fsub, fcmp (f64)", Some Fu.Fp_add_dp);
+    ("fmul (f32)", Some Fu.Fp_mul_sp);
+    ("fmul (f64)", Some Fu.Fp_mul_dp);
+    ("fdiv, frem (f32)", Some Fu.Fp_div_sp);
+    ("fdiv, frem (f64)", Some Fu.Fp_div_dp);
+    ("call (sqrt/exp/log/sin/cos intrinsics)", Some Fu.Fp_special);
+    ("load, store", None);
+    ("phi, br, cond_br, ret, alloca", None);
+    ("bitcast, ptrtoint, inttoptr", None);
+  ]
+
+let list_instructions_cmd =
+  let run () =
+    Printf.printf "%-52s %s\n" "instructions" "functional unit";
+    List.iter
+      (fun (ops, cls) ->
+        Printf.printf "%-52s %s\n" ops
+          (match cls with Some c -> Fu.to_string c | None -> "(none: ports/control)"))
+      instruction_classes
+  in
+  Cmd.v
+    (Cmd.info "list-instructions"
+       ~doc:"Show which functional unit each IR instruction elaborates to.")
+    Term.(const run $ const ())
+
+(* --- info ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let run db =
+    let db = or_die (load_db db) in
+    Printf.printf "name:         %s\n" (C.name db);
+    Printf.printf "node:         %d nm\n" (C.node_nm db);
+    Printf.printf "cycle times:  %s\n"
+      (String.concat ", " (List.map (Printf.sprintf "%gns") (C.cycle_times db)));
+    Printf.printf "fu classes:   %d\n" (List.length Fu.all);
+    Printf.printf "records:      %d\n"
+      (List.length (C.cycle_times db) * (List.length Fu.all + 1));
+    Printf.printf "hash:         %s\n" (C.hash db)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarize a database: identity, coverage and content hash.")
+    Term.(const run $ db_arg)
+
+(* --- emit ---------------------------------------------------------------- *)
+
+let emit_cmd =
+  let run () = print_string (C.render C.builtin) in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Print the built-in 40 nm database in canonical text form (the source of the \
+          shipped share/salam-40nm.db).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "salam_config" ~version:"1.0"
+      ~doc:"Inspect and validate loadable hardware characterization databases."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ validate_cmd; list_fus_cmd; list_instructions_cmd; info_cmd; emit_cmd ]))

@@ -56,8 +56,21 @@ let target_of ~workload ~n =
 (* The sweep is declared as a union of one space per memory kind, so the
    port axes only multiply the SPM cloud and the capacity axis only the
    cache cloud — the same shape as the paper's Fig 13. *)
-let spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks =
-  let common = [ Space.Fu_limit fu; Space.Unroll unrolls; Space.Junroll junrolls; Space.Clock_mhz clocks ] in
+let spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks
+    ~cycle_times ~hw_dbs =
+  (* --cycle-time replaces the clock axis entirely: each cycle time pins
+     the matching frequency through the axis application, and mixing an
+     explicit clock list in would desynchronize profile and clock *)
+  let rate_axis =
+    match cycle_times with
+    | Some cts -> [ Space.Cycle_time_ns cts ]
+    | None -> [ Space.Clock_mhz clocks ]
+  in
+  let db_axis = match hw_dbs with [] -> [] | hs -> [ Space.Hw_db hs ] in
+  let common =
+    [ Space.Fu_limit fu; Space.Unroll unrolls; Space.Junroll junrolls ]
+    @ rate_axis @ db_axis
+  in
   List.map
     (fun mem ->
       match mem with
@@ -113,8 +126,8 @@ let print_report ~verbose ~csv ~store report =
   end
 
 let run_sweep ~require_store workload n store_path server mems ports write_ports banks fu
-    cache_sizes unrolls junrolls clocks strategy samples rounds seed domains island_domains
-    csv quiet invocations fast_forward =
+    cache_sizes unrolls junrolls clocks cycle_times hw_db_paths strategy samples rounds seed
+    domains island_domains csv quiet invocations fast_forward =
   let target = target_of ~workload ~n in
   if workload <> "gemm" && (unrolls <> [ 1 ] || junrolls <> [ 1 ]) then
     die "--unroll/--junroll only apply to the gemm target";
@@ -123,8 +136,19 @@ let run_sweep ~require_store workload n store_path server mems ports write_ports
   | Some k when k < 0 || k >= invocations ->
       die "--fast-forward must name a roadmark inside the schedule: 0 <= K < %d" invocations
   | Some _ | None -> ());
+  (* load and register every named database so the enumerated points can
+     resolve their profiles; the axis carries content hashes *)
+  let hw_dbs =
+    List.map
+      (fun path ->
+        match Salam_config.load path with
+        | Ok db -> Salam_config.register db
+        | Error e -> die "%s" e)
+      hw_db_paths
+  in
   let spaces =
     spaces_of ~mems ~ports ~write_ports ~banks ~fu ~cache_sizes ~unrolls ~junrolls ~clocks
+      ~cycle_times ~hw_dbs
   in
   let strategy =
     match strategy with
@@ -301,6 +325,19 @@ let junroll_arg =
 let clock_arg =
   list_arg ~name:"clock" ~docv:"LIST" ~default:[ 500.0 ] ~doc:"Clock axis in MHz." (floats "clock")
 
+let cycle_times_arg =
+  Arg.(value & opt (some (floats "cycle-time")) None
+       & info [ "cycle-time" ] ~docv:"LIST"
+           ~doc:"Hardware cycle-time axis in ns. Each value selects the database row \
+                 characterized at that cycle time $(i,and) pins the clock to the matching \
+                 frequency, replacing the $(b,--clock) axis.")
+
+let hw_db_arg =
+  Arg.(value & opt_all file []
+       & info [ "hw-db" ] ~docv:"FILE"
+           ~doc:"Load a characterization database and add it as an axis value (repeatable). \
+                 Omitted, points use the built-in 40 nm database.")
+
 let strategy_arg =
   Arg.(value & opt string "exhaustive"
        & info [ "strategy" ] ~docv:"S" ~doc:"Search strategy: exhaustive, random or pareto.")
@@ -353,6 +390,7 @@ let sweep_term ~require_store =
     const (run_sweep ~require_store)
     $ workload_arg $ n_arg $ store_arg $ server_arg $ mems_arg $ ports_arg $ write_ports_arg
     $ banks_arg $ fu_arg $ cache_sizes_arg $ unroll_arg $ junroll_arg $ clock_arg
+    $ cycle_times_arg $ hw_db_arg
     $ strategy_arg $ samples_arg $ rounds_arg $ seed_arg $ domains_arg $ island_domains_arg
     $ csv_arg
     $ quiet_arg $ invocations_arg $ fast_forward_arg)

@@ -20,7 +20,18 @@ let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt
 
 (* --- serve --------------------------------------------------------------- *)
 
-let run_serve socket store shards workers island_domains queue trace_path =
+let run_serve socket store shards workers island_domains queue trace_path hw_db_paths =
+  (* register every named characterization database before any request
+     arrives: a client point names its database by content hash, and
+     resolution fails loudly for hashes this process never loaded *)
+  List.iter
+    (fun path ->
+      match Salam_config.load path with
+      | Ok db ->
+          let h = Salam_config.register db in
+          Printf.printf "[served] hw-db %s: %s (%s)\n%!" path (Salam_config.name db) h
+      | Error e -> die "%s" e)
+    hw_db_paths;
   let trace = Option.map (fun _ -> Trace.create ~categories:[ Trace.Dse_progress ] ()) trace_path in
   let cfg =
     {
@@ -133,11 +144,18 @@ let trace_arg =
            ~doc:"Record every request's dse.progress events and write them to \
                  $(docv) at shutdown.")
 
+let hw_db_arg =
+  Arg.(value & opt_all file []
+       & info [ "hw-db" ] ~docv:"FILE"
+           ~doc:"Load a hardware characterization database (repeatable); clients may then \
+                 request points measured under it. The built-in 40 nm database is always \
+                 available.")
+
 let serve_cmd =
   let doc = "Run the daemon in the foreground until SIGINT/SIGTERM or a shutdown request." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run_serve $ socket_arg $ store_arg $ shards_arg $ workers_arg
-          $ island_domains_arg $ queue_arg $ trace_arg)
+          $ island_domains_arg $ queue_arg $ trace_arg $ hw_db_arg)
 
 let ping_cmd =
   let doc = "Round-trip a ping and print the latency." in

@@ -43,8 +43,27 @@ let memory_conv = Arg.enum [ ("spm", `Spm); ("cache", `Cache); ("dram", `Dram) ]
 
 let mode_conv = Arg.enum [ ("dynamic", Engine.Dynamic); ("compiled", Engine.Compiled) ]
 
+(* --hw-db / --cycle-time select a hardware characterization from a
+   loadable database. A cycle time pins the clock to the matching
+   frequency (a profile characterized at 5 ns is meaningless at 500 MHz),
+   overriding --clock. *)
+let resolve_hw hw_db cycle_time clock_mhz =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error (`Msg e) in
+  let* db = match hw_db with None -> Ok Salam_config.builtin | Some p -> Salam_config.load p in
+  match cycle_time with
+  | None ->
+      (* keep the compiled-in default profile when neither flag is given:
+         byte-compatible with every pre-database invocation *)
+      if hw_db = None then Ok (Salam_hw.Profile.default_40nm, clock_mhz)
+      else
+        let* p = Salam_config.db_profile db ~cycle_time_ns:2.0 in
+        Ok (p, clock_mhz)
+  | Some ct ->
+      let* p = Salam_config.db_profile db ~cycle_time_ns:ct in
+      Ok (p, Salam_config.clock_mhz_of_cycle_time ct)
+
 let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks fadd_limit mode
-    invocations fast_forward island_domains =
+    invocations fast_forward island_domains hw_db cycle_time =
   if invocations < 1 then Error (`Msg "--invocations must be at least 1")
   else if island_domains < 1 then Error (`Msg "--island-domains must be at least 1")
   else if
@@ -55,6 +74,9 @@ let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks f
         (Printf.sprintf "--fast-forward must name a roadmark inside the schedule: 0 <= K < %d"
            invocations))
   else begin
+    match resolve_hw hw_db cycle_time clock_mhz with
+    | Error _ as e -> e
+    | Ok (hw, clock_mhz) ->
     let memory =
       match memory with
       | `Spm -> Salam.Config.Spm { read_ports = ports; write_ports; banks; latency = 1 }
@@ -74,6 +96,7 @@ let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks f
         memory;
         fu_limits;
         engine = { Engine.default_config with Engine.fu_limits; Engine.mode };
+        hw;
       }
     in
     let from =
@@ -88,6 +111,7 @@ let run_workload (w : W.t) clock_mhz memory cache_size ports write_ports banks f
     let r = Salam.simulate ~config ~invocations ~island_domains ?from w in
     let s = r.Salam.stats in
     Printf.printf "workload            : %s\n" r.Salam.name;
+    Printf.printf "hw profile          : %s\n" r.Salam.hw.Salam_hw.Profile.profile_name;
     if invocations > 1 then Printf.printf "invocations         : %d\n" invocations;
     Printf.printf "correct             : %b\n" r.Salam.correct;
     Printf.printf "cycles              : %Ld (%.3f us at %.0f MHz)\n" r.Salam.cycles
@@ -173,11 +197,30 @@ let run_cmd =
              like this one gain nothing, but the flag exercises the same code path the \
              multi-accelerator scenarios speed up.")
   in
+  let hw_db =
+    Arg.(
+      value & opt (some file) None
+      & info [ "hw-db" ] ~docv:"FILE"
+          ~doc:
+            "Load the hardware characterization from a salam_config database instead of \
+             the compiled-in 40 nm constants (its 2 ns row unless --cycle-time names \
+             another).")
+  in
+  let cycle_time =
+    Arg.(
+      value & opt (some float) None
+      & info [ "cycle-time" ] ~docv:"NS"
+          ~doc:
+            "Characterized cycle time to elaborate under. Must be declared in the \
+             database; also pins the clock to the matching frequency, overriding \
+             $(b,--clock).")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       term_result
         (const run_workload $ wname $ clock $ memory $ cache_size $ ports $ write_ports
-       $ banks $ fadd $ engine_mode $ invocations $ fast_forward $ island_domains))
+       $ banks $ fadd $ engine_mode $ invocations $ fast_forward $ island_domains $ hw_db
+       $ cycle_time))
 
 let () =
   let doc = "gem5-SALAM reproduction: LLVM-based accelerator simulation" in

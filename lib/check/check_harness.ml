@@ -23,7 +23,7 @@ let round_pow2 n =
 
 let run_engine ?(memory_kind = Spm) ?(seed = 42L)
     ?(mode = Engine.default_config.Engine.mode) ?func ?trace ?island_domains ?record_all
-    (w : W.t) =
+    ?profile (w : W.t) =
   let func = match func with Some f -> f | None -> W.compile w in
   let sys = System.create ?trace () in
   let fabric = Fabric.create sys () in
@@ -31,7 +31,9 @@ let run_engine ?(memory_kind = Spm) ?(seed = 42L)
   (* the whole point of this harness: every run validates the engine's
      own timing invariants while it executes *)
   let engine_config = { Engine.default_config with Engine.check = true; Engine.mode } in
-  let acc = Accelerator.create sys ~name:w.W.name ~clock_mhz:500.0 ~engine_config func in
+  let acc =
+    Accelerator.create sys ~name:w.W.name ~clock_mhz:500.0 ?profile ~engine_config func
+  in
   Cluster.add_accelerator cluster acc;
   let buffer_bytes = W.total_buffer_bytes w in
   let cache = ref None in

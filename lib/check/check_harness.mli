@@ -31,6 +31,7 @@ val run_engine :
   ?trace:Salam_obs.Trace.sink ->
   ?island_domains:int ->
   ?record_all:bool ->
+  ?profile:Salam_hw.Profile.t ->
   Salam_workloads.Workload.t ->
   run
 (** Run the workload through the full timing stack with
@@ -39,6 +40,8 @@ val run_engine :
     substitutes an already-compiled (possibly deliberately mutated)
     function for the workload's kernel — the fuzzer uses this to plant
     bugs and to bypass the per-name compile cache. [?trace] installs a
-    trace sink on the run's private system. Raises
+    trace sink on the run's private system. [?profile] elaborates the
+    datapath under a non-default hardware characterization (e.g. a
+    [Salam_config] database row at another cycle time). Raises
     [Engine.Invariant_violation] if a timing invariant breaks mid-run and
     [Engine.Runtime_error] if the simulated program faults. *)

@@ -144,14 +144,18 @@ let first_divergence (w : W.t) ~interp_mem ~interp_bases ~engine_mem ~engine_bas
   buffers 0 w.W.buffers
 
 let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?mode ?func ?engine_func
-    ?trace (w : W.t) =
+    ?trace ?profile (w : W.t) =
   (* [engine_func] substitutes a different function on the engine side
      only — how the fuzzer's planted-bug mode makes the two sides
-     genuinely disagree *)
+     genuinely disagree. [profile] changes only the engine's timing
+     model; the functional interpreter is profile-free, which is exactly
+     why the oracle can vouch for a non-default characterization. *)
   let engine_func = match engine_func with Some f -> Some f | None -> func in
   match
     let interp_mem, interp_bases, _iret, stores = run_interp ~seed ?func w in
-    let er = Check_harness.run_engine ~memory_kind ~seed ?mode ?func:engine_func ?trace w in
+    let er =
+      Check_harness.run_engine ~memory_kind ~seed ?mode ?func:engine_func ?trace ?profile w
+    in
     match
       first_divergence w ~interp_mem ~interp_bases ~engine_mem:er.Check_harness.memory
         ~engine_bases:er.Check_harness.bases ~stores
@@ -179,7 +183,8 @@ let check_workload ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?mode ?func 
    the same trace event stream. Store provenance for a divergent byte
    still comes from an interpreter run: both engine modes are suspect,
    the functional semantics are not. *)
-let check_modes ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?trace (w : W.t) =
+let check_modes ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?trace ?profile
+    (w : W.t) =
   let module Engine = Salam_engine.Engine in
   let module Trace = Salam_obs.Trace in
   match
@@ -187,10 +192,12 @@ let check_modes ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?trace (w
     let tr_dyn = Trace.create () in
     let tr_cmp = match trace with Some tr -> tr | None -> Trace.create () in
     let dr =
-      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Dynamic ?func ~trace:tr_dyn w
+      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Dynamic ?func ~trace:tr_dyn
+        ?profile w
     in
     let cr =
-      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Compiled ?func ~trace:tr_cmp w
+      Check_harness.run_engine ~memory_kind ~seed ~mode:Engine.Compiled ?func ~trace:tr_cmp
+        ?profile w
     in
     match
       first_divergence w ~interp_mem:dr.Check_harness.memory
@@ -231,8 +238,8 @@ let check_modes ?(memory_kind = Check_harness.Spm) ?(seed = 42L) ?func ?trace (w
       Error (Harness_error ("engine runtime error: " ^ msg))
   | exception Failure msg -> Error (Harness_error msg)
 
-let check_all ?memory_kind ?seed ?mode workloads =
+let check_all ?memory_kind ?seed ?mode ?profile workloads =
   List.map
     (fun (w : W.t) ->
-      { r_workload = w.W.name; r_result = check_workload ?memory_kind ?seed ?mode w })
+      { r_workload = w.W.name; r_result = check_workload ?memory_kind ?seed ?mode ?profile w })
     workloads

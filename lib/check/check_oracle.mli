@@ -57,6 +57,7 @@ val check_workload :
   ?func:Salam_ir.Ast.func ->
   ?engine_func:Salam_ir.Ast.func ->
   ?trace:Salam_obs.Trace.sink ->
+  ?profile:Salam_hw.Profile.t ->
   Salam_workloads.Workload.t ->
   (unit, failure) result
 (** Run both sides from identical initial memory and compare: buffers
@@ -65,13 +66,17 @@ val check_workload :
     implementation; [?func] substitutes a pre-compiled function
     on both sides (used by the fuzzer); [?engine_func] overrides the
     engine side only (used to plant bugs that the oracle must catch);
-    [?trace] installs a trace sink on the engine-side system. *)
+    [?trace] installs a trace sink on the engine-side system;
+    [?profile] runs the engine side under a non-default hardware
+    characterization — the interpreter is profile-free, so the oracle
+    vouches for any loadable database row. *)
 
 val check_modes :
   ?memory_kind:Check_harness.memory_kind ->
   ?seed:int64 ->
   ?func:Salam_ir.Ast.func ->
   ?trace:Salam_obs.Trace.sink ->
+  ?profile:Salam_hw.Profile.t ->
   Salam_workloads.Workload.t ->
   (unit, failure) result
 (** Compiled-vs-dynamic differential: run the engine in both scheduling
@@ -80,11 +85,13 @@ val check_modes :
     interpreter store provenance, like {!check_workload}), return value,
     full run statistics including the cycle count, and the default-
     category trace event streams. [?trace] additionally installs the
-    given sink on the compiled-mode run. *)
+    given sink on the compiled-mode run. [?profile] applies the same
+    non-default hardware characterization to both modes. *)
 
 val check_all :
   ?memory_kind:Check_harness.memory_kind ->
   ?seed:int64 ->
   ?mode:Salam_engine.Engine.mode ->
+  ?profile:Salam_hw.Profile.t ->
   Salam_workloads.Workload.t list ->
   report list

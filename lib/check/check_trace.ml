@@ -70,6 +70,22 @@ let run_vecadd ~memory_kind sink =
   let r = Check_harness.run_engine ~memory_kind ~trace:sink vecadd_workload in
   vecadd_workload.W.check r.Check_harness.memory r.Check_harness.bases
 
+(* Same SPM scenario under the built-in database's 5 ns characterization:
+   the golden file pins the non-default latencies (and with them the
+   whole event stream), so a silent change to the loadable table or the
+   profile plumbing fails the trace suite, not just the unit tests. *)
+let run_vecadd_5ns sink =
+  let profile =
+    match Salam_config.profile ~node:40 ~cycle_time_ns:5.0 with
+    | Ok p -> p
+    | Error e -> failwith ("Check_trace: " ^ e)
+  in
+  let r =
+    Check_harness.run_engine ~memory_kind:Check_harness.Spm ~profile ~trace:sink
+      vecadd_workload
+  in
+  vecadd_workload.W.check r.Check_harness.memory r.Check_harness.bases
+
 (* --- DMA copy through a shared SPM -------------------------------------- *)
 
 (* 160 bytes with a 64-byte burst: two full bursts plus a 32-byte tail,
@@ -150,6 +166,7 @@ let scenarios =
       Some (Trace.Engine_compile :: Trace.default_categories),
       run_vecadd ~memory_kind:Check_harness.Spm );
     ("ff_vecadd", None, run_ff_vecadd);
+    ("spm_vecadd_5ns", None, run_vecadd_5ns);
   ]
 
 let names = List.map (fun (name, _, _) -> name) scenarios

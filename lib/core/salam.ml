@@ -14,6 +14,9 @@ module Config = struct
     fu_limits : (Salam_hw.Fu.cls * int) list;
     engine : Engine.config;
     seed : int64;
+    hw : Salam_hw.Profile.t;
+        (** hardware characterization the datapath elaborates under;
+            loadable from a salam_config database *)
   }
 
   let default =
@@ -23,6 +26,7 @@ module Config = struct
       fu_limits = [];
       engine = Engine.default_config;
       seed = 42L;
+      hw = Salam_hw.Profile.default_40nm;
     }
 
   let with_spm_ports t ~read ~write =
@@ -55,6 +59,7 @@ type result = {
   power : power_breakdown;
   area_um2 : float;
   fu_allocated : (Salam_hw.Fu.cls * int) list;
+  hw : Salam_hw.Profile.t;  (** the profile this run elaborated under *)
   spm_accesses : (int * int) option;
   cache_hits_misses : (int * int) option;
   wall_seconds : float;
@@ -109,7 +114,8 @@ let build ~config ?trace ?func (w : W.t) =
   let cluster = Cluster.create sys fabric ~name:"cluster0" ~clock_mhz:config.Config.clock_mhz () in
   let acc =
     Accelerator.create sys ~name:w.W.name ~clock_mhz:config.Config.clock_mhz
-      ~fu_limits:config.Config.fu_limits ~engine_config:config.Config.engine func
+      ~profile:config.Config.hw ~fu_limits:config.Config.fu_limits
+      ~engine_config:config.Config.engine func
   in
   Cluster.add_accelerator cluster acc;
   let buffer_bytes = W.total_buffer_bytes w in
@@ -273,6 +279,7 @@ let simulate ?(config = Config.default) ?trace ?func ?(invocations = 1) ?from ?p
       };
     area_um2 = acc_power.Accelerator.area_um2 +. spm_area +. cache_area;
     fu_allocated = Salam_hw.Fu.Map.bindings (Accelerator.datapath acc).Salam_cdfg.Datapath.fu_alloc;
+    hw = config.Config.hw;
     spm_accesses;
     cache_hits_misses = cache_hm;
     wall_seconds = Unix.gettimeofday () -. wall_start;
@@ -498,7 +505,7 @@ let fu_occupancy ?allocated result cls =
     | Some integral ->
         let cycles = Int64.to_float result.cycles in
         (* a pipelined unit offers latency-many concurrent stages *)
-        let spec = Salam_hw.Profile.spec Salam_hw.Profile.default_40nm cls in
+        let spec = Salam_hw.Profile.spec result.hw cls in
         let stages =
           if spec.Salam_hw.Profile.pipelined then max 1 spec.Salam_hw.Profile.latency else 1
         in

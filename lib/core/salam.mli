@@ -27,10 +27,15 @@ module Config : sig
     fu_limits : (Salam_hw.Fu.cls * int) list;
     engine : Salam_engine.Engine.config;
     seed : int64;
+    hw : Salam_hw.Profile.t;
+        (** hardware characterization the datapath elaborates under —
+            {!Salam_hw.Profile.default_40nm} or a profile looked up in a
+            loadable [Salam_config] database *)
   }
 
   val default : t
-  (** 500 MHz, SPM with 2 read / 1 write ports, unconstrained units. *)
+  (** 500 MHz, SPM with 2 read / 1 write ports, unconstrained units,
+      the compiled-in 40 nm profile at 2 ns. *)
 
   val with_spm_ports : t -> read:int -> write:int -> t
 end
@@ -61,6 +66,9 @@ type result = {
       (** functional units instantiated per class by the static CDFG
           elaboration (after [Config.fu_limits]), sorted by class — the
           denominator {!fu_occupancy} uses by default *)
+  hw : Salam_hw.Profile.t;
+      (** the profile this run elaborated under — occupancy and power
+          derivations must use it, never a compiled-in default *)
   spm_accesses : (int * int) option;  (** reads, writes *)
   cache_hits_misses : (int * int) option;
   wall_seconds : float;  (** host time spent simulating *)

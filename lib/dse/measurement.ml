@@ -99,6 +99,9 @@ let to_line m =
       ("unroll", i p.Point.unroll);
       ("junroll", i p.Point.junroll);
       ("clock_mhz", Jsonl.Float p.Point.clock_mhz);
+      ("node_nm", i p.Point.node_nm);
+      ("cycle_time_ns", Jsonl.Float p.Point.cycle_time_ns);
+      ("hw_db", Jsonl.Str p.Point.hw_db);
       ("cycles", Jsonl.Int m.cycles);
       ("seconds", Jsonl.Float m.seconds);
       ("total_mw", Jsonl.Float m.total_mw);
@@ -147,6 +150,9 @@ let of_line line =
       let* unroll = int "unroll" in
       let* junroll = int "junroll" in
       let* clock_mhz = Jsonl.get_float fields "clock_mhz" in
+      let* node_nm = int "node_nm" in
+      let* cycle_time_ns = Jsonl.get_float fields "cycle_time_ns" in
+      let* hw_db = Jsonl.get_str fields "hw_db" in
       let point =
         {
           Point.memory;
@@ -158,6 +164,9 @@ let of_line line =
           unroll;
           junroll;
           clock_mhz;
+          node_nm;
+          cycle_time_ns;
+          hw_db;
         }
       in
       let* cycles = Jsonl.get_int fields "cycles" in

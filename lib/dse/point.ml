@@ -21,6 +21,12 @@ type t = {
   unroll : int;
   junroll : int;
   clock_mhz : float;
+  node_nm : int;  (** technology node of the hardware characterization *)
+  cycle_time_ns : float;  (** characterized cycle time the profile is looked up at *)
+  hw_db : string;
+      (** content hash of the characterization database ([Salam_config.hash]);
+          part of the fingerprint, so results measured under different
+          tables can never answer for each other *)
 }
 
 let default =
@@ -34,6 +40,9 @@ let default =
     unroll = 1;
     junroll = 1;
     clock_mhz = 500.0;
+    node_nm = Salam_config.node_nm Salam_config.builtin;
+    cycle_time_ns = 2.0;
+    hw_db = Salam_config.builtin_hash;
   }
 
 (* zero out whatever the memory kind does not elaborate, so e.g. a cache
@@ -47,7 +56,18 @@ let canonical p =
 
 let compare a b = Stdlib.compare (canonical a) (canonical b)
 
+(* The point's hardware identity, resolved through the process-wide
+   database registry — loud failure when the named table is not loaded
+   or lacks the requested characterization. *)
+let resolve_profile p =
+  Salam_config.resolve ~hw_db:p.hw_db ~node:p.node_nm ~cycle_time_ns:p.cycle_time_ns
+
 let to_config p =
+  let hw =
+    match resolve_profile p with
+    | Ok profile -> profile
+    | Error e -> invalid_arg ("Point.to_config: " ^ e)
+  in
   let fu_limits =
     if p.fu_limit > 0 then [ (Fu.Fp_add_dp, p.fu_limit); (Fu.Fp_mul_dp, p.fu_limit) ]
     else []
@@ -73,6 +93,7 @@ let to_config p =
     memory;
     fu_limits;
     engine = { Engine.default_config with Engine.fu_limits };
+    hw;
   }
 
 (* sorted by key: the fingerprint must not depend on the order axes were
@@ -83,9 +104,12 @@ let to_fields p =
     ("banks", string_of_int p.banks);
     ("cache_bytes", string_of_int p.cache_bytes);
     ("clock_mhz", Printf.sprintf "%h" p.clock_mhz);
+    ("cycle_time_ns", Printf.sprintf "%h" p.cycle_time_ns);
     ("fu_limit", string_of_int p.fu_limit);
+    ("hw_db", p.hw_db);
     ("junroll", string_of_int p.junroll);
     ("memory", memory_kind_to_string p.memory);
+    ("node_nm", string_of_int p.node_nm);
     ("read_ports", string_of_int p.read_ports);
     ("unroll", string_of_int p.unroll);
     ("write_ports", string_of_int p.write_ports);
@@ -117,13 +141,17 @@ let of_fields fields =
   let* fu_limit = int "fu_limit" in
   let* unroll = int "unroll" in
   let* junroll = int "junroll" in
-  let* clock = get "clock_mhz" in
-  let* clock_mhz =
+  let float k =
+    let* v = get k in
     (* [%h] renders, and [float_of_string] parses, hex floats exactly *)
-    match float_of_string_opt clock with
+    match float_of_string_opt v with
     | Some f -> Ok f
-    | None -> Error (Printf.sprintf "point: field clock_mhz: %S is not a number" clock)
+    | None -> Error (Printf.sprintf "point: field %s: %S is not a number" k v)
   in
+  let* clock_mhz = float "clock_mhz" in
+  let* cycle_time_ns = float "cycle_time_ns" in
+  let* node_nm = int "node_nm" in
+  let* hw_db = get "hw_db" in
   Ok
     (canonical
        {
@@ -136,6 +164,9 @@ let of_fields fields =
          unroll;
          junroll;
          clock_mhz;
+         node_nm;
+         cycle_time_ns;
+         hw_db;
        })
 
 let to_compact p =
@@ -162,9 +193,18 @@ let to_string p =
     | Cache -> Printf.sprintf "cache %dB" p.cache_bytes
     | Dram -> "dram"
   in
-  Printf.sprintf "%s fu=%s u=%d j=%d %gMHz" mem
+  let hw =
+    (* only name the hardware when it is not the compiled-in default *)
+    if p.hw_db = default.hw_db && p.node_nm = default.node_nm
+       && p.cycle_time_ns = default.cycle_time_ns
+    then ""
+    else
+      Printf.sprintf " ct=%gns node=%dnm%s" p.cycle_time_ns p.node_nm
+        (if p.hw_db = default.hw_db then "" else " db=" ^ p.hw_db)
+  in
+  Printf.sprintf "%s fu=%s u=%d j=%d %gMHz%s" mem
     (if p.fu_limit = 0 then "1:1" else string_of_int p.fu_limit)
-    p.unroll p.junroll p.clock_mhz
+    p.unroll p.junroll p.clock_mhz hw
 
 (* --- FNV-1a 64-bit ----------------------------------------------------- *)
 

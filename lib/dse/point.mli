@@ -26,11 +26,25 @@ type t = {
   unroll : int;  (** inner-loop unroll factor (workload knob) *)
   junroll : int;  (** middle-loop unroll factor (workload knob) *)
   clock_mhz : float;
+  node_nm : int;  (** technology node of the hardware characterization *)
+  cycle_time_ns : float;
+      (** characterized cycle time the hardware profile is looked up at *)
+  hw_db : string;
+      (** content hash of the characterization database
+          ({!Salam_config.hash}); part of the fingerprint, so results
+          measured under different tables never answer for each other *)
 }
 
 val default : t
 (** SPM with 2 read / 1 write ports and 2 banks, unconstrained units,
-    no unrolling, 500 MHz — mirrors [Salam.Config.default]. *)
+    no unrolling, 500 MHz, the built-in 40 nm database at 2 ns —
+    mirrors [Salam.Config.default]. *)
+
+val resolve_profile : t -> (Salam_hw.Profile.t, string) result
+(** Resolve the point's hardware identity ([hw_db], [node_nm],
+    [cycle_time_ns]) through the process-wide {!Salam_config} registry.
+    Loud [Error] when the named database is not loaded in this process
+    or lacks the requested characterization. *)
 
 val canonical : t -> t
 (** Zero the fields the memory kind ignores (see above). Idempotent. *)
@@ -42,7 +56,10 @@ val to_config : t -> Salam.Config.t
 (** Elaborate the point into a simulation configuration. A positive
     [fu_limit] caps FADD and FMUL (double precision) in both the static
     allocation and the engine; cache points use 64-byte lines, 4 ways
-    and 2-cycle hits, as the paper's Fig 13 sweep does. *)
+    and 2-cycle hits, as the paper's Fig 13 sweep does. The hardware
+    profile comes from {!resolve_profile}; raises [Invalid_argument]
+    when that fails (validate points with {!resolve_profile} first
+    where an exception is unacceptable). *)
 
 val to_fields : t -> (string * string) list
 (** Canonical serialization: (key, value) pairs sorted by key, floats

@@ -8,6 +8,12 @@ type axis =
   | Unroll of int list
   | Junroll of int list
   | Clock_mhz of float list
+  | Cycle_time_ns of float list
+      (** hardware-profile cycle time; applying it also sets the point's
+          clock to the matching frequency so timing and characterization
+          stay in agreement *)
+  | Node of int list
+  | Hw_db of string list  (** database content hashes ([Salam_config.hash]) *)
 
 let axis_name = function
   | Memory _ -> "memory"
@@ -19,20 +25,25 @@ let axis_name = function
   | Unroll _ -> "unroll"
   | Junroll _ -> "junroll"
   | Clock_mhz _ -> "clock_mhz"
+  | Cycle_time_ns _ -> "cycle_time_ns"
+  | Node _ -> "node_nm"
+  | Hw_db _ -> "hw_db"
 
 let axis_values = function
   | Memory ms -> List.map Point.memory_kind_to_string ms
   | Read_ports vs | Write_ports vs | Banks vs | Cache_bytes vs | Fu_limit vs
-  | Unroll vs | Junroll vs ->
+  | Unroll vs | Junroll vs | Node vs ->
       List.map string_of_int vs
-  | Clock_mhz vs -> List.map (Printf.sprintf "%g") vs
+  | Clock_mhz vs | Cycle_time_ns vs -> List.map (Printf.sprintf "%g") vs
+  | Hw_db vs -> vs
 
 let axis_length = function
   | Memory l -> List.length l
   | Read_ports l | Write_ports l | Banks l | Cache_bytes l | Fu_limit l | Unroll l
-  | Junroll l ->
+  | Junroll l | Node l ->
       List.length l
-  | Clock_mhz l -> List.length l
+  | Clock_mhz l | Cycle_time_ns l -> List.length l
+  | Hw_db l -> List.length l
 
 (* one branch of the cartesian product: all assignments of this axis *)
 let apply_axis (p : Point.t) = function
@@ -45,6 +56,17 @@ let apply_axis (p : Point.t) = function
   | Unroll vs -> List.map (fun unroll -> { p with Point.unroll }) vs
   | Junroll vs -> List.map (fun junroll -> { p with Point.junroll }) vs
   | Clock_mhz vs -> List.map (fun clock_mhz -> { p with Point.clock_mhz }) vs
+  | Cycle_time_ns vs ->
+      List.map
+        (fun cycle_time_ns ->
+          {
+            p with
+            Point.cycle_time_ns;
+            clock_mhz = Salam_config.clock_mhz_of_cycle_time cycle_time_ns;
+          })
+        vs
+  | Node vs -> List.map (fun node_nm -> { p with Point.node_nm }) vs
+  | Hw_db vs -> List.map (fun hw_db -> { p with Point.hw_db }) vs
 
 type t = {
   base : Point.t;

@@ -20,6 +20,16 @@ type axis =
   | Unroll of int list
   | Junroll of int list
   | Clock_mhz of float list
+  | Cycle_time_ns of float list
+      (** hardware-profile cycle time; applying this axis also sets the
+          point's clock to the matching frequency
+          ({!Salam_config.clock_mhz_of_cycle_time}), so timing and
+          characterization stay in agreement *)
+  | Node of int list  (** technology node in nm *)
+  | Hw_db of string list
+      (** characterization-database content hashes ({!Salam_config.hash});
+          the databases must be registered in-process before points are
+          simulated *)
 
 val axis_name : axis -> string
 

@@ -8,6 +8,8 @@ type fu_spec = {
 
 type t = {
   profile_name : string;
+  node_nm : int;
+  cycle_time_ns : float;
   specs : fu_spec Fu.Map.t;
   reg_area_um2_per_bit : float;
   reg_leak_mw_per_bit : float;
@@ -38,13 +40,26 @@ let default_specs =
 
 let default_40nm =
   {
-    profile_name = "default-40nm";
+    profile_name = "salam-40nm@2ns";
+    node_nm = 40;
+    cycle_time_ns = 2.0;
     specs = List.fold_left (fun m (k, v) -> Fu.Map.add k v m) Fu.Map.empty default_specs;
     reg_area_um2_per_bit = 5.9;
     reg_leak_mw_per_bit = 0.00021;
     reg_read_pj_per_bit = 0.0035;
     reg_write_pj_per_bit = 0.0048;
   }
+
+(* structural equality that ignores the spec map's internal tree shape *)
+let equal a b =
+  a.profile_name = b.profile_name
+  && a.node_nm = b.node_nm
+  && a.cycle_time_ns = b.cycle_time_ns
+  && Fu.Map.equal ( = ) a.specs b.specs
+  && a.reg_area_um2_per_bit = b.reg_area_um2_per_bit
+  && a.reg_leak_mw_per_bit = b.reg_leak_mw_per_bit
+  && a.reg_read_pj_per_bit = b.reg_read_pj_per_bit
+  && a.reg_write_pj_per_bit = b.reg_write_pj_per_bit
 
 let spec t cls =
   match Fu.Map.find_opt cls t.specs with

@@ -18,6 +18,8 @@ type fu_spec = {
 
 type t = {
   profile_name : string;
+  node_nm : int;  (** technology node the constants were characterized at *)
+  cycle_time_ns : float;  (** cycle time the latencies were characterized at *)
   specs : fu_spec Fu.Map.t;
   reg_area_um2_per_bit : float;
   reg_leak_mw_per_bit : float;
@@ -26,6 +28,9 @@ type t = {
 }
 
 val default_40nm : t
+
+val equal : t -> t -> bool
+(** Structural equality (spec maps compared by contents, not tree shape). *)
 
 val spec : t -> Fu.cls -> fu_spec
 

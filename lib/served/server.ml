@@ -274,7 +274,11 @@ let validate_point (spec : P.spec) (p : Point.t) =
     Error
       (Printf.sprintf "unroll/junroll only apply to the gemm target (got u=%d j=%d)"
          p.Point.unroll p.Point.junroll)
-  else Ok ()
+  else
+    (* reject unresolvable hardware identities before any simulation or
+       store lookup: a point naming a database this server has not
+       loaded must fail loudly, not be answered under a different table *)
+    match Point.resolve_profile p with Ok _ -> Ok () | Error e -> Error e
 
 let memory_kind_name (p : Point.t) = Point.memory_kind_to_string p.Point.memory
 

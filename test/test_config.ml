@@ -1,0 +1,276 @@
+(* Tests for the salam_config subsystem: the characterization-table
+   codec (round-trip, strict rejections), byte-identity of the shipped
+   40 nm database with the compiled-in constants, registry resolution,
+   hardware identity in DSE fingerprints/stores, and the oracle under a
+   non-default cycle time. *)
+
+module C = Salam_config
+module Fu = Salam_hw.Fu
+module Profile = Salam_hw.Profile
+module Point = Salam_dse.Point
+module Store = Salam_dse.Store
+module M = Salam_dse.Measurement
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* first-occurrence substring replacement; fails the test when the
+   needle is absent so edits can't silently test nothing *)
+let replace ~from ~into s =
+  let fl = String.length from and sl = String.length s in
+  let rec find i =
+    if i + fl > sl then Alcotest.failf "substring %S not found" from
+    else if String.sub s i fl = from then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ into ^ String.sub s (i + fl) (sl - i - fl)
+
+let contains s sub =
+  let sl = String.length sub and l = String.length s in
+  let rec go i = i + sl <= l && (String.sub s i sl = sub || go (i + 1)) in
+  go 0
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+  | Error _ -> ()
+
+(* --- codec --------------------------------------------------------- *)
+
+let test_round_trip () =
+  let text = C.render C.builtin in
+  let db = ok (C.parse text) in
+  Alcotest.(check string) "render(parse(render)) is identity" text (C.render db);
+  Alcotest.(check string) "hash stable" C.builtin_hash (C.hash db)
+
+let test_shipped_byte_identity () =
+  (* the repository's share/salam-40nm.db is exactly `salam_config emit` *)
+  let path = "../share/salam-40nm.db" in
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "shipped file is the canonical render" (C.render C.builtin) text;
+  let db = ok (C.load path) in
+  Alcotest.(check string) "shipped hash is the builtin hash" C.builtin_hash (C.hash db)
+
+let test_default_profile_identity () =
+  (* the 2 ns row of the shipped database IS the compiled-in profile *)
+  let p = ok (C.db_profile C.builtin ~cycle_time_ns:2.0) in
+  Alcotest.(check bool) "db@2ns = default_40nm" true (Profile.equal p Profile.default_40nm)
+
+let drop_line ~matching text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> not (matching l))
+  |> String.concat "\n"
+
+let test_rejections () =
+  let text = C.render C.builtin in
+  (* truncation: removing any record breaks the end count *)
+  expect_error "dropped record"
+    (C.parse (drop_line ~matching:(fun l -> String.length l > 3 && String.sub l 0 4 = "reg ") text));
+  (* missing end line entirely *)
+  expect_error "missing end"
+    (C.parse (drop_line ~matching:(fun l -> String.length l > 3 && String.sub l 0 4 = "end ") text));
+  (* duplicate record *)
+  let dup =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun l ->
+           if String.length l > 13 && String.sub l 0 13 = "fu int_adder " then [ l; l ]
+           else [ l ])
+    |> String.concat "\n"
+  in
+  expect_error "duplicate record" (C.parse dup);
+  (* unknown functional unit *)
+  expect_error "unknown fu"
+    (C.parse (replace ~from:"fu int_adder 1 " ~into:"fu warp_core 1 " text));
+  (* malformed number *)
+  expect_error "malformed number"
+    (C.parse (replace ~from:"latency=2" ~into:"latency=two" text));
+  (* undeclared cycle time *)
+  expect_error "undeclared cycle time"
+    (C.parse (replace ~from:"fu int_adder 1 " ~into:"fu int_adder 7 " text));
+  (* content after the end record *)
+  expect_error "content after end" (C.parse (text ^ "name sneaky\n"));
+  (* wrong version header *)
+  expect_error "wrong version"
+    (C.parse (replace ~from:"salam-hwdb 1" ~into:"salam-hwdb 9" text))
+
+let test_lookup_errors () =
+  (match C.db_profile C.builtin ~cycle_time_ns:2.5 with
+  | Ok _ -> Alcotest.fail "2.5ns should not resolve"
+  | Error e ->
+      Alcotest.(check bool) "error lists available cycle times" true
+        (contains e "available"));
+  match C.resolve ~hw_db:"0000000000000000" ~node:40 ~cycle_time_ns:2.0 with
+  | Ok _ -> Alcotest.fail "unknown hash should not resolve"
+  | Error _ -> ()
+
+let test_derived_latency_monotone () =
+  (* slower cycle times never need more cycles per op *)
+  let cts = C.cycle_times C.builtin in
+  List.iter
+    (fun cls ->
+      let lats =
+        List.map
+          (fun ct ->
+            (Profile.spec (ok (C.db_profile C.builtin ~cycle_time_ns:ct)) cls).Profile.latency)
+          cts
+      in
+      ignore
+        (List.fold_left
+           (fun prev l ->
+             if l > prev then
+               Alcotest.failf "%s latency not monotone across cycle times" (Fu.to_string cls);
+             l)
+           max_int lats))
+    Fu.all
+
+(* --- hardware identity in points and stores ------------------------ *)
+
+let test_fingerprint_distinct_profiles () =
+  (* same knobs, same clock, different characterization: must be
+     different cache keys everywhere *)
+  let p2 = Point.default in
+  let p5 = { Point.default with Point.cycle_time_ns = 5.0 } in
+  Alcotest.(check bool) "profiles split the fingerprint" false
+    (Int64.equal (Point.fingerprint ~workload:"w" p2) (Point.fingerprint ~workload:"w" p5));
+  let other_db = { Point.default with Point.hw_db = "beefbeefbeefbeef" } in
+  Alcotest.(check bool) "database hash splits the fingerprint" false
+    (Int64.equal
+       (Point.fingerprint ~workload:"w" Point.default)
+       (Point.fingerprint ~workload:"w" other_db))
+
+let mk_measurement point cycles =
+  {
+    M.fp = Point.fingerprint ~workload:"w" point;
+    workload = "w";
+    point;
+    cycles;
+    seconds = 1e-6;
+    total_mw = 1.0;
+    datapath_mw = 0.5;
+    area_um2 = 100.0;
+    correct = true;
+    active_cycles = 10;
+    issue_cycles = 8;
+    stall_cycles = 2;
+    stall_load_only = 1;
+    stall_load_compute = 1;
+    stall_load_store_compute = 0;
+    stall_other = 0;
+    cycles_with_load = 4;
+    cycles_with_store = 2;
+    cycles_with_load_and_store = 1;
+    loads_issued = 4;
+    stores_issued = 2;
+    issued_fp = 3;
+    issued_int = 5;
+    issued_mem = 6;
+    fmul_occupancy = 0.5;
+    fmul_allocated = 1;
+    spm_reads = 4;
+    spm_writes = 2;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let test_store_distinct_entries () =
+  (* the cache-identity regression: two profiles at the same design
+     point land as two separate store entries and answer separately *)
+  let p2 = Point.default in
+  let p5 = { Point.default with Point.cycle_time_ns = 5.0 } in
+  let store = Store.in_memory () in
+  Store.add store (mk_measurement p2 100L);
+  Store.add store (mk_measurement p5 60L);
+  Alcotest.(check int) "two entries" 2 (Store.size store);
+  let got fp =
+    match Store.find store ~fp with
+    | Some m -> m.M.cycles
+    | None -> Alcotest.fail "entry missing"
+  in
+  Alcotest.(check int64) "2ns entry" 100L (got (Point.fingerprint ~workload:"w" p2));
+  Alcotest.(check int64) "5ns entry" 60L (got (Point.fingerprint ~workload:"w" p5))
+
+let test_point_codec_hw_fields () =
+  let p =
+    {
+      Point.default with
+      Point.cycle_time_ns = 5.0;
+      clock_mhz = C.clock_mhz_of_cycle_time 5.0;
+    }
+  in
+  (match Point.of_compact (Point.to_compact p) with
+  | Ok p' -> Alcotest.(check bool) "compact round-trip" true (Point.compare p p' = 0)
+  | Error e -> Alcotest.failf "of_compact: %s" e);
+  (* a pre-database field list (no hw identity) is a loud error, not a
+     silent default *)
+  let legacy =
+    List.filter
+      (fun (k, _) -> k <> "hw_db" && k <> "node_nm" && k <> "cycle_time_ns")
+      (Point.to_fields p)
+  in
+  match Point.of_fields legacy with
+  | Ok _ -> Alcotest.fail "legacy fields should not decode"
+  | Error _ -> ()
+
+let test_measurement_codec_hw_fields () =
+  let p = { Point.default with Point.cycle_time_ns = 5.0 } in
+  let m = mk_measurement p 60L in
+  match M.of_line (M.to_line m) with
+  | Ok m' ->
+      Alcotest.(check (float 0.0)) "cycle time survives the JSONL codec" 5.0
+        m'.M.point.Point.cycle_time_ns;
+      Alcotest.(check string) "db hash survives the JSONL codec" C.builtin_hash
+        m'.M.point.Point.hw_db
+  | Error e -> Alcotest.failf "of_line: %s" e
+
+let test_to_config_resolves () =
+  let p = { Point.default with Point.cycle_time_ns = 5.0; clock_mhz = 200.0 } in
+  let cfg = Point.to_config p in
+  Alcotest.(check string) "config carries the 5ns profile" "salam-40nm@5ns"
+    cfg.Salam.Config.hw.Profile.profile_name;
+  let bad = { Point.default with Point.hw_db = "beefbeefbeefbeef" } in
+  match Point.to_config bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unresolvable hardware identity should raise"
+
+(* --- oracle under a non-default cycle time -------------------------- *)
+
+let gemm () =
+  match Salam_workloads.Suite.by_name "gemm" with
+  | Some w -> w
+  | None -> Alcotest.fail "gemm workload missing"
+
+let profile_5ns () = ok (C.profile ~node:40 ~cycle_time_ns:5.0)
+
+let test_oracle_5ns () =
+  match Check_oracle.check_workload ~profile:(profile_5ns ()) (gemm ()) with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "interp-vs-engine at 5ns: %s" (Check_oracle.failure_to_string f)
+
+let test_modes_5ns () =
+  match Check_oracle.check_modes ~profile:(profile_5ns ()) (gemm ()) with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "compiled-vs-dynamic at 5ns: %s" (Check_oracle.failure_to_string f)
+
+let suite =
+  [
+    Alcotest.test_case "render/parse round-trip" `Quick test_round_trip;
+    Alcotest.test_case "shipped database byte-identical" `Quick test_shipped_byte_identity;
+    Alcotest.test_case "2ns row = compiled-in profile" `Quick test_default_profile_identity;
+    Alcotest.test_case "strict parser rejections" `Quick test_rejections;
+    Alcotest.test_case "lookup and resolve errors" `Quick test_lookup_errors;
+    Alcotest.test_case "derived latencies monotone" `Quick test_derived_latency_monotone;
+    Alcotest.test_case "profiles split fingerprints" `Quick test_fingerprint_distinct_profiles;
+    Alcotest.test_case "distinct store entries per profile" `Quick test_store_distinct_entries;
+    Alcotest.test_case "point codec carries hw identity" `Quick test_point_codec_hw_fields;
+    Alcotest.test_case "measurement codec carries hw identity" `Quick
+      test_measurement_codec_hw_fields;
+    Alcotest.test_case "to_config resolves the profile" `Quick test_to_config_resolves;
+    Alcotest.test_case "oracle at 5ns" `Quick test_oracle_5ns;
+    Alcotest.test_case "mode oracle at 5ns" `Quick test_modes_5ns;
+  ]

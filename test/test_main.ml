@@ -23,4 +23,5 @@ let () =
       ("dse", Test_dse.suite);
       ("store_shard", Test_store_shard.suite);
       ("served", Test_served.suite);
+      ("config", Test_config.suite);
     ]
